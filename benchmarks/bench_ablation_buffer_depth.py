@@ -1,0 +1,67 @@
+"""Ablation: buffer-pool depth beyond classic double buffering.
+
+The paper's Figure 2 stops at two buffers.  With one compute unit and a
+serial channel that is provably optimal — this bench demonstrates it by
+sweeping pool depth in the event-driven simulator and showing the curve
+flatten at depth 2, while quantifying the BRAM price each extra buffer
+would charge (the resource-side argument for stopping there).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_text_table
+from repro.core.buffering import BufferingMode
+from repro.hwsim.clock import ClockDomain
+from repro.hwsim.kernel import PipelinedKernel
+from repro.hwsim.system import RCSystemSim
+from repro.interconnect.bus import BusModel
+from repro.interconnect.protocols import NALLATECH_PCIX_PROFILE
+from repro.platforms.catalog import PCIX_133_NALLATECH, VIRTEX4_LX100
+
+DEPTHS = (1, 2, 3, 4, 8)
+
+
+def _run_with_depth(depth: int):
+    sim = RCSystemSim(
+        kernel=PipelinedKernel(
+            name="pdf1d", ops_per_element=768, replicas=8,
+            ops_per_cycle_per_replica=3, fill_latency_cycles=266,
+            stall_fraction=0.256,
+        ),
+        clock=ClockDomain.from_mhz(150),
+        bus=BusModel(spec=PCIX_133_NALLATECH, profile=NALLATECH_PCIX_PROFILE,
+                     record_transfers=False),
+        elements_per_block=512,
+        bytes_per_element=4,
+        output_bytes_per_block=4,
+        n_iterations=400,
+        mode=BufferingMode.DOUBLE if depth > 1 else BufferingMode.SINGLE,
+        n_buffers=depth,
+    )
+    return sim.run()
+
+
+def test_buffer_depth_sweep(benchmark, show):
+    def sweep():
+        rows = []
+        for depth in DEPTHS:
+            result = _run_with_depth(depth)
+            bram_bytes = depth * 512 * 4
+            rows.append((depth, result.t_rc, bram_bytes))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    show(render_text_table(
+        ["buffers", "t_RC (s)", "input BRAM (B)"],
+        [[str(d), f"{t:.4e}", f"{b}"] for d, t, b in rows],
+        title="1-D PDF simulated wall clock vs buffer-pool depth",
+    ))
+    times = {d: t for d, t, _ in rows}
+    # Two buffers beat one...
+    assert times[2] < times[1]
+    # ...and deeper pools change nothing (single unit + serial channel).
+    assert times[4] == pytest.approx(times[2], rel=1e-6)
+    assert times[8] == pytest.approx(times[2], rel=1e-6)
+    # The resource price of depth is linear; the device could afford it,
+    # but there is nothing to buy.
+    assert 8 * 512 * 4 < VIRTEX4_LX100.bram_total_bytes

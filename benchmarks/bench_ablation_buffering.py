@@ -1,0 +1,59 @@
+"""Ablation: single vs double buffering across the case studies.
+
+DESIGN.md calls out the buffering choice as the design decision
+Equations (5)/(6) exist to arbitrate.  This bench sweeps the
+communication/computation balance (via block size) and reports where the
+double-buffering gain peaks — the paper's observation that DB "would
+have masked" the 1-D PDF's communication jitter lives at that peak.
+"""
+
+import pytest
+
+from repro.analysis.sweep import double_buffer_gain
+from repro.analysis.tables import render_text_table
+from repro.apps.registry import get_case_study, list_case_studies
+from repro.core.buffering import BufferingMode
+from repro.core.throughput import predict
+
+
+def test_db_gain_across_studies(benchmark, show):
+    def gains():
+        return {
+            name: double_buffer_gain(get_case_study(name).rat)
+            for name in list_case_studies()
+        }
+
+    result = benchmark(gains)
+    show(render_text_table(
+        ["study", "DB/SB speedup gain"],
+        [[name, f"{gain:.3f}"] for name, gain in sorted(result.items())],
+        title="Double-buffering gain (Equations 5 vs 6)",
+    ))
+    for gain in result.values():
+        assert 1.0 <= gain <= 2.0
+    # MD is overwhelmingly compute-bound: DB buys nothing.
+    assert result["md"] == pytest.approx(1.0, abs=0.01)
+
+
+def test_db_gain_peaks_at_balance(benchmark, show):
+    """Sweep block size; gain must peak where t_comm = t_comp."""
+    study = get_case_study("pdf2d")
+
+    def sweep():
+        rows = []
+        for elements in (64, 256, 1024, 4096, 16384, 65536):
+            rat = study.rat.with_block_size(elements, 400)
+            p = predict(rat)
+            rows.append((elements, p.t_comm / p.t_comp, double_buffer_gain(rat)))
+        return rows
+
+    rows = benchmark(sweep)
+    show(render_text_table(
+        ["elements/block", "t_comm/t_comp", "DB gain"],
+        [[str(e), f"{r:.3f}", f"{g:.3f}"] for e, r, g in rows],
+        title="2-D PDF: block size vs double-buffering gain",
+    ))
+    # The gain is maximal for the row whose time ratio is closest to 1.
+    best_gain = max(rows, key=lambda row: row[2])
+    most_balanced = min(rows, key=lambda row: abs(row[1] - 1.0))
+    assert best_gain[0] == most_balanced[0]

@@ -1,0 +1,75 @@
+"""Ablation: when does ignoring reconfiguration time become wrong?
+
+The throughput test "ignores reconfiguration and other setup times".
+For the paper's case studies (seconds of work per configured kernel)
+that is sound; a composite application hopping between kernels pays a
+~50 ms bitstream reload per hop.  This bench sweeps the per-stage work
+and reports the reconfiguration share of total runtime — locating the
+regime boundary of the paper's simplification.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_text_table
+from repro.core.buffering import BufferingMode
+from repro.hwsim.clock import ClockDomain
+from repro.hwsim.composite import run_composite
+from repro.hwsim.kernel import PipelinedKernel
+from repro.hwsim.system import RCSystemSim
+from repro.interconnect.bus import BusModel
+from repro.interconnect.protocols import ProtocolProfile
+from repro.platforms.interconnect import InterconnectSpec
+
+RECONFIG_S = 0.05  # Virtex-4-class full-device configuration
+
+
+def _stage(n_iterations: int) -> RCSystemSim:
+    return RCSystemSim(
+        kernel=PipelinedKernel(
+            name="stage", ops_per_element=1000, replicas=1,
+            ops_per_cycle_per_replica=10,
+        ),
+        clock=ClockDomain.from_mhz(100),
+        bus=BusModel(
+            spec=InterconnectSpec(name="clean", ideal_bandwidth=1e9),
+            profile=ProtocolProfile(name="clean"),
+            record_transfers=False,
+        ),
+        elements_per_block=1000,
+        bytes_per_element=4,
+        output_bytes_per_block=4000,
+        n_iterations=n_iterations,
+        mode=BufferingMode.SINGLE,
+    )
+
+
+def test_reconfiguration_share_vs_stage_length(benchmark, show):
+    def sweep():
+        rows = []
+        for n_iterations in (1, 10, 100, 1000, 10_000):
+            # Two kernels timesharing the device: two reconfigurations.
+            result = run_composite(
+                [("k1", _stage(n_iterations)), ("k2", _stage(n_iterations))],
+                reconfiguration_s=RECONFIG_S,
+            )
+            rows.append((
+                n_iterations,
+                result.t_total,
+                result.reconfiguration_fraction,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    show(render_text_table(
+        ["iterations/stage", "t_total (s)", "reconfig share"],
+        [[str(n), f"{t:.3g}", f"{f:.1%}"] for n, t, f in rows],
+        title="Reconfiguration share of a two-kernel composite "
+        f"({RECONFIG_S * 1e3:.0f} ms per reload)",
+    ))
+    shares = [f for _, _, f in rows]
+    # Monotone decline with stage length...
+    assert shares == sorted(shares, reverse=True)
+    # ...dominating for tiny stages, negligible for long ones — the
+    # paper's simplification is a long-stage assumption.
+    assert shares[0] > 0.9
+    assert shares[-1] < 0.01

@@ -1,0 +1,83 @@
+"""Ablation: pipeline-count and multi-FPGA scaling.
+
+The paper notes both PDF designs left resources idle ("additional
+parallelism could be exploited") and lists multi-FPGA systems as future
+work.  This bench sweeps pipeline replication until the device or the
+channel gives out, and the multi-FPGA extension until the shared host
+link saturates.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.tables import render_text_table
+from repro.apps.registry import get_case_study
+from repro.core.buffering import BufferingMode
+from repro.core.composite import MultiFPGAAnalysis
+from repro.core.resources.report import utilization_report
+from repro.core.throughput import predict
+
+
+def test_pipeline_scaling_until_resources_exhaust(benchmark, show):
+    """2-D PDF: replicate pipelines; speedup grows until the LX100 fills."""
+    study = get_case_study("pdf2d")
+    base_design = study.kernel_design
+    per_pipeline_throughput = (
+        study.rat.computation.throughput_proc / base_design.replicas
+    )
+
+    def sweep():
+        rows = []
+        for replicas in (8, 16, 32, 64, 128):
+            design = dataclasses.replace(base_design, replicas=replicas)
+            report = utilization_report(design, study.platform.device)
+            rat = study.rat.with_throughput_proc(
+                per_pipeline_throughput * replicas
+            )
+            rows.append((
+                replicas,
+                predict(rat, BufferingMode.DOUBLE).speedup,
+                report.fits,
+                report.limiting_resource.value,
+            ))
+        return rows
+
+    rows = benchmark(sweep)
+    show(render_text_table(
+        ["pipelines", "DB speedup", "fits LX100", "limiting"],
+        [[str(r), f"{s:.1f}", str(f), l] for r, s, f, l in rows],
+        title="2-D PDF pipeline replication (paper: 'additional parallelism "
+        "could be exploited')",
+    ))
+    speedups = [s for _, s, _, _ in rows]
+    assert speedups == sorted(speedups)
+    # The paper's 16-pipeline point fits; some wider point must not.
+    by_replicas = {r: fits for r, _, fits, _ in rows}
+    assert by_replicas[16]
+    assert not all(by_replicas.values())
+
+
+def test_multi_fpga_scaling(benchmark, show):
+    """2-D PDF across N devices sharing one host link."""
+    study = get_case_study("pdf2d")
+
+    def sweep():
+        return [
+            (
+                n,
+                MultiFPGAAnalysis(study.rat, n).speedup(),
+                MultiFPGAAnalysis(study.rat, n).scaling_efficiency(),
+            )
+            for n in (1, 2, 4, 8, 16, 32)
+        ]
+
+    rows = benchmark(sweep)
+    show(render_text_table(
+        ["FPGAs", "speedup", "efficiency"],
+        [[str(n), f"{s:.1f}", f"{e:.2f}"] for n, s, e in rows],
+        title="Multi-FPGA scaling of the 2-D PDF kernel (Section 6 extension)",
+    ))
+    efficiencies = [e for _, _, e in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(efficiencies, efficiencies[1:]))
+    assert rows[0][2] == pytest.approx(1.0)

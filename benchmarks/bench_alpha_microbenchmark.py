@@ -1,0 +1,13 @@
+"""Section 4.2: interconnect alpha microbenchmark.
+
+Runs the simulated pinned-buffer microbenchmark at the 1-D PDF
+transfer size; the paper's Table-2 alphas are 0.37 / 0.16.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_alpha_microbenchmark(benchmark, show):
+    result = benchmark(run_experiment, "alpha-microbenchmark")
+    assert result.all_within
+    show(result.render())

@@ -1,0 +1,84 @@
+"""Extension bench: the calibration loop closes.
+
+DESIGN.md documents hand-derived simulator constants, each anchored to
+one measurement from the paper.  This bench re-derives every one of them
+with :mod:`repro.analysis.calibration` and checks that the fitted values
+match the constants baked into the case studies — i.e. the documented
+calibration is reproducible from the paper's measurements alone.
+"""
+
+import pytest
+
+from repro.analysis.calibration import (
+    fit_effective_throughput,
+    fit_interconnect,
+    fit_stall_fraction,
+    fit_transfer_overhead,
+)
+from repro.analysis.tables import render_text_table
+from repro.apps.md.design import build_hw_kernel as md_kernel
+from repro.apps.pdf1d.design import build_hw_kernel as pdf1d_kernel
+from repro.interconnect.protocols import NALLATECH_PCIX_PROFILE
+from repro.platforms.catalog import PCIX_133_NALLATECH
+
+
+def test_refit_all_calibration_constants(benchmark, show):
+    def refit():
+        stall_pdf1d = fit_stall_fraction(
+            measured_block_time=1.39e-4, elements=512, ops_per_element=768,
+            ideal_ops_per_cycle=24.0, clock_hz=150e6,
+            fill_latency_cycles=266,
+        )
+        stall_md = fit_stall_fraction(
+            measured_block_time=8.79e-1, elements=16384,
+            ops_per_element=164_000, ideal_ops_per_cycle=50.0,
+            clock_hz=100e6, fill_latency_cycles=2000,
+        )
+        overhead = fit_transfer_overhead(
+            measured_comm_time=2.50e-5,
+            spec=PCIX_133_NALLATECH,
+            transfers=[(2048.0, False), (4.0, True)],
+            jitter_mean=1.15,
+        )
+        pcix = fit_interconnect(
+            name="refit PCI-X", ideal_bandwidth=1e9, efficiency=0.80,
+            anchor_bytes=2048.0, anchor_alpha=0.37, read_anchor_alpha=0.16,
+        )
+        effective_pdf1d = fit_effective_throughput(
+            measured_block_time=1.39e-4, elements=512,
+            ops_per_element=768, clock_hz=150e6,
+        )
+        return stall_pdf1d, stall_md, overhead, pcix, effective_pdf1d
+
+    stall_pdf1d, stall_md, overhead, pcix, effective = benchmark(refit)
+
+    show(render_text_table(
+        ["constant", "fitted", "baked-in"],
+        [
+            ["1-D PDF stall fraction", f"{stall_pdf1d.value:.4f}",
+             f"{pdf1d_kernel().stall_fraction:.4f}"],
+            ["MD stall fraction", f"{stall_md.value:.4f}",
+             f"{md_kernel().stall_fraction:.4f}"],
+            ["Nallatech per-call overhead (us)", f"{overhead.value * 1e6:.2f}",
+             f"{NALLATECH_PCIX_PROFILE.per_transfer_overhead_s * 1e6:.2f}"],
+            ["PCI-X setup latency (us)", f"{pcix.setup_latency_s * 1e6:.3f}",
+             f"{PCIX_133_NALLATECH.setup_latency_s * 1e6:.3f}"],
+            ["1-D PDF effective ops/cycle", f"{effective:.1f}",
+             "18.9 (paper-implied)"],
+        ],
+        title="Re-deriving the simulator calibration from the paper's "
+        "measurements",
+    ))
+    assert stall_pdf1d.value == pytest.approx(
+        pdf1d_kernel().stall_fraction, abs=0.005
+    )
+    assert stall_md.value == pytest.approx(
+        md_kernel().stall_fraction, abs=0.005
+    )
+    assert overhead.value == pytest.approx(
+        NALLATECH_PCIX_PROFILE.per_transfer_overhead_s, rel=0.05
+    )
+    assert pcix.setup_latency_s == pytest.approx(
+        PCIX_133_NALLATECH.setup_latency_s, rel=1e-9
+    )
+    assert effective == pytest.approx(18.9, abs=0.1)

@@ -1,0 +1,14 @@
+"""Figure 1: the RAT methodology flow.
+
+Runs the three-test flow on the 1-D PDF design for both a
+conservative (PROCEED) and an aggressive (INSUFFICIENT THROUGHPUT)
+requirement.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_methodology(benchmark, show):
+    result = benchmark(run_experiment, "fig1")
+    assert result.all_within
+    show(result.render())

@@ -1,0 +1,65 @@
+"""Figure 2: the three communication/computation overlap scenarios.
+
+Benchmarks the analytic timeline construction and cross-checks each
+scenario's makespan against Equations (5)/(6); also times the
+event-driven simulator reproducing the same schedules, asserting the two
+models agree when overheads are zero.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.core.buffering import (
+    BufferingMode,
+    double_buffered_timeline,
+    single_buffered_timeline,
+)
+
+
+def test_fig2_reproduction(benchmark, show):
+    result = benchmark(run_experiment, "fig2")
+    assert result.all_within
+    show(result.render())
+    # Scenario makespans: SB = N*(r+c+w); DB compute-bound hides comm.
+    assert result.data["single buffered"] == pytest.approx(4 * 6.0)
+    assert result.data["double buffered, computation bound"] < 4 * 8.0
+
+
+def test_fig2_analytic_timeline_construction(benchmark):
+    """Timeline building cost for a realistic 400-iteration run."""
+    timeline = benchmark(double_buffered_timeline, 2e-5, 1.4e-4, 1e-6, 400)
+    assert len(timeline.lane("comp")) == 400
+
+
+def test_fig2_simulator_agrees_with_analytic(benchmark):
+    """Event-driven and analytic schedules coincide without overheads."""
+    from repro.hwsim.clock import ClockDomain
+    from repro.hwsim.kernel import PipelinedKernel
+    from repro.hwsim.system import RCSystemSim
+    from repro.interconnect.bus import BusModel
+    from repro.interconnect.protocols import ProtocolProfile
+    from repro.platforms.interconnect import InterconnectSpec
+
+    def simulate():
+        sim = RCSystemSim(
+            kernel=PipelinedKernel(
+                name="k", ops_per_element=100, replicas=1,
+                ops_per_cycle_per_replica=10,
+            ),
+            clock=ClockDomain.from_mhz(100),
+            bus=BusModel(
+                spec=InterconnectSpec(name="clean", ideal_bandwidth=1e9),
+                profile=ProtocolProfile(name="clean"),
+                record_transfers=False,
+            ),
+            elements_per_block=1000,
+            bytes_per_element=4,
+            output_bytes_per_block=4000,
+            n_iterations=100,
+            mode=BufferingMode.SINGLE,
+        )
+        return sim.run()
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    analytic = 100 * (2 * 4e-6 + 1e-4)
+    assert result.t_rc == pytest.approx(analytic, rel=1e-9)

@@ -1,0 +1,13 @@
+"""Figure 3: the 1-D PDF architecture.
+
+Regenerates the eight-pipeline architecture description and checks
+the 24-ops/cycle ideal the worksheet derates to 20.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_pdf1d_architecture(benchmark, show):
+    result = benchmark(run_experiment, "fig3")
+    assert result.all_within
+    show(result.render())

@@ -1,0 +1,13 @@
+"""Section 5.2: MD throughput_proc goal-seek.
+
+Solves Equations (4)-(7) for the ops/cycle needed to reach the
+desired ~10x MD speedup; the paper's answer is 50.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_goalseek_md(benchmark, show):
+    result = benchmark(run_experiment, "goalseek-md")
+    assert result.all_within
+    show(result.render())

@@ -1,0 +1,81 @@
+"""Software-baseline benchmarks.
+
+Times the NumPy implementations of the case-study algorithms at reduced
+sizes (the paper's full sizes belong to its 2007 hosts; these runs
+establish that our baselines behave and scale like the algorithms the
+paper describes — e.g. the 1-D PDF batch matches the O(N*n) kernel-sum).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.extra.fir import fir_filter
+from repro.apps.extra.matmul import matmul_blocked
+from repro.apps.md.software import make_lattice_state, run_md
+from repro.apps.pdf1d.software import parzen_pdf_1d
+from repro.apps.pdf2d.software import parzen_pdf_2d
+
+RNG = np.random.default_rng(2007)
+
+
+def test_pdf1d_batch(benchmark):
+    """One paper-sized batch: 512 samples against 256 bins."""
+    samples = RNG.normal(size=512)
+    grid = np.linspace(-4, 4, 256)
+    density = benchmark(parzen_pdf_1d, samples, grid, 0.2)
+    assert density.shape == (256,)
+    assert np.all(density >= 0)
+
+
+def test_pdf2d_batch(benchmark):
+    """One paper-sized batch: 512 samples against 256 x 256 bins."""
+    samples = RNG.normal(size=(512, 2))
+    grid = np.linspace(-4, 4, 256)
+    density = benchmark(parzen_pdf_2d, samples, grid, grid, 0.25)
+    assert density.shape == (256, 256)
+
+
+def test_md_timestep(benchmark):
+    """One velocity-Verlet step at 512 molecules (paper: 16 384)."""
+    state = make_lattice_state(n_per_side=8, density=0.8)
+
+    def step():
+        run_md(state, n_steps=1, dt=0.002, cutoff=2.5)
+
+    benchmark.pedantic(step, rounds=5, iterations=1)
+    assert state.n_molecules == 512
+
+
+def test_matmul_tile(benchmark):
+    """One 128 x 128 tile product (the extension study's unit of work)."""
+    a = RNG.normal(size=(128, 128))
+    b = RNG.normal(size=(128, 128))
+    out = benchmark(matmul_blocked, a, b, 64)
+    assert np.allclose(out, a @ b)
+
+
+def test_fir_block(benchmark):
+    """One 4096-element block through a 64-tap filter."""
+    samples = RNG.normal(size=4096)
+    taps = RNG.normal(size=64)
+    out = benchmark(fir_filter, samples, taps)
+    assert out.shape == (4096,)
+
+
+def test_md_celllist_vs_allpairs(benchmark):
+    """Cell-list force kernel at 1728 molecules (all-pairs checked once)."""
+    import numpy as np
+
+    from repro.apps.md.celllist import lennard_jones_forces_celllist
+    from repro.apps.md.software import lennard_jones_forces
+
+    state = make_lattice_state(n_per_side=12, density=0.8)
+    forces, potential = benchmark.pedantic(
+        lennard_jones_forces_celllist,
+        args=(state.positions, state.box, 2.5),
+        rounds=3,
+        iterations=1,
+    )
+    reference, ref_pot = lennard_jones_forces(state.positions, state.box, 2.5)
+    assert np.allclose(forces, reference, rtol=1e-9, atol=1e-9)
+    assert potential == pytest.approx(ref_pot, rel=1e-9)

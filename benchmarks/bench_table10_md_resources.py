@@ -1,0 +1,13 @@
+"""Table 10: MD resource usage (Stratix-II EP2S180).
+
+Regenerates the resource-utilization table; the prose-level check is
+that DSP elements are the limiting resource, nearly exhausted.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_md_resources(benchmark, show):
+    result = benchmark(run_experiment, "table10")
+    assert result.all_within
+    show(result.render())

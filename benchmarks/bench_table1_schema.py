@@ -1,0 +1,28 @@
+"""Table 1: the RAT input-parameter schema (worksheet round-trip).
+
+Regenerates the input-parameter sheet layout of the paper's Table 1 and
+times a full serialise/parse/validate round-trip of the worksheet —
+the operation a designer's tooling performs per candidate design.
+"""
+
+from repro.analysis.experiments import run_experiment
+from repro.core.params import RATInput
+
+
+def test_table1_schema(benchmark, show):
+    result = benchmark(run_experiment, "table1")
+    assert result.all_within
+    show(result.render())
+
+
+def test_worksheet_round_trip_throughput(benchmark):
+    """Round-trips per second of the Table-1 schema (pure overhead)."""
+    from repro.apps.pdf1d.study import rat_input
+
+    rat = rat_input()
+
+    def round_trip() -> RATInput:
+        return RATInput.from_dict(rat.to_dict())
+
+    rebuilt = benchmark(round_trip)
+    assert rebuilt == rat

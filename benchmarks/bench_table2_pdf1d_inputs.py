@@ -1,0 +1,13 @@
+"""Table 2: 1-D PDF input parameters.
+
+Regenerates the Table-2 worksheet input sheet for the 1-D PDF
+estimator and validates the serialisation round-trip.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_pdf1d_inputs(benchmark, show):
+    result = benchmark(run_experiment, "table2")
+    assert result.all_within
+    show(result.render())

@@ -1,0 +1,39 @@
+"""Table 3: 1-D PDF predicted (75/100/150 MHz) and actual performance.
+
+Two benchmarks: the closed-form prediction sweep (what a designer
+iterates on — microseconds) and the full cycle-level simulation that
+produces the "Actual" column (400 communication+computation iterations).
+The registry's tolerance checks assert both against the paper's values.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.apps.registry import get_case_study
+
+
+def test_table3_full_reproduction(benchmark, show):
+    result = benchmark.pedantic(
+        run_experiment, args=("table3",), rounds=3, iterations=1
+    )
+    assert result.all_within
+    show(result.render())
+
+
+def test_table3_prediction_sweep(benchmark):
+    """Closed-form Equations (1)-(11) over the three-clock sweep."""
+    study = get_case_study("pdf1d")
+
+    table = benchmark(lambda: study.predicted_table())
+    speedups = [round(c.speedup, 1) for c in table.columns]
+    assert speedups == pytest.approx([5.4, 7.1, 10.6], abs=0.1)
+
+
+def test_table3_simulated_actual(benchmark):
+    """The event-driven simulator producing the Actual column."""
+    study = get_case_study("pdf1d")
+
+    result = benchmark.pedantic(study.simulate, rounds=3, iterations=1)
+    column = result.as_actual_column(study.rat.software.t_soft)
+    assert column["speedup"] == pytest.approx(7.8, rel=0.05)
+    assert column["t_comp"] == pytest.approx(1.39e-4, rel=0.02)

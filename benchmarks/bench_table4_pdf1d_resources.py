@@ -1,0 +1,13 @@
+"""Table 4: 1-D PDF resource usage (Virtex-4 LX100).
+
+Regenerates the resource-utilization table; the only clearly legible
+cell in the damaged source (BRAMs 15%) is asserted against.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_pdf1d_resources(benchmark, show):
+    result = benchmark(run_experiment, "table4")
+    assert result.all_within
+    show(result.render())

@@ -1,0 +1,13 @@
+"""Table 5: 2-D PDF input parameters.
+
+Regenerates the Table-5 worksheet input sheet for the 2-D PDF
+estimator and validates the serialisation round-trip.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_pdf2d_inputs(benchmark, show):
+    result = benchmark(run_experiment, "table5")
+    assert result.all_within
+    show(result.render())

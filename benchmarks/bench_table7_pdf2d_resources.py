@@ -1,0 +1,13 @@
+"""Table 7: 2-D PDF resource usage (Virtex-4 LX100).
+
+Regenerates the resource-utilization table; the paper reports usage
+up but 'not nearly exhausted', which the fits-check asserts.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_pdf2d_resources(benchmark, show):
+    result = benchmark(run_experiment, "table7")
+    assert result.all_within
+    show(result.render())

@@ -1,0 +1,13 @@
+"""Table 8: MD input parameters.
+
+Regenerates the Table-8 worksheet input sheet for the molecular
+dynamics kernel and validates the serialisation round-trip.
+"""
+
+from repro.analysis.experiments import run_experiment
+
+
+def test_md_inputs(benchmark, show):
+    result = benchmark(run_experiment, "table8")
+    assert result.all_within
+    show(result.render())

@@ -1,0 +1,33 @@
+"""Table 9: MD predicted and actual performance.
+
+One iteration moves the whole 16 384-molecule state (589 824 B each way
+over duplex HyperTransport) around a single force/integrate pass.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.apps.registry import get_case_study
+
+
+def test_table9_full_reproduction(benchmark, show):
+    result = benchmark.pedantic(
+        run_experiment, args=("table9",), rounds=3, iterations=1
+    )
+    assert result.all_within
+    show(result.render())
+
+
+def test_table9_prediction_sweep(benchmark):
+    study = get_case_study("md")
+    table = benchmark(lambda: study.predicted_table())
+    speedups = [round(c.speedup, 1) for c in table.columns]
+    assert speedups == pytest.approx([8.0, 10.7, 16.0], abs=0.1)
+
+
+def test_table9_simulated_actual(benchmark):
+    study = get_case_study("md")
+    result = benchmark.pedantic(study.simulate, rounds=3, iterations=1)
+    column = result.as_actual_column(study.rat.software.t_soft)
+    assert column["speedup"] == pytest.approx(6.6, rel=0.03)
+    assert column["t_comm"] == pytest.approx(1.39e-3, rel=0.10)

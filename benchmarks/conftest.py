@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artefact (table or figure) through
+the experiment registry, times the regeneration with pytest-benchmark,
+and prints the reproduced rows (run with ``-s`` to see them beside the
+paper's values).  Correctness is asserted via the registry's tolerance
+machinery so a benchmark run doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a block with a separating rule (visible under ``-s``)."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+        print("-" * 72)
+
+    return _show

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""A complete pre-migration design review with the extended toolkit.
+
+Ties the post-paper extensions into the workflow a design lead would run
+before approving an FPGA migration of the 2-D PDF kernel:
+
+1. **lint** the worksheet against the platform — catch the paper's
+   classic mistakes before trusting any number;
+2. **scenario grid** over clock x parallelism — the design space at a
+   glance, with the configurations meeting the project's 8x bar;
+3. **uncertainty bands** — how much of the grid survives honest error
+   bars on the inputs;
+4. **verdict** — the Figure-1 methodology on the chosen configuration.
+
+Run: ``python examples/design_review.py``
+"""
+
+from repro import DesignCandidate, Requirements, evaluate_design
+from repro.analysis.scenarios import Axis, ScenarioGrid
+from repro.analysis.uncertainty import (
+    Range,
+    UncertainInput,
+    predict_interval,
+    predict_monte_carlo,
+)
+from repro.apps import get_case_study
+from repro.core.lint import lint_worksheet
+
+
+def main() -> None:
+    study = get_case_study("pdf2d")
+    requirement = 8.0
+
+    # --- 1. Lint -------------------------------------------------------------
+    print("== Worksheet lint ==")
+    warnings = lint_worksheet(study.rat, study.platform, study.mode)
+    if not warnings:
+        print("no findings")
+    for warning in warnings:
+        print(warning.describe())
+
+    # --- 2. Scenario grid ------------------------------------------------------
+    print("\n== Design space: clock x throughput_proc ==")
+    grid = ScenarioGrid.evaluate(
+        study.rat,
+        [
+            Axis.clock_mhz([75, 100, 150, 200]),
+            Axis.throughput_proc([48, 96, 192]),
+        ],
+    )
+    print(grid.table("throughput_proc", "clock_mhz"))
+    qualifying = grid.meeting(requirement)
+    print(
+        f"\n{len(qualifying)} of {len(grid)} configurations meet the "
+        f"{requirement:g}x requirement; best: "
+        f"{qualifying[0].coordinates} at {qualifying[0].speedup:.1f}x"
+    )
+
+    # --- 3. Uncertainty on the chosen configuration ---------------------------
+    chosen = study.rat.with_throughput_proc(96.0)  # 32 pipelines
+    uncertain = UncertainInput(
+        base=chosen,
+        ranges={
+            "throughput_proc": Range.pct(96.0, 35, 10),
+            "clock_mhz": Range(low=100.0, nominal=150.0, high=180.0),
+            "alpha_read": Range(low=0.03, nominal=0.16, high=0.20),
+        },
+    )
+    interval = predict_interval(uncertain)
+    mc = predict_monte_carlo(uncertain, n_samples=2000)
+    print("\n== Uncertainty on the 32-pipeline configuration ==")
+    print(f"corner bounds: {interval.describe()}")
+    print(f"monte carlo:   {mc.describe()}")
+    print(
+        f"P(speedup >= {requirement:g}x) = "
+        f"{mc.probability_at_least(requirement):.0%}"
+    )
+
+    # --- 4. Verdict --------------------------------------------------------------
+    import dataclasses
+
+    candidate = DesignCandidate(
+        rat=chosen,
+        kernel_design=dataclasses.replace(study.kernel_design, replicas=32),
+        label="2-D PDF, 32 pipelines",
+    )
+    result = evaluate_design(
+        candidate,
+        Requirements(min_speedup=requirement),
+        study.platform.device,
+    )
+    print("\n== Methodology verdict ==")
+    print(result.describe())
+
+
+if __name__ == "__main__":
+    main()

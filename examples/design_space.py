@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Design-space exploration with the RAT toolkit (beyond the paper).
+
+Uses the extension case studies to show the analyses a designer actually
+iterates on:
+
+* block-size scaling of the matmul study — compute density grows with
+  tile size, moving the design from communication- to computation-bound;
+* the single-vs-double-buffering gain across the whole block-size sweep
+  (peaks where t_comm = t_comp);
+* the streaming model on the FIR study, identifying its bottleneck stage;
+* multi-FPGA scaling of the 2-D PDF kernel, locating the device count
+  where the shared interconnect stops paying.
+
+Run: ``python examples/design_space.py``
+"""
+
+from repro.analysis.sweep import crossover_block_size, double_buffer_gain
+from repro.apps import get_case_study
+from repro.apps.extra.matmul import matmul_rat_input
+from repro.core.buffering import BufferingMode
+from repro.core.composite import CompositeAnalysis, MultiFPGAAnalysis
+from repro.core.streaming import predict_streaming
+from repro.core.throughput import predict
+
+
+def main() -> None:
+    # --- Matmul tile-size sweep ------------------------------------------
+    print("Blocked matmul: tile size vs predicted speedup")
+    print(f"{'tile':>6} {'bound':>14} {'SB speedup':>11} {'DB gain':>8}")
+    for n in (16, 32, 64, 128, 256):
+        rat = matmul_rat_input(n=n, n_tiles=64)
+        prediction = predict(rat)
+        gain = double_buffer_gain(rat)
+        print(
+            f"{n:>6} {prediction.bound:>14} {prediction.speedup:>11.2f} "
+            f"{gain:>8.2f}"
+        )
+
+    rat = matmul_rat_input(n=64, n_tiles=64)
+    crossover = crossover_block_size(rat)
+    print(f"\nCrossover to computation-bound at ~{crossover} elements/block")
+
+    # --- Streaming analysis of the FIR study --------------------------------
+    fir = get_case_study("fir")
+    stream = predict_streaming(fir.rat)
+    print(
+        f"\nFIR streaming model: ingest {stream.ingest_rate:.3g} elem/s, "
+        f"drain {stream.drain_rate:.3g} elem/s, "
+        f"compute {stream.compute_rate:.3g} elem/s"
+    )
+    print(
+        f"Bottleneck: {stream.bottleneck}; streamed speedup "
+        f"{stream.speedup():.2f}x vs {predict(fir.rat, BufferingMode.DOUBLE).speedup:.2f}x "
+        "block-double-buffered"
+    )
+
+    # --- Multi-FPGA scaling of the 2-D PDF kernel ----------------------------
+    pdf2d = get_case_study("pdf2d")
+    print("\n2-D PDF across N FPGAs (shared host link):")
+    print(f"{'N':>3} {'speedup':>8} {'efficiency':>11}")
+    for n in (1, 2, 4, 8, 16):
+        analysis = MultiFPGAAnalysis(pdf2d.rat, n_fpgas=n)
+        print(
+            f"{n:>3} {analysis.speedup():>8.1f} "
+            f"{analysis.scaling_efficiency():>11.2f}"
+        )
+    useful = MultiFPGAAnalysis(pdf2d.rat, 1).max_useful_devices(0.8)
+    print(f"Largest device count at >=80% efficiency: {useful}")
+
+    # --- Composite application ------------------------------------------------
+    pdf1d = get_case_study("pdf1d")
+    composite = CompositeAnalysis(
+        stages=(pdf1d.rat, pdf2d.rat), mode=BufferingMode.SINGLE
+    )
+    bottleneck = composite.bottleneck()
+    print(
+        f"\nComposite (1-D then 2-D PDF): {composite.speedup():.1f}x overall; "
+        f"bottleneck stage '{bottleneck.name}' holds "
+        f"{bottleneck.fraction_of_total_rc:.0%} of RC time"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""The paper's Section-5.2 story: RAT on a data-dependent kernel.
+
+Molecular dynamics defeats direct prediction — the operation count
+depends on particle locality — so the paper inverts the analysis: pick
+the desired speedup (~10x), solve for the required ``throughput_proc``,
+and treat the answer (~50 ops/cycle) as a parallelism requirement for
+the design team.
+
+This example:
+
+1. runs a small Lennard-Jones simulation (the software baseline) and
+   checks energy behaviour;
+2. estimates ops/element from measured neighbour counts, recovering the
+   magnitude of the paper's 164 000;
+3. performs the goal-seek at each candidate clock;
+4. predicts performance (Table 9) and simulates the "built" design;
+5. shows the resource price (Table 10): DSP elements nearly exhausted.
+
+Run: ``python examples/molecular_dynamics.py``
+"""
+
+import numpy as np
+
+from repro.apps import get_case_study
+from repro.apps.md import (
+    estimate_ops_per_molecule,
+    make_lattice_state,
+    mean_neighbors_within_cutoff,
+    run_md,
+)
+from repro.apps.md.software import total_energy
+from repro.core.goalseek import required_throughput_proc
+from repro.units import MHZ
+
+
+def main() -> None:
+    study = get_case_study("md")
+
+    # --- 1. Software baseline ------------------------------------------------
+    state = make_lattice_state(n_per_side=6, density=0.8, temperature=0.5)
+    cutoff = 2.5
+    e0 = total_energy(state, cutoff)
+    run_md(state, n_steps=25, dt=0.002, cutoff=cutoff)
+    e1 = total_energy(state, cutoff)
+    drift = abs(e1 - e0) / abs(e0)
+    print(
+        f"LJ simulation: {state.n_molecules} molecules, 25 steps, "
+        f"energy drift {drift:.2%}"
+    )
+
+    # --- 2. Estimate ops/element from locality -------------------------------
+    mean_neighbors = mean_neighbors_within_cutoff(state, cutoff)
+    # The paper's 16 384-molecule system at production density saw ~3 280
+    # candidate pairs per molecule after cell-list pruning; scale ours.
+    ops = estimate_ops_per_molecule(mean_neighbors * 16384 / state.n_molecules / 23)
+    print(
+        f"Mean neighbours {mean_neighbors:.0f}; scaled ops/element estimate "
+        f"~{ops:,.0f} (paper used 164,000)"
+    )
+
+    # --- 3. Goal-seek: parallelism needed for 10x ---------------------------
+    print("\nthroughput_proc required for a 10x speedup:")
+    for clock in study.clocks_mhz:
+        rat = study.rat.with_clock_hz(clock * MHZ)
+        needed = required_throughput_proc(rat, 10.0)
+        print(f"  at {clock:>5g} MHz: {needed:5.1f} ops/cycle")
+    print("  (the paper rounds the 100 MHz answer to 50)")
+
+    # --- 4. Predict and simulate ----------------------------------------------
+    print()
+    print(study.performance_table_with_actual().render())
+
+    # --- 5. Resources -----------------------------------------------------------
+    print()
+    report = study.resource_report()
+    print(report.render())
+    print(
+        f"Limiting resource: {report.limiting_resource.value} — the paper's "
+        "parallelism 'was ultimately limited by the availability of "
+        "multiplier resources'."
+    )
+
+
+if __name__ == "__main__":
+    main()

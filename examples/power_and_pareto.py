@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Extensions beyond the paper's evaluation: power and design selection.
+
+The paper's introduction names "speed, area, and power requirements" as
+the acceptance criteria but evaluates only the first two.  This example
+adds the third leg and the selection step that follows:
+
+1. estimate FPGA power and *energy savings* for each paper case study —
+   the embedded community's metric, where even a 1x speedup pays if the
+   FPGA draws a tenth of the host's power;
+2. given several passing 2-D PDF designs, extract the Pareto frontier
+   over (predicted speedup, scarcest-resource utilization) — the choice
+   Figure 1 leaves to the designer once more than one candidate PROCEEDs.
+
+Run: ``python examples/power_and_pareto.py``
+"""
+
+import dataclasses
+
+from repro.analysis.pareto import evaluate_candidates, pareto_frontier
+from repro.analysis.tables import render_text_table
+from repro.apps import get_case_study
+from repro.core.methodology import DesignCandidate
+from repro.core.power import estimate_power
+from repro.core.resources.estimator import estimate_kernel
+from repro.core.throughput import predict
+
+
+def main() -> None:
+    # --- 1. Power and energy for the paper's three case studies ----------
+    rows = []
+    for name in ("pdf1d", "pdf2d", "md"):
+        study = get_case_study(name)
+        demand = estimate_kernel(study.kernel_design, study.platform.device)
+        prediction = predict(study.rat)
+        power = estimate_power(
+            demand,
+            clock_hz=study.rat.computation.clock_hz,
+            t_rc=prediction.t_rc,
+            t_soft=study.rat.software.t_soft,
+        )
+        rows.append([
+            study.name,
+            f"{power.fpga_power_w:.1f} W",
+            f"{power.speedup:.1f}x",
+            f"{power.energy_savings:.0f}x",
+        ])
+    print(render_text_table(
+        ["case study", "FPGA power", "speedup", "energy savings"],
+        rows,
+        title="Power extension: energy savings vs a ~95 W host CPU",
+    ))
+
+    # --- 2. Pareto frontier over candidate 2-D PDF designs -----------------
+    study = get_case_study("pdf2d")
+    base = study.kernel_design
+    per_pipeline = study.rat.computation.throughput_proc / base.replicas
+    candidates = [
+        DesignCandidate(
+            rat=study.rat.with_throughput_proc(per_pipeline * replicas),
+            kernel_design=dataclasses.replace(base, replicas=replicas),
+            label=f"{replicas} pipelines",
+        )
+        for replicas in (8, 16, 32, 64, 128)
+    ]
+    points = evaluate_candidates(candidates, study.platform.device)
+    frontier = pareto_frontier(points)
+
+    print()
+    print(render_text_table(
+        ["candidate", "speedup", "peak utilization", "fits", "on frontier"],
+        [
+            [
+                p.candidate.label,
+                f"{p.speedup:.1f}x",
+                f"{p.cost:.0%}",
+                str(p.fits),
+                "yes" if p in frontier else "",
+            ]
+            for p in points
+        ],
+        title="2-D PDF design candidates (Pareto frontier over speedup vs cost)",
+    ))
+    best = frontier[-1]
+    print(
+        f"\nHighest-speedup feasible design: {best.candidate.label} "
+        f"({best.speedup:.1f}x at {best.cost:.0%} peak utilization)"
+    )
+
+
+if __name__ == "__main__":
+    main()

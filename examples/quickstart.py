@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: run a RAT analysis on your own kernel in ~30 lines.
+
+Scenario: you have a software image-correlation kernel that takes 2.4 s
+on your workstation, and you are considering a PCIe FPGA card.  Before
+writing a line of HDL, fill in the worksheet and ask RAT three questions:
+
+1. What speedup does the design concept predict?
+2. How much parallelism (ops/cycle) would a 20x target actually require?
+3. What is the ceiling if communication never improves?
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    BufferingMode,
+    RATInput,
+    RATWorksheet,
+    max_achievable_speedup,
+    predict,
+    required_throughput_proc,
+)
+from repro.core.params import (
+    CommunicationParams,
+    ComputationParams,
+    DatasetParams,
+    SoftwareParams,
+)
+
+
+def main() -> None:
+    rat = RATInput(
+        name="image correlation",
+        dataset=DatasetParams(
+            elements_in=65_536,  # one 256x256 tile per transfer
+            elements_out=65_536,
+            bytes_per_element=4,
+        ),
+        communication=CommunicationParams.from_worksheet(
+            ideal_mbps=1000.0,  # PCIe x4 Gen1 documented maximum
+            alpha_write=0.70,  # from your own microbenchmarks
+            alpha_read=0.60,
+        ),
+        computation=ComputationParams.from_worksheet(
+            ops_per_element=512,  # counted from the algorithm's inner loop
+            throughput_proc=64,  # the parallelism you believe you can build
+            clock_mhz=150,
+        ),
+        software=SoftwareParams(t_soft=2.4, n_iterations=64),
+    )
+
+    # Question 1: the worksheet, swept over plausible clocks.
+    worksheet = RATWorksheet(rat, clocks_mhz=(100, 150, 200))
+    print(worksheet.input_table())
+    print()
+    print(worksheet.performance_table(BufferingMode.SINGLE).render())
+    print()
+
+    # Double buffering hides the smaller of the two terms.
+    prediction = predict(rat, BufferingMode.DOUBLE)
+    print(
+        f"Double-buffered at 150 MHz: {prediction.speedup:.1f}x "
+        f"({prediction.bound}-bound)"
+    )
+
+    # Question 2: what would a 20x target demand?
+    needed = required_throughput_proc(rat, 20.0, BufferingMode.DOUBLE)
+    print(f"ops/cycle required for 20x (double-buffered): {needed:.0f}")
+
+    # Question 3: the communication-bound ceiling.
+    ceiling = max_achievable_speedup(rat, BufferingMode.DOUBLE)
+    print(f"Speedup ceiling with infinite compute parallelism: {ceiling:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Run the complete paper reproduction: every table and figure.
+
+Walks the experiment registry (Tables 1-10, Figures 1-3, and the two
+prose-level experiments) and prints each reproduction next to the paper's
+reported values, with relative errors.  This is the script behind
+``EXPERIMENTS.md``.
+
+Run: ``python examples/reproduce_paper.py``
+"""
+
+from repro.analysis.experiments import run_all_experiments
+
+
+def main() -> None:
+    deviations = 0
+    for result in run_all_experiments():
+        print(result.render())
+        print()
+        print("-" * 72)
+        if not result.all_within:
+            deviations += 1
+    if deviations:
+        print(f"{deviations} experiment(s) had cells outside tolerance")
+    else:
+        print("All experiments within tolerance of the paper's reported values.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` needs to build a PEP-660 wheel; when `wheel` is absent,
+`python setup.py develop` provides the same editable install.
+"""
+from setuptools import setup
+
+setup()

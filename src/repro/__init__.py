@@ -1,0 +1,88 @@
+"""repro — reproduction of the RAT methodology (Holland et al., HPRCTA'07).
+
+RAT (RC Amenability Test) predicts the performance of migrating an
+application kernel to an FPGA platform *before any hardware code exists*,
+from a one-page worksheet of parameters: problem size, interconnect
+bandwidth and its sustained fraction, operation counts, and an assumed
+fabric clock.
+
+Quick start::
+
+    from repro import RATInput, RATWorksheet, predict
+    from repro.core.params import (
+        CommunicationParams, ComputationParams, DatasetParams, SoftwareParams,
+    )
+
+    rat = RATInput(
+        name="1-D PDF estimation",
+        dataset=DatasetParams(elements_in=512, elements_out=1,
+                              bytes_per_element=4),
+        communication=CommunicationParams.from_worksheet(
+            ideal_mbps=1000, alpha_write=0.37, alpha_read=0.16),
+        computation=ComputationParams.from_worksheet(
+            ops_per_element=768, throughput_proc=20, clock_mhz=150),
+        software=SoftwareParams(t_soft=0.578, n_iterations=400),
+    )
+    print(RATWorksheet(rat, clocks_mhz=(75, 100, 150)).performance_table().render())
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured reproduction record.
+"""
+
+from .core.buffering import BufferingMode, OverlapTimeline
+from .core.goalseek import (
+    max_achievable_speedup,
+    required_alpha,
+    required_clock,
+    required_throughput_proc,
+)
+from .core.methodology import (
+    DesignCandidate,
+    MethodologyResult,
+    Requirements,
+    Verdict,
+    evaluate_design,
+    iterate_designs,
+)
+from .core.params import (
+    CommunicationParams,
+    ComputationParams,
+    DatasetParams,
+    RATInput,
+    SoftwareParams,
+)
+from .core.throughput import ThroughputPrediction, predict
+from .core.worksheet import PerformanceTable, RATWorksheet
+from .errors import RATError
+from .platforms import RCPlatform, get_platform, list_platforms
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferingMode",
+    "CommunicationParams",
+    "ComputationParams",
+    "DatasetParams",
+    "DesignCandidate",
+    "MethodologyResult",
+    "OverlapTimeline",
+    "PerformanceTable",
+    "RATError",
+    "RATInput",
+    "RATWorksheet",
+    "RCPlatform",
+    "Requirements",
+    "SoftwareParams",
+    "ThroughputPrediction",
+    "Verdict",
+    "__version__",
+    "evaluate_design",
+    "get_platform",
+    "iterate_designs",
+    "list_platforms",
+    "max_achievable_speedup",
+    "predict",
+    "required_alpha",
+    "required_clock",
+    "required_throughput_proc",
+]

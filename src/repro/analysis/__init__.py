@@ -1,0 +1,73 @@
+"""Analysis and reporting utilities.
+
+* :mod:`tables` — plain-text and Markdown table rendering;
+* :mod:`compare` — predicted-vs-reported comparison with relative errors
+  and shape checks (who wins, by what factor);
+* :mod:`sweep` — parameter sweeps and crossover location (e.g. the block
+  size at which a design flips from communication- to computation-bound);
+* :mod:`experiments` — the experiment registry mapping every paper table
+  and figure to a runnable reproduction.
+"""
+
+from .calibration import (
+    CalibrationResult,
+    fit_effective_throughput,
+    fit_interconnect,
+    fit_stall_fraction,
+    fit_transfer_overhead,
+)
+from .compare import ComparisonCell, ComparisonReport, compare_prediction
+from .pareto import ParetoPoint, evaluate_candidates, pareto_frontier
+from .experiments import (
+    Experiment,
+    get_experiment,
+    list_experiments,
+    run_all_experiments,
+    run_experiment,
+)
+from .reportgen import generate_markdown_report
+from .scenarios import Axis, Scenario, ScenarioGrid
+from .sweep import SweepResult, crossover_block_size, sweep
+from .uncertainty import (
+    IntervalPrediction,
+    MonteCarloPrediction,
+    Range,
+    UncertainInput,
+    predict_interval,
+    predict_monte_carlo,
+)
+from .tables import render_markdown_table, render_text_table
+
+__all__ = [
+    "ComparisonCell",
+    "ComparisonReport",
+    "Experiment",
+    "IntervalPrediction",
+    "MonteCarloPrediction",
+    "Axis",
+    "CalibrationResult",
+    "ParetoPoint",
+    "Range",
+    "Scenario",
+    "ScenarioGrid",
+    "SweepResult",
+    "UncertainInput",
+    "compare_prediction",
+    "crossover_block_size",
+    "evaluate_candidates",
+    "fit_effective_throughput",
+    "fit_interconnect",
+    "fit_stall_fraction",
+    "fit_transfer_overhead",
+    "pareto_frontier",
+    "generate_markdown_report",
+    "get_experiment",
+    "list_experiments",
+    "render_markdown_table",
+    "render_text_table",
+    "run_all_experiments",
+    "predict_interval",
+    "predict_monte_carlo",
+    "run_experiment",
+    "sweep",
+]

@@ -1,0 +1,221 @@
+"""Calibration: fit model constants from measured values (extension).
+
+DESIGN.md documents hand-derived simulator constants (kernel stall
+fractions, bus per-call overheads, interconnect setup latencies), each
+anchored to one measurement from the paper.  This module automates those
+derivations so a user with *their own* hardware measurements can
+calibrate the substrate the same way:
+
+* :func:`fit_stall_fraction` — from a measured block-compute time and
+  the architecture's ideal rate (how the 1-D PDF's 25.6% was obtained);
+* :func:`fit_transfer_overhead` — from a measured per-iteration
+  communication time and the wire-level model (the 6.6 µs Nallatech
+  per-call cost);
+* :func:`fit_interconnect` — the closed-form latency-bandwidth fit from
+  one (size, alpha) microbenchmark anchor (how the catalog's PCI-X and
+  HT specs were built);
+* :func:`fit_effective_throughput` — back out the effective ops/cycle a
+  measurement implies, the number to compare against the worksheet's
+  ``throughput_proc`` (the paper's 20-vs-18.9 and 50-vs-30.6 gaps).
+
+Every fit returns plain floats ready to drop into the corresponding
+model constructor, plus the residual check methods on
+:class:`CalibrationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..hwsim.clock import ClockDomain
+from ..hwsim.kernel import PipelinedKernel
+from ..platforms.interconnect import InterconnectSpec
+
+__all__ = [
+    "CalibrationResult",
+    "fit_stall_fraction",
+    "fit_transfer_overhead",
+    "fit_interconnect",
+    "fit_effective_throughput",
+]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A fitted constant plus its verification residual."""
+
+    name: str
+    value: float
+    measured: float
+    reproduced: float
+
+    @property
+    def residual(self) -> float:
+        """Relative error of the fitted model against the measurement."""
+        if self.measured == 0:
+            raise ParameterError("measured value must be non-zero")
+        return abs(self.reproduced - self.measured) / abs(self.measured)
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.name} = {self.value:.6g} "
+            f"(measured {self.measured:.4g}, model {self.reproduced:.4g}, "
+            f"residual {self.residual:.2%})"
+        )
+
+
+def fit_stall_fraction(
+    *,
+    measured_block_time: float,
+    elements: int,
+    ops_per_element: float,
+    ideal_ops_per_cycle: float,
+    clock_hz: float,
+    fill_latency_cycles: int = 0,
+) -> CalibrationResult:
+    """Solve the kernel model's stall fraction from one measured block.
+
+    Inverts ``cycles = fill + steady * (1 + stall)`` where
+    ``steady = elements * ops / ideal``.  Raises when the measurement is
+    faster than the zero-stall model allows (the ideal rate is then
+    wrong, not the stalls).
+    """
+    if measured_block_time <= 0:
+        raise ParameterError("measured_block_time must be positive")
+    if elements < 1:
+        raise ParameterError("elements must be >= 1")
+    clock = ClockDomain(frequency_hz=clock_hz)
+    measured_cycles = measured_block_time * clock_hz
+    steady = elements * ops_per_element / ideal_ops_per_cycle
+    stall = (measured_cycles - fill_latency_cycles) / steady - 1.0
+    if stall < 0:
+        raise ParameterError(
+            f"measurement ({measured_cycles:.0f} cycles) is faster than the "
+            f"zero-stall model ({fill_latency_cycles + steady:.0f} cycles); "
+            "the ideal ops/cycle estimate is too low"
+        )
+    kernel = PipelinedKernel(
+        name="fitted",
+        ops_per_element=ops_per_element,
+        replicas=1,
+        ops_per_cycle_per_replica=ideal_ops_per_cycle,
+        fill_latency_cycles=fill_latency_cycles,
+        stall_fraction=stall,
+    )
+    return CalibrationResult(
+        name="stall_fraction",
+        value=stall,
+        measured=measured_block_time,
+        reproduced=kernel.block_time(elements, clock),
+    )
+
+
+def fit_transfer_overhead(
+    *,
+    measured_comm_time: float,
+    spec: InterconnectSpec,
+    transfers: list[tuple[float, bool]],
+    jitter_mean: float = 1.0,
+) -> CalibrationResult:
+    """Solve the per-call overhead from one measured communication time.
+
+    ``transfers`` lists one iteration's ``(nbytes, is_host_read)`` pairs.
+    The bus model charges ``jitter * (wire + overhead)`` per small
+    transfer, so in expectation
+    ``measured = jitter_mean * (sum(wire) + n * overhead)`` — solved for
+    ``overhead``.  Pass ``jitter_mean=1.0`` (the default) when the
+    transfers are above the profile's jitter threshold.
+    """
+    if measured_comm_time <= 0:
+        raise ParameterError("measured_comm_time must be positive")
+    if not transfers:
+        raise ParameterError("at least one transfer is required")
+    if jitter_mean < 1.0:
+        raise ParameterError("jitter_mean must be >= 1")
+    wire = sum(
+        spec.transfer_time(nbytes, read=read) for nbytes, read in transfers
+    )
+    remainder = measured_comm_time / jitter_mean - wire
+    if remainder < 0:
+        raise ParameterError(
+            f"measurement ({measured_comm_time:.3e} s) is faster than the "
+            f"wire model ({wire * jitter_mean:.3e} s); the spec's "
+            "efficiency is too low"
+        )
+    overhead = remainder / len(transfers)
+    reproduced = jitter_mean * (wire + len(transfers) * overhead)
+    return CalibrationResult(
+        name="per_transfer_overhead_s",
+        value=overhead,
+        measured=measured_comm_time,
+        reproduced=reproduced,
+    )
+
+
+def fit_interconnect(
+    *,
+    name: str,
+    ideal_bandwidth: float,
+    efficiency: float,
+    anchor_bytes: float,
+    anchor_alpha: float,
+    read_anchor_alpha: float | None = None,
+    duplex: bool = False,
+) -> InterconnectSpec:
+    """Closed-form latency-bandwidth fit from one microbenchmark anchor.
+
+    ``alpha(S) = S / (setup * B + S / eff)`` determines ``setup`` from one
+    ``(S, alpha)`` pair once the asymptotic ``efficiency`` is chosen; an
+    optional read anchor at the same size determines the read derating.
+    This is exactly how the catalog's Nallatech and XD1000 specs were
+    produced (see :mod:`repro.platforms.catalog`).
+    """
+    if not 0 < anchor_alpha < efficiency:
+        raise ParameterError(
+            f"anchor_alpha must be in (0, efficiency={efficiency}), "
+            f"got {anchor_alpha}"
+        )
+    setup = (
+        anchor_bytes / anchor_alpha - anchor_bytes / efficiency
+    ) / ideal_bandwidth
+    read_scale = 1.0
+    if read_anchor_alpha is not None:
+        if not 0 < read_anchor_alpha <= anchor_alpha:
+            raise ParameterError(
+                "read_anchor_alpha must be in (0, anchor_alpha]"
+            )
+        read_eff = anchor_bytes / (
+            anchor_bytes / read_anchor_alpha - setup * ideal_bandwidth
+        )
+        read_scale = read_eff / efficiency
+    return InterconnectSpec(
+        name=name,
+        ideal_bandwidth=ideal_bandwidth,
+        setup_latency_s=setup,
+        protocol_efficiency=efficiency,
+        read_efficiency_scale=read_scale,
+        duplex=duplex,
+    )
+
+
+def fit_effective_throughput(
+    *,
+    measured_block_time: float,
+    elements: int,
+    ops_per_element: float,
+    clock_hz: float,
+) -> float:
+    """The effective ops/cycle a measured block time implies.
+
+    Inverts Equation (4); comparing against the worksheet's
+    ``throughput_proc`` quantifies the derating a designer should have
+    applied (20 vs 18.9 for the 1-D PDF; 50 vs ~30.6 for MD).
+    """
+    if measured_block_time <= 0 or clock_hz <= 0:
+        raise ParameterError("times and clock must be positive")
+    if elements < 1 or ops_per_element <= 0:
+        raise ParameterError("elements and ops_per_element must be positive")
+    total_ops = elements * ops_per_element
+    return total_ops / (measured_block_time * clock_hz)

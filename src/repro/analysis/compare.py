@@ -1,0 +1,142 @@
+"""Predicted-vs-reported comparison.
+
+The reproduction's success criterion (per the task's benchmarking rule)
+is *shape*, not absolute equality: our predictions should match the
+paper's predicted columns almost exactly (same closed-form equations,
+same inputs), while our simulated "actual" values should land in the same
+regime as the paper's measurements — same winner, same rough factors,
+same bound (communication vs computation).
+
+:func:`compare_prediction` builds a cell-by-cell report with relative
+errors and a pass/fail against a tolerance; :class:`ComparisonReport`
+renders it for ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ParameterError
+from ..units import format_engineering
+from .tables import render_markdown_table, render_text_table
+
+__all__ = ["ComparisonCell", "ComparisonReport", "compare_prediction"]
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """One compared quantity."""
+
+    key: str
+    reported: float
+    reproduced: float
+    tolerance: float
+    reconstructed: bool = False
+
+    @property
+    def rel_error(self) -> float:
+        """``|reproduced - reported| / |reported|`` (inf for zero reported)."""
+        if self.reported == 0:
+            return math.inf if self.reproduced != 0 else 0.0
+        return abs(self.reproduced - self.reported) / abs(self.reported)
+
+    @property
+    def within_tolerance(self) -> bool:
+        """True when the relative error is inside the allowed band."""
+        return self.rel_error <= self.tolerance
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All compared cells for one table/figure."""
+
+    label: str
+    cells: tuple[ComparisonCell, ...]
+
+    @property
+    def n_within(self) -> int:
+        """Number of cells inside tolerance."""
+        return sum(1 for c in self.cells if c.within_tolerance)
+
+    @property
+    def all_within(self) -> bool:
+        """True when every cell is inside its tolerance."""
+        return all(c.within_tolerance for c in self.cells)
+
+    @property
+    def worst_cell(self) -> ComparisonCell:
+        """The cell with the largest relative error."""
+        if not self.cells:
+            raise ParameterError("report has no cells")
+        return max(self.cells, key=lambda c: c.rel_error)
+
+    def _rows(self) -> list[list[str]]:
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                [
+                    cell.key + (" (reconstructed)" if cell.reconstructed else ""),
+                    format_engineering(cell.reported),
+                    format_engineering(cell.reproduced),
+                    f"{cell.rel_error:.1%}",
+                    "ok" if cell.within_tolerance else "DEVIATES",
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering for CLI output."""
+        return render_text_table(
+            ["quantity", "paper", "reproduced", "rel err", "status"],
+            self._rows(),
+            title=self.label,
+        )
+
+    def render_markdown(self) -> str:
+        """Markdown rendering for EXPERIMENTS.md."""
+        return render_markdown_table(
+            ["quantity", "paper", "reproduced", "rel err", "status"],
+            self._rows(),
+        )
+
+
+def compare_prediction(
+    label: str,
+    reported: Mapping[str, float],
+    reproduced: Mapping[str, float],
+    *,
+    tolerance: float = 0.02,
+    tolerances: Mapping[str, float] | None = None,
+    reconstructed: Sequence[str] = (),
+    keys: Sequence[str] | None = None,
+) -> ComparisonReport:
+    """Compare a reproduced value dict against the paper's.
+
+    ``keys`` defaults to the intersection of both dicts (reported order).
+    ``tolerances`` overrides the default per key — reconstructed values
+    and simulator-vs-hardware comparisons warrant looser bands than
+    closed-form predictions.
+    """
+    if tolerance <= 0:
+        raise ParameterError(f"tolerance must be positive, got {tolerance}")
+    if keys is None:
+        keys = [k for k in reported if k in reproduced]
+    if not keys:
+        raise ParameterError(f"{label}: no overlapping keys to compare")
+    cells = []
+    for key in keys:
+        if key not in reported or key not in reproduced:
+            raise ParameterError(f"{label}: key {key!r} missing from one side")
+        tol = tolerances.get(key, tolerance) if tolerances else tolerance
+        cells.append(
+            ComparisonCell(
+                key=key,
+                reported=float(reported[key]),
+                reproduced=float(reproduced[key]),
+                tolerance=tol,
+                reconstructed=key in reconstructed,
+            )
+        )
+    return ComparisonReport(label=label, cells=tuple(cells))

@@ -1,0 +1,95 @@
+"""Pareto-frontier analysis over candidate designs (extension).
+
+Figure 1's loop iterates candidates until one *satisfies* the
+requirements; a designer with several passing candidates still has to
+choose among them.  This module ranks candidates on the two axes RAT
+quantifies — predicted speedup (maximise) and the scarcest-resource
+utilization (minimise) — and extracts the Pareto-efficient subset: the
+designs for which no alternative is simultaneously faster *and* cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.buffering import BufferingMode
+from ..core.methodology import DesignCandidate
+from ..core.resources.report import utilization_report
+from ..core.throughput import predict
+from ..errors import ParameterError
+from ..platforms.device import FPGADevice
+
+__all__ = ["ParetoPoint", "evaluate_candidates", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate's position in the speedup/cost plane."""
+
+    candidate: DesignCandidate
+    speedup: float
+    cost: float  # peak resource utilization in [0, inf)
+    fits: bool
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True when this point is at least as good on both axes and
+        strictly better on one."""
+        at_least_as_good = self.speedup >= other.speedup and self.cost <= other.cost
+        strictly_better = self.speedup > other.speedup or self.cost < other.cost
+        return at_least_as_good and strictly_better
+
+
+def evaluate_candidates(
+    candidates: Iterable[DesignCandidate],
+    device: FPGADevice,
+    mode: BufferingMode = BufferingMode.SINGLE,
+) -> list[ParetoPoint]:
+    """Score every candidate on the speedup/cost axes.
+
+    Candidates without a kernel design cannot be costed and are rejected
+    — a Pareto comparison with an unknown cost axis is meaningless.
+    """
+    points: list[ParetoPoint] = []
+    for candidate in candidates:
+        if candidate.kernel_design is None:
+            raise ParameterError(
+                f"candidate {candidate.name!r} has no kernel design; "
+                "cost axis undefined"
+            )
+        report = utilization_report(candidate.kernel_design, device)
+        points.append(
+            ParetoPoint(
+                candidate=candidate,
+                speedup=predict(candidate.rat, mode).speedup,
+                cost=report.utilization(report.limiting_resource),
+                fits=report.fits,
+            )
+        )
+    if not points:
+        raise ParameterError("at least one candidate is required")
+    return points
+
+
+def pareto_frontier(
+    points: Sequence[ParetoPoint],
+    *,
+    require_fit: bool = True,
+) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by ascending cost.
+
+    ``require_fit`` drops over-capacity candidates first (an infeasible
+    design cannot be on a meaningful frontier); if *no* candidate fits,
+    the frontier over all candidates is returned so the caller can see
+    the least-bad options.
+    """
+    if not points:
+        raise ParameterError("at least one point is required")
+    pool = [p for p in points if p.fits] if require_fit else list(points)
+    if not pool:
+        pool = list(points)
+    frontier = [
+        p for p in pool
+        if not any(other.dominates(p) for other in pool)
+    ]
+    return sorted(frontier, key=lambda p: (p.cost, -p.speedup))

@@ -1,0 +1,65 @@
+"""Markdown reproduction-report generation.
+
+Renders the whole experiment registry into a single Markdown document —
+the machine-generated core of ``EXPERIMENTS.md`` — so the reproduction
+record can be regenerated from code at any time (``rat report`` on the
+CLI).  The hand-written ``EXPERIMENTS.md`` adds narrative context; this
+generator guarantees the numbers stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .experiments import ExperimentResult, run_all_experiments
+
+__all__ = ["generate_markdown_report"]
+
+
+def _result_section(result: ExperimentResult) -> str:
+    lines = [f"## {result.experiment_id} — {result.title}", ""]
+    status = "within tolerance" if result.all_within else "**DEVIATES**"
+    lines.append(f"Status: {status}.")
+    lines.append("")
+    if result.text:
+        lines.append("```")
+        lines.append(result.text)
+        lines.append("```")
+        lines.append("")
+    for report in result.comparisons:
+        lines.append(f"**{report.label}**")
+        lines.append("")
+        lines.append(report.render_markdown())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def generate_markdown_report(
+    results: Sequence[ExperimentResult] | None = None,
+    *,
+    title: str = "RAT reproduction report",
+) -> str:
+    """Run (or take) all experiments and render one Markdown document.
+
+    Passing precomputed ``results`` avoids re-running the simulators when
+    the caller already has them (e.g. the CLI after a ``--all`` run).
+    """
+    if results is None:
+        results = run_all_experiments()
+    n_ok = sum(1 for r in results if r.all_within)
+    header = [
+        f"# {title}",
+        "",
+        f"{n_ok} of {len(results)} experiments within tolerance.",
+        "",
+        "| experiment | title | status |",
+        "|---|---|---|",
+    ]
+    for result in results:
+        status = "ok" if result.all_within else "DEVIATES"
+        header.append(
+            f"| {result.experiment_id} | {result.title} | {status} |"
+        )
+    header.append("")
+    sections = [_result_section(result) for result in results]
+    return "\n".join(header) + "\n" + "\n".join(sections)

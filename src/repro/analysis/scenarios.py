@@ -1,0 +1,195 @@
+"""Multi-parameter scenario grids (extension).
+
+:mod:`repro.analysis.sweep` varies one parameter; real design iteration
+varies several at once — block size × clock × buffering, say.  A
+:class:`ScenarioGrid` takes named axes of worksheet edits, evaluates the
+full cartesian product, and answers the questions a designer actually
+asks of the grid: the best configuration, the configurations meeting a
+requirement, and a rendered table of any two axes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.buffering import BufferingMode
+from ..core.params import RATInput
+from ..core.throughput import ThroughputPrediction, predict
+from ..errors import ParameterError
+from .tables import render_text_table
+
+__all__ = ["Axis", "Scenario", "ScenarioGrid"]
+
+# An edit maps (base input, axis value) -> edited input.
+Edit = Callable[[RATInput, float], RATInput]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept dimension: a name, values, and how to apply them."""
+
+    name: str
+    values: tuple[float, ...]
+    edit: Edit
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ParameterError(f"axis {self.name!r} needs at least one value")
+
+    @classmethod
+    def clock_mhz(cls, values: Sequence[float]) -> "Axis":
+        """Sweep the assumed fabric clock (MHz)."""
+        return cls(
+            name="clock_mhz",
+            values=tuple(float(v) for v in values),
+            edit=lambda rat, v: rat.with_clock_hz(v * 1e6),
+        )
+
+    @classmethod
+    def throughput_proc(cls, values: Sequence[float]) -> "Axis":
+        """Sweep the ops/cycle estimate."""
+        return cls(
+            name="throughput_proc",
+            values=tuple(float(v) for v in values),
+            edit=lambda rat, v: rat.with_throughput_proc(v),
+        )
+
+    @classmethod
+    def alpha(cls, values: Sequence[float]) -> "Axis":
+        """Sweep a uniform sustained-bandwidth fraction."""
+        return cls(
+            name="alpha",
+            values=tuple(float(v) for v in values),
+            edit=lambda rat, v: rat.with_alphas(v, v),
+        )
+
+    @classmethod
+    def block_elements(cls, values: Sequence[float], total_elements: int) -> "Axis":
+        """Sweep the block size, holding total work constant."""
+        if total_elements < 1:
+            raise ParameterError("total_elements must be >= 1")
+
+        def edit(rat: RATInput, v: float) -> RATInput:
+            elements = int(v)
+            iterations = max(1, total_elements // elements)
+            return rat.with_block_size(elements, iterations)
+
+        return cls(
+            name="block_elements",
+            values=tuple(float(v) for v in values),
+            edit=edit,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid point: the axis coordinates and the prediction there."""
+
+    coordinates: Mapping[str, float]
+    prediction: ThroughputPrediction
+
+    @property
+    def speedup(self) -> float:
+        """Predicted speedup at this point."""
+        return self.prediction.speedup
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """The evaluated cartesian product of all axes."""
+
+    base: RATInput
+    axes: tuple[Axis, ...]
+    mode: BufferingMode
+    scenarios: tuple[Scenario, ...]
+
+    @classmethod
+    def evaluate(
+        cls,
+        base: RATInput,
+        axes: Sequence[Axis],
+        mode: BufferingMode = BufferingMode.SINGLE,
+        max_points: int = 100_000,
+    ) -> "ScenarioGrid":
+        """Build and evaluate the grid.
+
+        ``max_points`` guards against accidentally exponential grids.
+        """
+        if not axes:
+            raise ParameterError("at least one axis is required")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate axis names: {names}")
+        n_points = 1
+        for axis in axes:
+            n_points *= len(axis.values)
+        if n_points > max_points:
+            raise ParameterError(
+                f"grid has {n_points} points, above the {max_points} guard"
+            )
+        scenarios = []
+        for combo in itertools.product(*(axis.values for axis in axes)):
+            rat = base
+            for axis, value in zip(axes, combo):
+                rat = axis.edit(rat, value)
+            scenarios.append(
+                Scenario(
+                    coordinates=dict(zip(names, combo)),
+                    prediction=predict(rat, mode),
+                )
+            )
+        return cls(
+            base=base, axes=tuple(axes), mode=mode, scenarios=tuple(scenarios)
+        )
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def best(self) -> Scenario:
+        """The grid point with the highest speedup."""
+        return max(self.scenarios, key=lambda s: s.speedup)
+
+    def meeting(self, min_speedup: float) -> list[Scenario]:
+        """All points meeting a requirement, best first."""
+        if min_speedup <= 0:
+            raise ParameterError("min_speedup must be positive")
+        qualifying = [s for s in self.scenarios if s.speedup >= min_speedup]
+        return sorted(qualifying, key=lambda s: -s.speedup)
+
+    def table(self, row_axis: str, col_axis: str) -> str:
+        """Render speedups of two axes as a table (others at best value).
+
+        For grids with more than two axes, each (row, col) cell shows
+        the *best* speedup over the remaining axes — the designer's "what
+        could this corner achieve" view.
+        """
+        names = [axis.name for axis in self.axes]
+        for name in (row_axis, col_axis):
+            if name not in names:
+                raise ParameterError(f"unknown axis {name!r}; have {names}")
+        if row_axis == col_axis:
+            raise ParameterError("row and column axes must differ")
+        rows_values = next(a.values for a in self.axes if a.name == row_axis)
+        cols_values = next(a.values for a in self.axes if a.name == col_axis)
+        cells = []
+        for rv in rows_values:
+            row = [f"{rv:g}"]
+            for cv in cols_values:
+                best = max(
+                    (
+                        s.speedup
+                        for s in self.scenarios
+                        if s.coordinates[row_axis] == rv
+                        and s.coordinates[col_axis] == cv
+                    ),
+                    default=float("nan"),
+                )
+                row.append(f"{best:.1f}")
+            cells.append(row)
+        headers = [f"{row_axis} \\ {col_axis}"] + [
+            f"{cv:g}" for cv in cols_values
+        ]
+        return render_text_table(headers, cells,
+                                 title=f"speedup ({self.mode.value}-buffered)")

@@ -1,0 +1,58 @@
+"""Plain-text and Markdown table rendering.
+
+Small, dependency-free renderers used by the CLI, the experiment
+registry and ``EXPERIMENTS.md`` generation.  Cells are strings; the
+callers own formatting (so times keep the paper's ``5.56E-6`` style from
+:func:`repro.units.format_seconds`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["render_text_table", "render_markdown_table"]
+
+
+def _validate(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> None:
+    if not headers:
+        raise ParameterError("table requires at least one column")
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row {i} has {len(row)} cells; expected {len(headers)}"
+            )
+
+
+def render_text_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table with a dashed header rule."""
+    _validate(headers, rows)
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[col]), max((len(r[col]) for r in str_rows), default=0))
+        for col in range(len(headers))
+    ]
+    lines = [title] if title else []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """GitHub-flavoured Markdown table."""
+    _validate(headers, rows)
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Case-study applications.
+
+Each subpackage bundles everything the paper has for one case study:
+
+* a **software baseline** (``software.py``) — the algorithm the paper
+  timed on a host CPU, implemented here in NumPy with a pure-Python
+  reference for cross-checking;
+* a **hardware design description** (``design.py``) — the architecture
+  the paper's Figure 3 / prose describes (pipeline counts, operator mix,
+  buffers), feeding the RAT worksheet, the resource estimator and the
+  cycle-level simulator;
+* a **study** (``study.py``) — the assembled
+  :class:`~repro.apps.base.CaseStudy` with the paper's worksheet values
+  and reported results for comparison.
+
+Paper case studies: :mod:`pdf1d` (1-D Parzen PDF estimation, Section 4),
+:mod:`pdf2d` (2-D PDF estimation, Section 5.1), :mod:`md` (molecular
+dynamics, Section 5.2).  :mod:`extra` adds matrix-multiply and FIR-filter
+studies beyond the paper to exercise the toolkit.
+"""
+
+from .base import CaseStudy, PaperReference
+from .registry import get_case_study, list_case_studies
+
+__all__ = [
+    "CaseStudy",
+    "PaperReference",
+    "get_case_study",
+    "list_case_studies",
+]

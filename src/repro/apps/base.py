@@ -1,0 +1,155 @@
+"""Case-study assembly: worksheet + design + simulator + paper values.
+
+:class:`CaseStudy` is the object the benchmark harness iterates over.  It
+owns one RAT worksheet input, the platform it targets, the hardware-design
+description (for the resource test and the simulator), the simulator
+configuration that reproduces the paper's "Actual" measurements, and the
+paper's reported numbers (:class:`PaperReference`) for comparison in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..core.buffering import BufferingMode
+from ..core.params import RATInput
+from ..core.resources.estimator import KernelDesign
+from ..core.resources.report import UtilizationReport, utilization_report
+from ..core.worksheet import PerformanceTable, RATWorksheet
+from ..errors import ParameterError
+from ..hwsim.clock import ClockDomain
+from ..hwsim.kernel import PipelinedKernel
+from ..hwsim.system import RCSystemSim, SimulationResult
+from ..interconnect.bus import BusModel
+from ..interconnect.protocols import ProtocolProfile
+from ..platforms.interconnect import InterconnectSpec
+from ..platforms.platform import RCPlatform
+
+__all__ = ["PaperReference", "CaseStudy"]
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """The paper's reported values for one case study.
+
+    ``predicted`` maps clock (MHz) to the paper's predicted column;
+    ``actual`` is the measured column (None where the source table is
+    illegible — see DESIGN.md's garbled-source caveats).
+    ``reconstructed_fields`` lists actual-column keys whose values were
+    back-computed from prose rather than read from the table.
+    """
+
+    table_id: str
+    predicted: Mapping[float, Mapping[str, float]]
+    actual: Mapping[str, float] | None = None
+    actual_clock_mhz: float | None = None
+    reconstructed_fields: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One complete, runnable case study.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"1-D PDF estimation"``.
+    rat:
+        The worksheet input (paper Table 2/5/8 values).
+    platform:
+        Target platform (device used by the resource test).
+    clocks_mhz:
+        The clock sweep (75/100/150 MHz in all paper studies).
+    kernel_design:
+        Architecture description for the resource estimator.
+    hw_kernel:
+        Timing model for the simulator (calibrated per DESIGN.md).
+    sim_interconnect:
+        Interconnect spec the *simulator* uses; defaults to the
+        platform's.  The MD study overrides this: the worksheet used the
+        conservative documented 500 MB/s while the real HyperTransport
+        path sustained roughly twice that, which is how the paper's
+        actual t_comm (1.39E-3 s) undercuts its prediction (2.62E-3 s).
+    sim_profile:
+        Protocol overhead profile for the simulator's bus model.
+    output_policy / output_chunk_bytes / host_turnaround_s:
+        Simulator configuration (see :class:`~repro.hwsim.system.RCSystemSim`).
+    paper:
+        Reported values for comparison.
+    notes:
+        Free-form provenance and calibration notes.
+    """
+
+    name: str
+    rat: RATInput
+    platform: RCPlatform
+    clocks_mhz: tuple[float, ...]
+    kernel_design: KernelDesign
+    hw_kernel: PipelinedKernel
+    sim_profile: ProtocolProfile
+    sim_interconnect: InterconnectSpec | None = None
+    mode: BufferingMode = BufferingMode.SINGLE
+    output_policy: str = "per_iteration"
+    output_chunk_bytes: float | None = None
+    host_turnaround_s: float = 0.0
+    actual_clock_mhz: float | None = None
+    paper: PaperReference | None = None
+    notes: str = ""
+
+    def worksheet(self) -> RATWorksheet:
+        """The RAT worksheet over this study's clock sweep."""
+        return RATWorksheet(self.rat, clocks_mhz=self.clocks_mhz)
+
+    def predicted_table(self) -> PerformanceTable:
+        """Predictions only (no measured column)."""
+        return self.worksheet().performance_table(self.mode)
+
+    def resource_report(self) -> UtilizationReport:
+        """The resource test against the platform's device."""
+        return utilization_report(self.kernel_design, self.platform.device)
+
+    def _bus(self) -> BusModel:
+        spec = self.sim_interconnect or self.platform.interconnect
+        return BusModel(spec=spec, profile=self.sim_profile, record_transfers=False)
+
+    def simulator(self, clock_mhz: float) -> RCSystemSim:
+        """Build the cycle-level simulator for one clock."""
+        if clock_mhz <= 0:
+            raise ParameterError(f"clock_mhz must be positive, got {clock_mhz}")
+        return RCSystemSim(
+            kernel=self.hw_kernel,
+            clock=ClockDomain.from_mhz(clock_mhz),
+            bus=self._bus(),
+            elements_per_block=self.rat.dataset.elements_in,
+            bytes_per_element=self.rat.dataset.bytes_per_element,
+            output_bytes_per_block=self.rat.dataset.bytes_out,
+            n_iterations=self.rat.software.n_iterations,
+            mode=self.mode,
+            output_policy=self.output_policy,  # type: ignore[arg-type]
+            output_chunk_bytes=self.output_chunk_bytes,
+            host_turnaround_s=self.host_turnaround_s,
+        )
+
+    def simulate(self, clock_mhz: float | None = None) -> SimulationResult:
+        """Run the simulator (defaults to the paper's measured clock)."""
+        clock = clock_mhz if clock_mhz is not None else (
+            self.actual_clock_mhz or self.clocks_mhz[-1]
+        )
+        return self.simulator(clock).run()
+
+    def performance_table_with_actual(
+        self, clock_mhz: float | None = None
+    ) -> PerformanceTable:
+        """Paper-style table: predicted sweep plus simulated actual column."""
+        result = self.simulate(clock_mhz)
+        return self.worksheet().performance_table(
+            self.mode,
+            actual=result.as_actual_column(self.rat.software.t_soft),
+            title=f"Performance parameters of {self.name}",
+        )
+
+    def with_rat(self, rat: RATInput) -> "CaseStudy":
+        """Copy with an edited worksheet input (what-if studies)."""
+        return replace(self, rat=rat)

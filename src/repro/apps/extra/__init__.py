@@ -1,0 +1,34 @@
+"""Extension case studies beyond the paper's three.
+
+These exercise the toolkit on kernels with different communication/
+computation balances:
+
+* :mod:`matmul` — blocked dense matrix multiply: compute scales as
+  ``O(n^3)`` against ``O(n^2)`` data, so RC amenability *improves* with
+  block size (the opposite knob to the PDF studies);
+* :mod:`fir` — a streaming FIR filter: communication-bound at small tap
+  counts, the textbook case for the double-buffered/streaming models;
+* :mod:`stringmatch` — a multi-pattern comparator array realising the
+  paper's own "element" example ("a single character in a
+  string-matching algorithm").
+"""
+
+from .fir import build_fir_study, fir_filter, fir_rat_input
+from .matmul import build_matmul_study, matmul_blocked, matmul_rat_input
+from .stringmatch import (
+    build_stringmatch_study,
+    count_matches,
+    stringmatch_rat_input,
+)
+
+__all__ = [
+    "build_fir_study",
+    "build_matmul_study",
+    "build_stringmatch_study",
+    "count_matches",
+    "stringmatch_rat_input",
+    "fir_filter",
+    "fir_rat_input",
+    "matmul_blocked",
+    "matmul_rat_input",
+]

@@ -1,0 +1,137 @@
+"""Extension case study: streaming FIR filter.
+
+A ``T``-tap FIR filter produces one output per input sample at ``2T``
+operations (T multiplies + T-1 adds, rounded to 2T in worksheet
+granularity).  Data flows element-per-element: ops-per-byte is constant
+in the problem size, so the design is communication-bound unless the tap
+count is large — the canonical subject for the streaming throughput model
+(:mod:`repro.core.streaming`) and for double buffering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.buffering import BufferingMode
+from ...core.params import (
+    CommunicationParams,
+    ComputationParams,
+    DatasetParams,
+    RATInput,
+    SoftwareParams,
+)
+from ...core.resources.estimator import BufferSpec, KernelDesign, OperatorInstance
+from ...core.resources.model import ResourceVector
+from ...errors import ParameterError
+from ...hwsim.kernel import PipelinedKernel
+from ...interconnect.protocols import NALLATECH_PCIX_PROFILE
+from ...platforms.catalog import NALLATECH_H101
+from ..base import CaseStudy
+
+__all__ = ["fir_filter", "fir_ops_per_element", "fir_rat_input", "build_fir_study"]
+
+
+def fir_filter(samples, taps) -> np.ndarray:
+    """Direct-form FIR: ``y[k] = sum_j taps[j] * x[k - j]`` (software baseline).
+
+    Zero-padded start-up (first ``T-1`` outputs use implicit leading
+    zeros), matching a hardware shift-register that powers up cleared.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    taps = np.asarray(taps, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ParameterError("samples must be a non-empty 1-D array")
+    if taps.ndim != 1 or taps.size == 0:
+        raise ParameterError("taps must be a non-empty 1-D array")
+    return np.convolve(samples, taps)[: samples.size]
+
+
+def fir_ops_per_element(n_taps: int) -> float:
+    """Worksheet N_ops/element: one multiply and one add per tap."""
+    if n_taps < 1:
+        raise ParameterError(f"n_taps must be >= 1, got {n_taps}")
+    return 2.0 * n_taps
+
+
+def fir_rat_input(
+    n_taps: int = 64,
+    block_elements: int = 4096,
+    n_blocks: int = 256,
+    clock_mhz: float = 150.0,
+    t_soft: float | None = None,
+) -> RATInput:
+    """Worksheet input for a block-streamed FIR on the Nallatech platform.
+
+    A fully parallel tap array sustains ``2 * n_taps`` ops/cycle (one
+    output/cycle), so ``throughput_proc = ops_per_element`` — the
+    "fully pipelined" case the paper describes where "the number of
+    operations per cycle will equal the number of operations per element".
+    """
+    if block_elements < 1 or n_blocks < 1:
+        raise ParameterError("block_elements and n_blocks must be >= 1")
+    ops = fir_ops_per_element(n_taps)
+    if t_soft is None:
+        # Model a host sustaining ~2 GFLOP/s on this memory-bound kernel.
+        t_soft = n_blocks * block_elements * ops / 2.0e9
+    return RATInput(
+        name=f"FIR {n_taps}-tap",
+        dataset=DatasetParams(
+            elements_in=block_elements,
+            elements_out=block_elements,
+            bytes_per_element=4,
+        ),
+        communication=CommunicationParams.from_worksheet(
+            ideal_mbps=1000.0, alpha_write=0.37, alpha_read=0.16
+        ),
+        computation=ComputationParams.from_worksheet(
+            ops_per_element=ops,
+            throughput_proc=ops,  # fully pipelined: one element per cycle
+            clock_mhz=clock_mhz,
+        ),
+        software=SoftwareParams(t_soft=t_soft, n_iterations=n_blocks),
+    )
+
+
+def _fir_kernel_design(n_taps: int, block_elements: int) -> KernelDesign:
+    """Fully parallel tap array: one MAC per tap plus I/O buffers."""
+    return KernelDesign(
+        name=f"FIR {n_taps}-tap array",
+        pipeline_operators=(
+            OperatorInstance(kind="mac", width=18, count=n_taps),
+        ),
+        replicas=1,
+        buffers=(
+            BufferSpec(name="input block", depth=block_elements, width_bits=32,
+                       double_buffered=True),
+            BufferSpec(name="output block", depth=block_elements, width_bits=32,
+                       double_buffered=True),
+            BufferSpec(name="coefficients", depth=n_taps, width_bits=18),
+        ),
+        wrapper_overhead=ResourceVector(logic=2500.0, bram_blocks=24),
+        ops_per_element_per_replica=fir_ops_per_element(n_taps),
+    )
+
+
+def build_fir_study(
+    n_taps: int = 64, block_elements: int = 4096, n_blocks: int = 256
+) -> CaseStudy:
+    """Assemble the FIR extension study (double-buffered streaming)."""
+    return CaseStudy(
+        name=f"FIR filter ({n_taps} taps)",
+        rat=fir_rat_input(n_taps, block_elements, n_blocks),
+        platform=NALLATECH_H101,
+        clocks_mhz=(75.0, 100.0, 150.0),
+        kernel_design=_fir_kernel_design(n_taps, block_elements),
+        hw_kernel=PipelinedKernel(
+            name="FIR tap array",
+            ops_per_element=fir_ops_per_element(n_taps),
+            replicas=1,
+            ops_per_cycle_per_replica=fir_ops_per_element(n_taps),
+            fill_latency_cycles=n_taps,
+            stall_fraction=0.02,
+        ),
+        sim_profile=NALLATECH_PCIX_PROFILE,
+        mode=BufferingMode.DOUBLE,
+        output_policy="per_iteration",
+        notes="Extension study (not in the paper): communication-bound streaming.",
+    )

@@ -1,0 +1,157 @@
+"""Extension case study: blocked dense matrix multiplication.
+
+An ``n x n`` block multiply streams two input blocks (2 n^2 elements) to
+the FPGA and returns one (n^2), while computing ``2 n^3`` operations
+(multiply + add per term) — the classic compute-density success story for
+RC: the ops-per-byte ratio grows linearly with ``n``, so amenability
+improves with block size.  The worksheet builder exposes ``n`` so the
+ablation benchmark can sweep the crossover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.params import (
+    CommunicationParams,
+    ComputationParams,
+    DatasetParams,
+    RATInput,
+    SoftwareParams,
+)
+from ...core.resources.estimator import BufferSpec, KernelDesign, OperatorInstance
+from ...core.resources.model import ResourceVector
+from ...errors import ParameterError
+from ...hwsim.kernel import PipelinedKernel
+from ...interconnect.protocols import NALLATECH_PCIX_PROFILE
+from ...platforms.catalog import NALLATECH_H101
+from ..base import CaseStudy
+
+__all__ = [
+    "matmul_blocked",
+    "matmul_ops_per_element",
+    "matmul_rat_input",
+    "build_matmul_study",
+]
+
+
+def matmul_blocked(a, b, block: int = 64) -> np.ndarray:
+    """Blocked matrix multiply (software baseline).
+
+    Splits the product into ``block x block`` tiles — the same
+    decomposition the FPGA design would use, one tile-product per
+    "iteration".  Results match ``a @ b`` to floating-point tolerance.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ParameterError(f"incompatible shapes {a.shape} x {b.shape}")
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    m, k = a.shape
+    _, n = b.shape
+    out = np.zeros((m, n))
+    for i0 in range(0, m, block):
+        for j0 in range(0, n, block):
+            for k0 in range(0, k, block):
+                out[i0 : i0 + block, j0 : j0 + block] += (
+                    a[i0 : i0 + block, k0 : k0 + block]
+                    @ b[k0 : k0 + block, j0 : j0 + block]
+                )
+    return out
+
+
+def matmul_ops_per_element(n: int) -> float:
+    """Worksheet N_ops/element for one ``n x n`` tile product.
+
+    ``2 n^3`` operations over ``2 n^2`` input elements = ``n`` ops per
+    element — the linear compute-density growth in tile size.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    return float(n)
+
+
+def matmul_rat_input(
+    n: int = 128,
+    n_tiles: int = 64,
+    clock_mhz: float = 150.0,
+    throughput_proc: float = 32.0,
+    t_soft: float | None = None,
+) -> RATInput:
+    """Worksheet input for a blocked matmul on the Nallatech platform.
+
+    ``t_soft`` defaults to a model of a ~3 GFLOP/s host: total ops /
+    3e9.  Override with a measured value when available.
+    """
+    if n_tiles < 1:
+        raise ParameterError(f"n_tiles must be >= 1, got {n_tiles}")
+    elements_in = 2 * n * n  # two input tiles per product
+    elements_out = n * n
+    total_ops = n_tiles * elements_in * matmul_ops_per_element(n)
+    if t_soft is None:
+        t_soft = total_ops / 3.0e9
+    return RATInput(
+        name=f"matmul {n}x{n} tiles",
+        dataset=DatasetParams(
+            elements_in=elements_in,
+            elements_out=elements_out,
+            bytes_per_element=4,
+        ),
+        communication=CommunicationParams.from_worksheet(
+            ideal_mbps=1000.0, alpha_write=0.37, alpha_read=0.16
+        ),
+        computation=ComputationParams.from_worksheet(
+            ops_per_element=matmul_ops_per_element(n),
+            throughput_proc=throughput_proc,
+            clock_mhz=clock_mhz,
+        ),
+        software=SoftwareParams(t_soft=t_soft, n_iterations=n_tiles),
+    )
+
+
+def _matmul_kernel_design(n: int, mac_count: int = 16) -> KernelDesign:
+    """A systolic row of ``mac_count`` 18-bit MACs with tile buffers."""
+    return KernelDesign(
+        name=f"matmul {n}x{n} systolic row",
+        pipeline_operators=(
+            OperatorInstance(kind="mac", width=18, count=1),
+        ),
+        replicas=mac_count,
+        buffers=(
+            BufferSpec(name="tile A", depth=n * n, width_bits=32,
+                       double_buffered=True),
+            BufferSpec(name="tile B", depth=n * n, width_bits=32,
+                       double_buffered=True),
+            BufferSpec(name="tile C", depth=n * n, width_bits=32),
+        ),
+        wrapper_overhead=ResourceVector(logic=2500.0, bram_blocks=24),
+        ops_per_element_per_replica=2.0,  # multiply + add per MAC per cycle
+    )
+
+
+def build_matmul_study(
+    n: int = 128, n_tiles: int = 64, throughput_proc: float = 32.0
+) -> CaseStudy:
+    """Assemble the matmul extension study (double-buffered)."""
+    from ...core.buffering import BufferingMode
+
+    return CaseStudy(
+        name=f"Blocked matmul ({n}x{n})",
+        rat=matmul_rat_input(n, n_tiles, throughput_proc=throughput_proc),
+        platform=NALLATECH_H101,
+        clocks_mhz=(75.0, 100.0, 150.0),
+        kernel_design=_matmul_kernel_design(n),
+        hw_kernel=PipelinedKernel(
+            name="matmul systolic row",
+            ops_per_element=matmul_ops_per_element(n),
+            replicas=16,
+            ops_per_cycle_per_replica=2.0,
+            fill_latency_cycles=n,
+            stall_fraction=0.05,
+        ),
+        sim_profile=NALLATECH_PCIX_PROFILE,
+        mode=BufferingMode.DOUBLE,
+        output_policy="per_iteration",
+        notes="Extension study (not in the paper): compute-density scaling.",
+    )

@@ -1,0 +1,55 @@
+"""Molecular dynamics case study (paper Section 5.2).
+
+MD numerically integrates Newtonian motion for a particle system under
+pairwise forces (Lennard-Jones here, with a cutoff radius — "distant
+molecules are assumed to have negligible interaction and therefore
+require less computational effort").  The paper's version was adapted
+from Oak Ridge National Lab code and run on the XtremeData XD1000; the
+data-dependent operation count is what forces RAT's goal-seek mode
+(``throughput_proc`` solved from the desired ~10x speedup).
+"""
+
+from .celllist import (
+    build_cell_list,
+    candidate_counts,
+    lennard_jones_forces_celllist,
+)
+from .design import (
+    BYTES_PER_MOLECULE,
+    N_MOLECULES,
+    OPS_PER_ELEMENT,
+    build_hw_kernel,
+    build_kernel_design,
+    XD1000_HT_MEASURED,
+)
+from .software import (
+    MDState,
+    estimate_ops_per_molecule,
+    lennard_jones_forces,
+    make_lattice_state,
+    mean_neighbors_within_cutoff,
+    run_md,
+    velocity_verlet_step,
+)
+from .study import build_study, rat_input
+
+__all__ = [
+    "BYTES_PER_MOLECULE",
+    "MDState",
+    "N_MOLECULES",
+    "OPS_PER_ELEMENT",
+    "XD1000_HT_MEASURED",
+    "build_cell_list",
+    "build_hw_kernel",
+    "candidate_counts",
+    "lennard_jones_forces_celllist",
+    "build_kernel_design",
+    "build_study",
+    "estimate_ops_per_molecule",
+    "lennard_jones_forces",
+    "make_lattice_state",
+    "mean_neighbors_within_cutoff",
+    "rat_input",
+    "run_md",
+    "velocity_verlet_step",
+]

@@ -1,0 +1,111 @@
+"""Hardware design description of the MD force kernel (paper Section 5.2).
+
+The paper's MD design was written in Impulse C for the XD1000's
+Stratix-II EP2S180 after "several major architectural design revisions
+... to facilitate the necessary parallelism" identified by RAT's
+goal-seek: ~50 ops/cycle sustained, achieved through "the ability to work
+on several molecules simultaneously".  We model that as **ten parallel
+force pipelines**, each sustaining 5 single-precision operations per
+cycle when fed.
+
+Table 10 reports the price: a "large percentage of the combinatorial
+logic and dedicated multiply-accumulators (DSPs)" — the 9-bit DSP
+elements are nearly exhausted, which is what capped further replication
+("the parallelism was ultimately limited by the availability of
+multiplier resources").
+
+Simulator calibration: the measured t_comp (8.79E-1 s at 100 MHz)
+corresponds to an effective ~30.6 ops/cycle against the 50 designed —
+"moderate success" in the paper's words — captured by
+``stall_fraction=0.6357`` (data-dependent pipeline starvation when
+neighbour lists run short).  The worksheet's interconnect is the
+documented-conservative 500 MB/s at alpha 0.9; the *measured* XD1000
+HyperTransport path sustained nearly twice that, so the simulator uses
+the measured spec below — reproducing the paper's actual t_comm
+(1.39E-3 s) undercutting its prediction (2.62E-3 s).
+"""
+
+from __future__ import annotations
+
+from ...core.resources.estimator import BufferSpec, KernelDesign, OperatorInstance
+from ...core.resources.model import ResourceVector
+from ...hwsim.kernel import PipelinedKernel
+from ...platforms.interconnect import InterconnectSpec
+from ...units import gbps
+
+__all__ = [
+    "N_MOLECULES",
+    "BYTES_PER_MOLECULE",
+    "OPS_PER_ELEMENT",
+    "N_PIPELINES",
+    "XD1000_HT_MEASURED",
+    "build_kernel_design",
+    "build_hw_kernel",
+]
+
+N_MOLECULES = 16_384
+BYTES_PER_MOLECULE = 36  # 9 x 4-byte floats: pos/vel/acc in X/Y/Z
+OPS_PER_ELEMENT = 164_000  # paper's locality-dependent estimate
+N_PIPELINES = 10
+OPS_PER_CYCLE_PER_PIPELINE = 5
+FLOAT_WIDTH_BITS = 32
+
+# The measured HyperTransport path: the worksheet's 500 MB/s "documented"
+# figure was conservative; the real link sustained ~850 MB/s each way,
+# which closes the paper's predicted-vs-actual t_comm gap.
+XD1000_HT_MEASURED = InterconnectSpec(
+    name="HyperTransport (XD1000, measured)",
+    ideal_bandwidth=gbps(1.0),
+    bus_clock_hz=400e6,
+    bus_width_bits=16,
+    setup_latency_s=2.0e-6,
+    protocol_efficiency=0.85,
+    duplex=True,
+)
+
+
+def build_kernel_design() -> KernelDesign:
+    """Resource-test description of the ten-pipeline force unit.
+
+    One LJ pair evaluation per pipeline slot needs the r^2 computation
+    (3 subtracts, 3 multiply-accumulates), the s6/s12 powers and force
+    scale (4 more multiplies, 2 adds, 1 divide approximated by a
+    reciprocal multiply pair), all in single-precision float — heavy on
+    the Stratix's 9-bit DSP elements, exactly as Table 10 shows.
+    """
+    return KernelDesign(
+        name="MD force kernel",
+        pipeline_operators=(
+            OperatorInstance(kind="fadd", width=FLOAT_WIDTH_BITS, count=5),
+            OperatorInstance(kind="fmul", width=FLOAT_WIDTH_BITS, count=7),
+            OperatorInstance(kind="fdiv", width=FLOAT_WIDTH_BITS, count=1),
+        ),
+        replicas=N_PIPELINES,
+        buffers=(
+            # Full molecule state held on-chip (positions/velocities/
+            # accelerations), double-banked for gather/scatter.
+            BufferSpec(
+                name="molecule state",
+                depth=N_MOLECULES,
+                width_bits=BYTES_PER_MOLECULE * 8,
+                double_buffered=False,
+            ),
+            BufferSpec(name="neighbour staging", depth=512, width_bits=96,
+                       count=N_PIPELINES),
+        ),
+        wrapper_overhead=ResourceVector(logic=6000.0, bram_blocks=20),
+        control_logic_fraction=0.35,
+        ops_per_element_per_replica=OPS_PER_CYCLE_PER_PIPELINE,
+    )
+
+
+def build_hw_kernel() -> PipelinedKernel:
+    """Simulator timing model, calibrated per the module docstring."""
+    return PipelinedKernel(
+        name="MD force kernel",
+        ops_per_element=OPS_PER_ELEMENT,
+        replicas=N_PIPELINES,
+        ops_per_cycle_per_replica=OPS_PER_CYCLE_PER_PIPELINE,
+        fill_latency_cycles=2000,
+        stall_fraction=0.6357,
+    )

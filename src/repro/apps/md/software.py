@@ -1,0 +1,258 @@
+"""Software baseline: Lennard-Jones molecular dynamics.
+
+A classical MD kernel in reduced units: the 12-6 Lennard-Jones potential
+
+    U(r) = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ]
+
+with a cutoff radius (pairs beyond it contribute nothing — the data
+dependence the paper highlights), minimum-image periodic boundaries, and
+velocity-Verlet time integration.  The state layout matches the paper's
+element: "each element requires 36 bytes, 4 bytes each for position,
+velocity and acceleration in each of the X, Y, and Z spatial directions".
+
+The all-pairs force computation is vectorised over NumPy; tests and
+examples use a few hundred molecules (the paper's 16 384 would be an
+O(N^2) = 2.7E8-pair array — fine for one benchmark run, too slow for a
+test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ParameterError
+
+__all__ = [
+    "MDState",
+    "lennard_jones_forces",
+    "velocity_verlet_step",
+    "run_md",
+    "make_lattice_state",
+    "mean_neighbors_within_cutoff",
+    "estimate_ops_per_molecule",
+    "total_energy",
+]
+
+
+@dataclass
+class MDState:
+    """Positions, velocities, accelerations of N molecules (reduced units).
+
+    All arrays are ``(N, 3)`` float64.  ``box`` is the periodic box edge
+    length (cubic).  36 bytes/molecule in the FPGA's single-precision
+    layout corresponds to these nine components.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    accelerations: np.ndarray
+    box: float
+
+    def __post_init__(self) -> None:
+        for name in ("positions", "velocities", "accelerations"):
+            array = getattr(self, name)
+            if array.ndim != 2 or array.shape[1] != 3:
+                raise ParameterError(f"{name} must be (N, 3), got {array.shape}")
+        n = self.positions.shape[0]
+        if n == 0:
+            raise ParameterError("MDState requires at least one molecule")
+        if self.velocities.shape[0] != n or self.accelerations.shape[0] != n:
+            raise ParameterError("state arrays must share the molecule count")
+        if self.box <= 0:
+            raise ParameterError(f"box must be positive, got {self.box}")
+
+    @property
+    def n_molecules(self) -> int:
+        """Number of molecules in the system."""
+        return self.positions.shape[0]
+
+    def copy(self) -> "MDState":
+        """Deep copy (integration steps mutate in place)."""
+        return MDState(
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            accelerations=self.accelerations.copy(),
+            box=self.box,
+        )
+
+
+def _minimum_image(delta: np.ndarray, box: float) -> np.ndarray:
+    """Wrap pair displacement vectors into the nearest periodic image."""
+    return delta - box * np.round(delta / box)
+
+
+def lennard_jones_forces(
+    positions: np.ndarray,
+    box: float,
+    cutoff: float,
+    epsilon: float = 1.0,
+    sigma: float = 1.0,
+) -> tuple[np.ndarray, float]:
+    """All-pairs LJ forces and potential energy with cutoff.
+
+    Returns ``(forces, potential_energy)``; forces are ``(N, 3)``.
+    Energies are *not* cutoff-shifted (plain truncation, as simple MD
+    codes of the paper's era used).
+    """
+    if cutoff <= 0:
+        raise ParameterError(f"cutoff must be positive, got {cutoff}")
+    if cutoff > box / 2:
+        raise ParameterError(
+            f"cutoff {cutoff} exceeds half the box {box / 2} "
+            "(minimum image would double-count)"
+        )
+    positions = np.asarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    delta = _minimum_image(
+        positions[:, None, :] - positions[None, :, :], box
+    )  # (N, N, 3)
+    r2 = np.einsum("ijk,ijk->ij", delta, delta)
+    np.fill_diagonal(r2, np.inf)
+    within = r2 < cutoff * cutoff
+
+    inv_r2 = np.where(within, 1.0 / r2, 0.0)
+    s2 = (sigma * sigma) * inv_r2
+    s6 = s2 * s2 * s2
+    s12 = s6 * s6
+    # F_ij = 24 eps (2 s12 - s6) / r^2 * delta_ij  (force on i from j)
+    magnitude = 24.0 * epsilon * (2.0 * s12 - s6) * inv_r2
+    forces = np.einsum("ij,ijk->ik", magnitude, delta)
+    potential = 2.0 * epsilon * float(np.sum(np.where(within, s12 - s6, 0.0)))
+    # each pair counted twice in the sum above: 4 eps * sum_pairs = 2 eps * sum_matrix
+    return forces, potential
+
+
+def velocity_verlet_step(
+    state: MDState,
+    dt: float,
+    cutoff: float,
+    epsilon: float = 1.0,
+    sigma: float = 1.0,
+) -> float:
+    """Advance one time step in place; returns the potential energy.
+
+    Standard velocity Verlet: positions advance with current
+    acceleration, forces recompute, velocities advance with the mean of
+    old and new accelerations (unit mass).
+    """
+    if dt <= 0:
+        raise ParameterError(f"dt must be positive, got {dt}")
+    old_acc = state.accelerations
+    state.positions += state.velocities * dt + 0.5 * old_acc * dt * dt
+    state.positions %= state.box
+    forces, potential = lennard_jones_forces(
+        state.positions, state.box, cutoff, epsilon, sigma
+    )
+    new_acc = forces  # unit mass
+    state.velocities += 0.5 * (old_acc + new_acc) * dt
+    state.accelerations = new_acc
+    return potential
+
+
+def run_md(
+    state: MDState,
+    n_steps: int,
+    dt: float,
+    cutoff: float,
+    epsilon: float = 1.0,
+    sigma: float = 1.0,
+) -> list[float]:
+    """Integrate ``n_steps`` in place; returns per-step potential energies."""
+    if n_steps < 1:
+        raise ParameterError(f"n_steps must be >= 1, got {n_steps}")
+    return [
+        velocity_verlet_step(state, dt, cutoff, epsilon, sigma)
+        for _ in range(n_steps)
+    ]
+
+
+def total_energy(
+    state: MDState, cutoff: float, epsilon: float = 1.0, sigma: float = 1.0
+) -> float:
+    """Kinetic + potential energy of the current state (unit mass)."""
+    _, potential = lennard_jones_forces(
+        state.positions, state.box, cutoff, epsilon, sigma
+    )
+    kinetic = 0.5 * float(np.sum(state.velocities**2))
+    return kinetic + potential
+
+
+def make_lattice_state(
+    n_per_side: int,
+    density: float = 0.8,
+    temperature: float = 0.5,
+    seed: int = 2007,
+) -> MDState:
+    """A cubic-lattice initial state with Maxwell-ish random velocities.
+
+    ``n_per_side ** 3`` molecules on a simple cubic lattice at the given
+    reduced density; velocities drawn Gaussian at the given reduced
+    temperature with the centre-of-mass drift removed.
+    """
+    if n_per_side < 1:
+        raise ParameterError(f"n_per_side must be >= 1, got {n_per_side}")
+    if density <= 0:
+        raise ParameterError(f"density must be positive, got {density}")
+    if temperature < 0:
+        raise ParameterError(f"temperature must be >= 0, got {temperature}")
+    n = n_per_side**3
+    box = (n / density) ** (1.0 / 3.0)
+    spacing = box / n_per_side
+    idx = np.arange(n_per_side)
+    gx, gy, gz = np.meshgrid(idx, idx, idx, indexing="ij")
+    positions = (
+        np.stack([gx, gy, gz], axis=-1).reshape(-1, 3).astype(np.float64) + 0.5
+    ) * spacing
+    rng = np.random.default_rng(seed)
+    velocities = rng.normal(0.0, np.sqrt(temperature), size=(n, 3))
+    velocities -= velocities.mean(axis=0)
+    return MDState(
+        positions=positions,
+        velocities=velocities,
+        accelerations=np.zeros((n, 3)),
+        box=box,
+    )
+
+
+def estimate_ops_per_molecule(
+    mean_neighbors: float, ops_per_pair: float = 50.0, overhead_ops: float = 200.0
+) -> float:
+    """Estimate the worksheet's N_ops/element for an MD design.
+
+    Per molecule: ``neighbors x ops_per_pair`` force-pair work plus fixed
+    integration overhead.  "The number of operations per element can only
+    be estimated for this circumstance" — the paper's 164 000 corresponds
+    to roughly 3 280 candidate neighbours at ~50 ops per pair
+    interaction, consistent with a 16 384-molecule system whose cutoff
+    sphere holds a few-percent fraction of all molecules.
+    """
+    if mean_neighbors < 0:
+        raise ParameterError(f"mean_neighbors must be >= 0, got {mean_neighbors}")
+    if ops_per_pair <= 0:
+        raise ParameterError(f"ops_per_pair must be positive, got {ops_per_pair}")
+    return mean_neighbors * ops_per_pair + overhead_ops
+
+
+def mean_neighbors_within_cutoff(state: MDState, cutoff: float) -> float:
+    """Mean number of cutoff-sphere neighbours per molecule.
+
+    The input RAT needs for its ops/element estimate: the paper's 164 000
+    ops/element corresponds to each molecule's interaction-candidate count
+    times the per-pair operation cost (see
+    :func:`estimate_ops_per_molecule`).  Minimum-image periodic distances,
+    all-pairs (O(N^2) — sized for analysis runs, not production MD).
+    """
+    if cutoff <= 0:
+        raise ParameterError(f"cutoff must be positive, got {cutoff}")
+    if cutoff > state.box / 2:
+        raise ParameterError(
+            f"cutoff {cutoff} exceeds half the box {state.box / 2}"
+        )
+    delta = _minimum_image(
+        state.positions[:, None, :] - state.positions[None, :, :], state.box
+    )
+    r2 = np.einsum("ijk,ijk->ij", delta, delta)
+    np.fill_diagonal(r2, np.inf)
+    return float((r2 < cutoff * cutoff).sum(axis=1).mean())

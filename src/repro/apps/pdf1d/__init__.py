@@ -1,0 +1,44 @@
+"""1-D probability density function estimation (paper Section 4).
+
+The Parzen-window technique estimates a PDF by summing a kernel function
+centred at every data sample over a grid of discrete probability levels
+("bins").  The paper's walkthrough processes 204 800 samples in 400
+batches of 512 against 256 bins on the Nallatech H101-PCIXM.
+"""
+
+from .design import (
+    build_hw_kernel,
+    build_kernel_design,
+    BATCH_ELEMENTS,
+    N_BINS,
+    N_PIPELINES,
+    OPS_PER_ELEMENT,
+    TOTAL_SAMPLES,
+)
+from .software import (
+    hardware_datapath_reference,
+    ops_per_element,
+    parzen_pdf_1d,
+    parzen_pdf_1d_batched,
+    parzen_pdf_1d_reference,
+    squared_distance_accumulate,
+)
+from .study import build_study, rat_input
+
+__all__ = [
+    "BATCH_ELEMENTS",
+    "N_BINS",
+    "N_PIPELINES",
+    "OPS_PER_ELEMENT",
+    "TOTAL_SAMPLES",
+    "build_hw_kernel",
+    "build_kernel_design",
+    "build_study",
+    "hardware_datapath_reference",
+    "ops_per_element",
+    "parzen_pdf_1d",
+    "parzen_pdf_1d_batched",
+    "parzen_pdf_1d_reference",
+    "rat_input",
+    "squared_distance_accumulate",
+]

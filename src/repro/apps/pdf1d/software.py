@@ -1,0 +1,166 @@
+"""Software baseline: 1-D Parzen-window PDF estimation.
+
+The Parzen (kernel density) estimate of a density ``f`` from samples
+``x_1..x_N`` evaluated at point ``b`` is
+
+    f_hat(b) = (1 / (N h)) * sum_i K((b - x_i) / h)
+
+with kernel ``K`` (Gaussian here, as the paper's walkthrough uses) and
+bandwidth ``h``.  The paper's baseline "was written in C, compiled using
+gcc, and executed on a 3.2 GHz Xeon"; ours is NumPy (vectorised over the
+sample x bin grid) with a pure-Python reference used by tests to pin the
+vectorisation.
+
+The FPGA datapath of Figure 3 does **not** evaluate ``exp`` directly:
+"each computation requires 3 operations: comparison (subtraction),
+multiplication, and addition" — per (element, bin) pair it computes the
+squared distance ``(b - x)^2`` and accumulates into the bin's running
+total; the Gaussian map is folded into host-side pre/post-scaling (an
+exp-table on the FPGA would change the op count the worksheet uses, so we
+model exactly the 3-op pipeline).  :func:`hardware_datapath_reference`
+emulates that pipeline bit-for-bit in the chosen fixed-point format; the
+precision case study compares it against the float64 version.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...core.precision.formats import FixedPointFormat
+from ...core.precision.quantize import quantize_array
+from ...errors import ParameterError
+
+__all__ = [
+    "parzen_pdf_1d",
+    "parzen_pdf_1d_batched",
+    "parzen_pdf_1d_reference",
+    "hardware_datapath_reference",
+    "squared_distance_accumulate",
+    "ops_per_element",
+]
+
+
+def _validate(samples: np.ndarray, grid: np.ndarray, bandwidth: float) -> None:
+    if samples.ndim != 1 or samples.size == 0:
+        raise ParameterError("samples must be a non-empty 1-D array")
+    if grid.ndim != 1 or grid.size == 0:
+        raise ParameterError("grid must be a non-empty 1-D array")
+    if bandwidth <= 0:
+        raise ParameterError(f"bandwidth must be positive, got {bandwidth}")
+
+
+def parzen_pdf_1d(samples, grid, bandwidth: float) -> np.ndarray:
+    """Vectorised Gaussian Parzen estimate at each grid point.
+
+    Returns an array of densities, one per grid point; integrates to ~1
+    over a grid that covers the sample support.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    grid = np.asarray(grid, dtype=np.float64)
+    _validate(samples, grid, bandwidth)
+    # (bins, samples) distance matrix; fine for the case-study sizes
+    # (256 x 512 per batch).  Larger problems should chunk over samples.
+    z = (grid[:, None] - samples[None, :]) / bandwidth
+    kernel = np.exp(-0.5 * z**2) / math.sqrt(2.0 * math.pi)
+    return kernel.sum(axis=1) / (samples.size * bandwidth)
+
+
+def parzen_pdf_1d_reference(samples, grid, bandwidth: float) -> np.ndarray:
+    """Pure-Python double-loop reference (slow; tests only)."""
+    samples = np.asarray(samples, dtype=np.float64)
+    grid = np.asarray(grid, dtype=np.float64)
+    _validate(samples, grid, bandwidth)
+    norm = 1.0 / (samples.size * bandwidth * math.sqrt(2.0 * math.pi))
+    out = np.zeros(grid.size)
+    for b, level in enumerate(grid):
+        total = 0.0
+        for x in samples:
+            z = (level - x) / bandwidth
+            total += math.exp(-0.5 * z * z)
+        out[b] = total * norm
+    return out
+
+
+def squared_distance_accumulate(samples, grid) -> np.ndarray:
+    """The FPGA pipeline's accumulation: sum of (b - x)^2 per bin.
+
+    This is the 3-op inner loop of Figure 3 — subtract, multiply
+    (squaring), accumulate — evaluated in float64.  One value per bin is
+    retained across the whole batch, matching "internal registering for
+    each bin keeps a running total of the impact of all processed
+    elements".
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    grid = np.asarray(grid, dtype=np.float64)
+    _validate(samples, grid, bandwidth=1.0)
+    diff = grid[:, None] - samples[None, :]
+    return (diff * diff).sum(axis=1)
+
+
+def hardware_datapath_reference(
+    samples, grid, fmt: FixedPointFormat
+) -> np.ndarray:
+    """Fixed-point emulation of the Figure-3 pipeline.
+
+    Each intermediate (input sample, difference, product, running sum) is
+    quantized into ``fmt``, mirroring an 18-bit datapath with a wider
+    accumulator collapsed to the same format — a conservative model of
+    the paper's "18-bit fixed point ... maximum error percentage was only
+    a few percent".
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    grid = np.asarray(grid, dtype=np.float64)
+    _validate(samples, grid, bandwidth=1.0)
+    q_samples = quantize_array(samples, fmt)
+    q_grid = quantize_array(grid, fmt)
+    totals = np.zeros(grid.size)
+    for x in q_samples:
+        diff = quantize_array(q_grid - x, fmt)
+        prod = quantize_array(diff * diff, fmt)
+        totals = quantize_array(totals + prod, fmt)
+    return totals
+
+
+def ops_per_element(n_bins: int, ops_per_bin: int = 3) -> int:
+    """The worksheet's N_ops/element: bins x 3 ops (sub, mult, add).
+
+    Paper: "each element ... is evaluated against each of the 256 bins.
+    Each computation requires 3 operations ... therefore the number of
+    operations per element totals 768."
+    """
+    if n_bins < 1:
+        raise ParameterError(f"n_bins must be >= 1, got {n_bins}")
+    if ops_per_bin < 1:
+        raise ParameterError(f"ops_per_bin must be >= 1, got {ops_per_bin}")
+    return n_bins * ops_per_bin
+
+
+def parzen_pdf_1d_batched(
+    samples, grid, bandwidth: float, batch_elements: int = 512
+) -> np.ndarray:
+    """Batched Parzen estimate: the FPGA's decomposition, in software.
+
+    Processes samples in blocks of ``batch_elements`` (the worksheet's
+    ``N_elements,input``), accumulating per-bin totals across batches
+    exactly as the Figure-3 design's bin registers do, and normalising
+    once at the end.  Mathematically identical to :func:`parzen_pdf_1d`
+    over the whole dataset — the linearity that lets RAT assume
+    "computational workload is directly related to the size of the
+    problem dataset" and split it into N_iter equal iterations.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    grid = np.asarray(grid, dtype=np.float64)
+    _validate(samples, grid, bandwidth)
+    if batch_elements < 1:
+        raise ParameterError(
+            f"batch_elements must be >= 1, got {batch_elements}"
+        )
+    totals = np.zeros(grid.size)
+    for start in range(0, samples.size, batch_elements):
+        batch = samples[start : start + batch_elements]
+        z = (grid[:, None] - batch[None, :]) / bandwidth
+        totals += np.exp(-0.5 * z**2).sum(axis=1)
+    norm = 1.0 / (samples.size * bandwidth * math.sqrt(2.0 * math.pi))
+    return totals * norm

@@ -1,0 +1,123 @@
+"""Assembled 1-D PDF case study (paper Tables 2, 3, 4).
+
+Worksheet inputs (Table 2): 512 input elements, 1 output element, 4
+bytes/element; 1000 MB/s ideal, alpha_write 0.37, alpha_read 0.16;
+768 ops/element at 20 ops/cycle; clocks 75/100/150 MHz; t_soft 0.578 s;
+400 iterations.
+
+Reported results (Table 3): predicted t_comm 5.56E-6 s, t_comp
+{2.62E-4, 1.97E-4, 1.31E-4} s, t_RC {1.07E-1, 8.09E-2, 5.46E-2} s,
+speedup {5.4, 7.2, 10.6}; actual (at 150 MHz) t_comm 2.50E-5 s, t_comp
+1.39E-4 s, util_comm 15%, t_RC 7.45E-2 s, speedup 7.8.
+"""
+
+from __future__ import annotations
+
+from ...core.params import (
+    CommunicationParams,
+    ComputationParams,
+    DatasetParams,
+    RATInput,
+    SoftwareParams,
+)
+from ...interconnect.protocols import NALLATECH_PCIX_PROFILE
+from ...platforms.catalog import NALLATECH_H101
+from ..base import CaseStudy, PaperReference
+from .design import (
+    BATCH_ELEMENTS,
+    OPS_PER_ELEMENT,
+    TOTAL_SAMPLES,
+    build_hw_kernel,
+    build_kernel_design,
+)
+
+__all__ = ["rat_input", "build_study", "PAPER_TABLE3"]
+
+#: Paper Table 3, exactly as printed (times in seconds).
+PAPER_TABLE3 = PaperReference(
+    table_id="Table 3",
+    predicted={
+        75.0: {
+            "t_comm": 5.56e-6,
+            "t_comp": 2.62e-4,
+            "util_comm": 0.02,
+            "t_rc": 1.07e-1,
+            "speedup": 5.4,
+        },
+        100.0: {
+            "t_comm": 5.56e-6,
+            "t_comp": 1.97e-4,
+            "util_comm": 0.03,
+            "t_rc": 8.09e-2,
+            "speedup": 7.2,
+        },
+        150.0: {
+            "t_comm": 5.56e-6,
+            "t_comp": 1.31e-4,
+            "util_comm": 0.04,
+            "t_rc": 5.46e-2,
+            "speedup": 10.6,
+        },
+    },
+    actual={
+        "t_comm": 2.50e-5,
+        "t_comp": 1.39e-4,
+        "util_comm": 0.15,
+        "t_rc": 7.45e-2,
+        "speedup": 7.8,
+    },
+    actual_clock_mhz=150.0,
+)
+
+
+def rat_input(clock_mhz: float = 150.0) -> RATInput:
+    """The Table-2 worksheet input at one assumed clock."""
+    return RATInput(
+        name="1-D PDF",
+        dataset=DatasetParams(
+            elements_in=BATCH_ELEMENTS, elements_out=1, bytes_per_element=4
+        ),
+        communication=CommunicationParams.from_worksheet(
+            ideal_mbps=1000.0, alpha_write=0.37, alpha_read=0.16
+        ),
+        computation=ComputationParams.from_worksheet(
+            ops_per_element=OPS_PER_ELEMENT,
+            throughput_proc=20.0,
+            clock_mhz=clock_mhz,
+        ),
+        software=SoftwareParams(
+            t_soft=0.578, n_iterations=TOTAL_SAMPLES // BATCH_ELEMENTS
+        ),
+    )
+
+
+def build_study() -> CaseStudy:
+    """The complete 1-D PDF case study.
+
+    The paper models output as one element per iteration; the measured
+    run issued 400 writes *and* 400 reads ("800 repetitive transfers"),
+    so the simulator returns each iteration's (tiny) result immediately —
+    ``output_policy="per_iteration"`` with the worksheet's 4-byte output.
+    ``host_turnaround_s`` is calibrated so the simulated wall clock
+    matches the measured total (7.45E-2 s), which the paper notes exceeds
+    ``N_iter * (t_comm + t_comp)``.
+    """
+    return CaseStudy(
+        name="1-D PDF estimation",
+        rat=rat_input(),
+        platform=NALLATECH_H101,
+        clocks_mhz=(75.0, 100.0, 150.0),
+        kernel_design=build_kernel_design(),
+        hw_kernel=build_hw_kernel(),
+        sim_profile=NALLATECH_PCIX_PROFILE,
+        output_policy="per_iteration",
+        host_turnaround_s=3.3e-5,
+        actual_clock_mhz=150.0,
+        paper=PAPER_TABLE3,
+        notes=(
+            "Simulator calibration: kernel fill 266 cycles / stalls 25.6% "
+            "reproduce measured t_comp; bus per-transfer overhead 6.6 us "
+            "reproduces measured t_comm; host turnaround 33 us closes the "
+            "wall-clock gap the paper observed."
+        ),
+    )

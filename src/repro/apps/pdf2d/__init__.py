@@ -1,0 +1,37 @@
+"""2-D probability density function estimation (paper Section 5.1).
+
+The two-dimensional Parzen estimate works over a 256 x 256 bin grid;
+each iteration sends 512 samples x 2 coordinates (1024 channel words) to
+the FPGA and returns all 65 536 bin values.  Communication and
+computation volumes are both far larger than the 1-D case, which is what
+makes this study the paper's cautionary tale about underestimated
+communication ("six times larger than predicted, comprising 19% of the
+total execution instead of the originally estimated 3%").
+"""
+
+from .design import (
+    BATCH_SAMPLES,
+    BATCH_ELEMENTS,
+    N_BINS_PER_DIM,
+    N_PIPELINES,
+    OPS_PER_ELEMENT,
+    build_hw_kernel,
+    build_kernel_design,
+)
+from .software import ops_per_element, parzen_pdf_2d, parzen_pdf_2d_reference
+from .study import build_study, rat_input
+
+__all__ = [
+    "BATCH_ELEMENTS",
+    "BATCH_SAMPLES",
+    "N_BINS_PER_DIM",
+    "N_PIPELINES",
+    "OPS_PER_ELEMENT",
+    "build_hw_kernel",
+    "build_kernel_design",
+    "build_study",
+    "ops_per_element",
+    "parzen_pdf_2d",
+    "parzen_pdf_2d_reference",
+    "rat_input",
+]

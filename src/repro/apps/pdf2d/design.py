@@ -1,0 +1,101 @@
+"""Hardware design description of the 2-D PDF estimator.
+
+The paper gives less architectural detail than for the 1-D case but
+states the key ratios: operations per element grow by ~three orders of
+magnitude (768 -> 393 216) while "the number of parallel operations is
+only increased by a factor of two" (worksheet ``throughput_proc``
+24-conservatively-20 -> 48).  We model the natural doubling of the
+Figure-3 structure: **16 pipelines**, each handling a column stripe of
+the 256 x 256 bin grid, each sustaining 6 operations per cycle (the 2-D
+bin-pair computation: two subtract-squares, sum, scale-accumulate).
+
+Worksheet derating: 16 x 6 = 96 ideal ops/cycle entered as 48 — the
+deliberately deep conservatism the paper credits as "a victory in
+contingency planning" when communication blew up instead.
+
+Simulator calibration: ``stall_fraction=0.50`` on the 96-op ideal gives
+an effective ~64 ops/cycle, reproducing the actual computation time being
+*below* the conservative prediction (reconstructed t_comp ~4.2E-2 s at
+150 MHz vs predicted 5.59E-2 s).  Output returns per iteration in
+128-word (512-byte) DMA bursts — the mechanism that multiplies actual
+communication several-fold over the single-big-transfer prediction.
+"""
+
+from __future__ import annotations
+
+from ...core.resources.estimator import BufferSpec, KernelDesign, OperatorInstance
+from ...core.resources.model import ResourceVector
+from ...hwsim.kernel import PipelinedKernel
+from .software import ops_per_element
+
+__all__ = [
+    "TOTAL_SAMPLES",
+    "BATCH_SAMPLES",
+    "BATCH_ELEMENTS",
+    "N_BINS_PER_DIM",
+    "N_PIPELINES",
+    "OPS_PER_ELEMENT",
+    "DATA_WIDTH_BITS",
+    "OUTPUT_BURST_BYTES",
+    "build_kernel_design",
+    "build_hw_kernel",
+]
+
+TOTAL_SAMPLES = 204_800
+BATCH_SAMPLES = 512
+BATCH_ELEMENTS = 2 * BATCH_SAMPLES  # two channel words per 2-D sample
+N_BINS_PER_DIM = 256
+N_PIPELINES = 16
+OPS_PER_CYCLE_PER_PIPELINE = 6
+OPS_PER_ELEMENT = ops_per_element(N_BINS_PER_DIM)  # 393 216
+DATA_WIDTH_BITS = 18
+OUTPUT_BURST_BYTES = 512.0  # 128-word vendor DMA FIFO bursts
+
+
+def build_kernel_design() -> KernelDesign:
+    """Resource-test description of the doubled architecture.
+
+    Per pipeline the 2-D bin-pair datapath needs two subtractors, two
+    MACs (squares) and an adder tree stage plus the scale-accumulate MAC.
+    The dominant memory is the 65 536-entry bin accumulator array,
+    partitioned across pipelines.
+    """
+    bins_total = N_BINS_PER_DIM * N_BINS_PER_DIM
+    bins_per_pipeline = bins_total // N_PIPELINES
+    return KernelDesign(
+        name="2-D PDF estimator",
+        pipeline_operators=(
+            OperatorInstance(kind="sub", width=DATA_WIDTH_BITS, count=2),
+            OperatorInstance(kind="mac", width=DATA_WIDTH_BITS, count=2),
+            OperatorInstance(kind="add", width=DATA_WIDTH_BITS),
+            OperatorInstance(kind="mac", width=DATA_WIDTH_BITS),
+        ),
+        replicas=N_PIPELINES,
+        buffers=(
+            BufferSpec(name="input block", depth=BATCH_ELEMENTS, width_bits=32),
+            # The 65 536 bin accumulators are the dominant memory; they
+            # are read back directly after each iteration, so no separate
+            # output staging exists.
+            BufferSpec(
+                name="bin totals",
+                depth=bins_per_pipeline,
+                width_bits=36,
+                count=N_PIPELINES,
+            ),
+        ),
+        wrapper_overhead=ResourceVector(logic=2500.0, bram_blocks=24),
+        control_logic_fraction=0.30,
+        ops_per_element_per_replica=OPS_PER_CYCLE_PER_PIPELINE,
+    )
+
+
+def build_hw_kernel() -> PipelinedKernel:
+    """Simulator timing model, calibrated per the module docstring."""
+    return PipelinedKernel(
+        name="2-D PDF estimator",
+        ops_per_element=OPS_PER_ELEMENT,
+        replicas=N_PIPELINES,
+        ops_per_cycle_per_replica=OPS_PER_CYCLE_PER_PIPELINE,
+        fill_latency_cycles=600,
+        stall_fraction=0.50,
+    )

@@ -1,0 +1,143 @@
+"""Software baseline: 2-D Parzen-window PDF estimation.
+
+The d-dimensional Parzen estimate with a product Gaussian kernel:
+
+    f_hat(b1, b2) = (1 / (N h^2)) * sum_i K((b1 - x_i)/h) * K((b2 - y_i)/h)
+
+The paper's per-element computation "grows from (N - n)^2 + c to
+((N1 - n1)^2 + (N2 - n2)^2) + c" — the two squared coordinate distances
+sum inside the kernel, which the product of Gaussians realises exactly
+(exponents add).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import ParameterError
+
+__all__ = [
+    "parzen_pdf_2d",
+    "parzen_pdf_2d_reference",
+    "squared_distance_accumulate_2d",
+    "hardware_datapath_reference_2d",
+    "ops_per_element",
+]
+
+
+def _validate(
+    samples: np.ndarray, grid_x: np.ndarray, grid_y: np.ndarray, bandwidth: float
+) -> None:
+    if samples.ndim != 2 or samples.shape[1] != 2 or samples.shape[0] == 0:
+        raise ParameterError("samples must be a non-empty (N, 2) array")
+    if grid_x.ndim != 1 or grid_x.size == 0 or grid_y.ndim != 1 or grid_y.size == 0:
+        raise ParameterError("grids must be non-empty 1-D arrays")
+    if bandwidth <= 0:
+        raise ParameterError(f"bandwidth must be positive, got {bandwidth}")
+
+
+def parzen_pdf_2d(samples, grid_x, grid_y, bandwidth: float) -> np.ndarray:
+    """Vectorised 2-D Gaussian Parzen estimate.
+
+    Returns a ``(len(grid_x), len(grid_y))`` density array.  Memory use
+    is ``O(bins_x * samples)`` per axis thanks to the separable kernel:
+    the 2-D Gaussian factors into per-axis kernels whose outer product
+    over samples sums into the grid (an ``O(N * (nx + ny))`` exp count
+    instead of ``O(N * nx * ny)`` — same estimate, just computed as
+    ``Kx @ Ky.T``).
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    grid_x = np.asarray(grid_x, dtype=np.float64)
+    grid_y = np.asarray(grid_y, dtype=np.float64)
+    _validate(samples, grid_x, grid_y, bandwidth)
+    zx = (grid_x[:, None] - samples[None, :, 0]) / bandwidth  # (nx, N)
+    zy = (grid_y[:, None] - samples[None, :, 1]) / bandwidth  # (ny, N)
+    kx = np.exp(-0.5 * zx**2)
+    ky = np.exp(-0.5 * zy**2)
+    norm = 1.0 / (samples.shape[0] * bandwidth**2 * 2.0 * math.pi)
+    return (kx @ ky.T) * norm
+
+
+def parzen_pdf_2d_reference(samples, grid_x, grid_y, bandwidth: float) -> np.ndarray:
+    """Pure-Python triple-loop reference (slow; tests only)."""
+    samples = np.asarray(samples, dtype=np.float64)
+    grid_x = np.asarray(grid_x, dtype=np.float64)
+    grid_y = np.asarray(grid_y, dtype=np.float64)
+    _validate(samples, grid_x, grid_y, bandwidth)
+    norm = 1.0 / (samples.shape[0] * bandwidth**2 * 2.0 * math.pi)
+    out = np.zeros((grid_x.size, grid_y.size))
+    for i, bx in enumerate(grid_x):
+        for j, by in enumerate(grid_y):
+            total = 0.0
+            for x, y in samples:
+                zx = (bx - x) / bandwidth
+                zy = (by - y) / bandwidth
+                total += math.exp(-0.5 * (zx * zx + zy * zy))
+            out[i, j] = total * norm
+    return out
+
+
+def ops_per_element(n_bins_per_dim: int, ops_per_bin_pair: int = 12) -> int:
+    """The worksheet's N_ops/element for the 2-D estimator.
+
+    Paper Table 5 gives 393 216 ops per *channel word* (1024 words carry
+    512 two-coordinate samples): per sample the pipeline evaluates all
+    ``256 x 256`` bin pairs at ~12 ops each (two subtract-square pairs,
+    their sum, scale and accumulate across the pair of coordinates), and
+    each sample spans two words — ``256 * 256 * 12 / 2 = 393 216``.
+    """
+    if n_bins_per_dim < 1:
+        raise ParameterError(f"n_bins_per_dim must be >= 1, got {n_bins_per_dim}")
+    if ops_per_bin_pair < 1:
+        raise ParameterError(
+            f"ops_per_bin_pair must be >= 1, got {ops_per_bin_pair}"
+        )
+    return n_bins_per_dim * n_bins_per_dim * ops_per_bin_pair // 2
+
+
+def squared_distance_accumulate_2d(samples, grid_x, grid_y) -> np.ndarray:
+    """The 2-D pipeline's accumulation: sum of squared distances per bin pair.
+
+    The paper's per-element computation "grows from (N - n)^2 + c to
+    ((N1 - n1)^2 + (N2 - n2)^2) + c": for every bin pair ``(b1, b2)`` the
+    datapath accumulates ``(b1 - x)^2 + (b2 - y)^2`` over all samples —
+    the float64 reference the fixed-point emulation compares against.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    grid_x = np.asarray(grid_x, dtype=np.float64)
+    grid_y = np.asarray(grid_y, dtype=np.float64)
+    _validate(samples, grid_x, grid_y, bandwidth=1.0)
+    dx2 = (grid_x[:, None] - samples[None, :, 0]) ** 2  # (nx, N)
+    dy2 = (grid_y[:, None] - samples[None, :, 1]) ** 2  # (ny, N)
+    # sum_i dx2[b1, i] + dy2[b2, i] = rowsum(dx2)[b1] broadcast + rowsum(dy2)[b2]
+    return dx2.sum(axis=1)[:, None] + dy2.sum(axis=1)[None, :]
+
+
+def hardware_datapath_reference_2d(samples, grid_x, grid_y, fmt) -> np.ndarray:
+    """Fixed-point emulation of the 2-D bin-pair pipeline.
+
+    Quantizes every intermediate (inputs, per-axis differences, squares,
+    their sum, the running bin totals) into ``fmt`` — the 2-D analogue of
+    :func:`repro.apps.pdf1d.software.hardware_datapath_reference`, used by
+    the precision test to justify the shared 18-bit format choice.
+    """
+    from ...core.precision.quantize import quantize_array
+
+    samples = np.asarray(samples, dtype=np.float64)
+    grid_x = np.asarray(grid_x, dtype=np.float64)
+    grid_y = np.asarray(grid_y, dtype=np.float64)
+    _validate(samples, grid_x, grid_y, bandwidth=1.0)
+    qx = quantize_array(grid_x, fmt)
+    qy = quantize_array(grid_y, fmt)
+    q_samples = quantize_array(samples, fmt)
+    totals = np.zeros((grid_x.size, grid_y.size))
+    for x, y in q_samples:
+        dx = quantize_array(qx - x, fmt)
+        dy = quantize_array(qy - y, fmt)
+        sx = quantize_array(dx * dx, fmt)
+        sy = quantize_array(dy * dy, fmt)
+        pair = quantize_array(sx[:, None] + sy[None, :], fmt)
+        totals = quantize_array(totals + pair, fmt)
+    return totals

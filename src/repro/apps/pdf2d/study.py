@@ -1,0 +1,129 @@
+"""Assembled 2-D PDF case study (paper Tables 5, 6, 7).
+
+Worksheet inputs (Table 5): 1024 input elements, 65 536 output elements,
+4 bytes/element; 1000 MB/s ideal, alpha_write 0.37, alpha_read 0.16;
+393 216 ops/element at 48 ops/cycle; clocks 75/100/150 MHz; t_soft
+158.8 s; 400 iterations.
+
+Reported results (Table 6): predicted t_comm 1.65E-3 s, t_comp
+{1.12E-1, 8.39E-2, 5.59E-2} s, t_RC {4.54E+1, 3.42E+1, 2.30E+1} s,
+speedup {3.5, 4.6, 6.9}.  The printed Actual column is illegible in the
+only available source; the prose pins actual communication at ~6x the
+prediction and 19% utilization, with computation overestimated — the
+``actual`` values below are reconstructed on that basis and flagged.
+"""
+
+from __future__ import annotations
+
+from ...core.params import (
+    CommunicationParams,
+    ComputationParams,
+    DatasetParams,
+    RATInput,
+    SoftwareParams,
+)
+from ...interconnect.protocols import NALLATECH_PCIX_PROFILE
+from ...platforms.catalog import NALLATECH_H101
+from ..base import CaseStudy, PaperReference
+from .design import (
+    BATCH_ELEMENTS,
+    BATCH_SAMPLES,
+    N_BINS_PER_DIM,
+    OPS_PER_ELEMENT,
+    OUTPUT_BURST_BYTES,
+    TOTAL_SAMPLES,
+    build_hw_kernel,
+    build_kernel_design,
+)
+
+__all__ = ["rat_input", "build_study", "PAPER_TABLE6"]
+
+#: Paper Table 6. Predicted columns are legible; Actual is reconstructed
+#: from Section 5.1 prose (see module docstring) and flagged as such.
+PAPER_TABLE6 = PaperReference(
+    table_id="Table 6",
+    predicted={
+        75.0: {
+            "t_comm": 1.65e-3,
+            "t_comp": 1.12e-1,
+            "util_comm": 0.01,
+            "t_rc": 4.54e1,
+            "speedup": 3.5,
+        },
+        100.0: {
+            "t_comm": 1.65e-3,
+            "t_comp": 8.39e-2,
+            "util_comm": 0.02,
+            "t_rc": 3.42e1,
+            "speedup": 4.6,
+        },
+        150.0: {
+            "t_comm": 1.65e-3,
+            "t_comp": 5.59e-2,
+            "util_comm": 0.03,
+            "t_rc": 2.30e1,
+            "speedup": 6.9,
+        },
+    },
+    actual={
+        "t_comm": 9.9e-3,  # prose: ~6x the 1.65E-3 prediction
+        "t_comp": 4.2e-2,  # prose: util_comm 19% => t_comp = t_comm*81/19
+        "util_comm": 0.19,
+        "t_rc": 2.08e1,  # 400 * (t_comm + t_comp)
+        "speedup": 7.6,  # 158.8 / t_rc
+    },
+    actual_clock_mhz=150.0,
+    reconstructed_fields=("t_comm", "t_comp", "util_comm", "t_rc", "speedup"),
+)
+
+
+def rat_input(clock_mhz: float = 150.0) -> RATInput:
+    """The Table-5 worksheet input at one assumed clock."""
+    return RATInput(
+        name="2-D PDF",
+        dataset=DatasetParams(
+            elements_in=BATCH_ELEMENTS,
+            elements_out=N_BINS_PER_DIM * N_BINS_PER_DIM,
+            bytes_per_element=4,
+        ),
+        communication=CommunicationParams.from_worksheet(
+            ideal_mbps=1000.0, alpha_write=0.37, alpha_read=0.16
+        ),
+        computation=ComputationParams.from_worksheet(
+            ops_per_element=OPS_PER_ELEMENT,
+            throughput_proc=48.0,
+            clock_mhz=clock_mhz,
+        ),
+        software=SoftwareParams(
+            t_soft=158.8, n_iterations=TOTAL_SAMPLES // BATCH_SAMPLES
+        ),
+    )
+
+
+def build_study() -> CaseStudy:
+    """The complete 2-D PDF case study.
+
+    Results return every iteration (unlike the 1-D case) in 512-byte
+    bursts; each burst pays the full per-transfer driver cost, which is
+    the simulated mechanism behind the paper's communication blow-up.
+    """
+    return CaseStudy(
+        name="2-D PDF estimation",
+        rat=rat_input(),
+        platform=NALLATECH_H101,
+        clocks_mhz=(75.0, 100.0, 150.0),
+        kernel_design=build_kernel_design(),
+        hw_kernel=build_hw_kernel(),
+        sim_profile=NALLATECH_PCIX_PROFILE,
+        output_policy="per_iteration",
+        output_chunk_bytes=OUTPUT_BURST_BYTES,
+        host_turnaround_s=2.0e-4,
+        actual_clock_mhz=150.0,
+        paper=PAPER_TABLE6,
+        notes=(
+            "Actual column of Table 6 is illegible in the source; the "
+            "comparison target is reconstructed from prose (6x comm, 19% "
+            "util_comm). Simulated actuals land in the same regime "
+            "(several-fold comm underestimate, mid-teens utilization)."
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Case-study registry: name -> builder.
+
+Builders are lazy (studies assemble worksheets, designs and calibrated
+simulators) and results are cached per process, so the CLI and benchmark
+harness can request studies cheaply by name.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from ..errors import ExperimentError
+from .base import CaseStudy
+
+__all__ = ["get_case_study", "list_case_studies", "register_case_study"]
+
+
+def _pdf1d() -> CaseStudy:
+    from .pdf1d.study import build_study
+
+    return build_study()
+
+
+def _pdf2d() -> CaseStudy:
+    from .pdf2d.study import build_study
+
+    return build_study()
+
+
+def _md() -> CaseStudy:
+    from .md.study import build_study
+
+    return build_study()
+
+
+def _matmul() -> CaseStudy:
+    from .extra.matmul import build_matmul_study
+
+    return build_matmul_study()
+
+
+def _fir() -> CaseStudy:
+    from .extra.fir import build_fir_study
+
+    return build_fir_study()
+
+
+def _stringmatch() -> CaseStudy:
+    from .extra.stringmatch import build_stringmatch_study
+
+    return build_stringmatch_study()
+
+
+_BUILDERS: dict[str, Callable[[], CaseStudy]] = {
+    "pdf1d": _pdf1d,
+    "pdf2d": _pdf2d,
+    "md": _md,
+    "matmul": _matmul,
+    "fir": _fir,
+    "stringmatch": _stringmatch,
+}
+
+
+@lru_cache(maxsize=None)
+def get_case_study(name: str) -> CaseStudy:
+    """Build (or fetch the cached) case study by short name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown case study {name!r}; known: {sorted(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def register_case_study(name: str, builder: Callable[[], CaseStudy]) -> None:
+    """Add a user-defined study to the registry (tests, downstream users)."""
+    _BUILDERS[name] = builder
+    get_case_study.cache_clear()
+
+
+def list_case_studies() -> list[str]:
+    """Short names of all registered studies."""
+    return sorted(_BUILDERS)

@@ -1,0 +1,289 @@
+"""Command-line interface: ``rat`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``rat worksheet --json FILE | --study NAME [--clocks 75,100,150]``
+    Render the input sheet and predicted performance table for a
+    worksheet (from a JSON file of Table-1 fields or a named study).
+``rat study NAME``
+    Full case-study report: inputs, predicted table with the simulated
+    actual column, and the resource report.
+``rat experiment ID | --all``
+    Run one (or every) registered paper reproduction experiment.
+``rat goalseek --study NAME --target X [--variable throughput_proc]``
+    Inverse analysis: the parameter value needed for a target speedup.
+``rat platforms``
+    List catalogued platforms/devices/interconnects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from . import __version__
+from .analysis.experiments import list_experiments, run_all_experiments, run_experiment
+from .apps.registry import get_case_study, list_case_studies
+from .core.buffering import BufferingMode
+from .core.goalseek import required_alpha, required_clock, required_throughput_proc
+from .core.params import RATInput
+from .core.worksheet import RATWorksheet
+from .errors import RATError
+from .platforms import list_devices, list_interconnects, list_platforms, get_platform
+from .units import MHZ
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="rat",
+        description="RAT: RC Amenability Test — FPGA migration performance "
+        "prediction (reproduction of Holland et al., HPRCTA'07)",
+    )
+    parser.add_argument("--version", action="version", version=f"rat {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ws = sub.add_parser("worksheet", help="render a RAT worksheet")
+    source = ws.add_mutually_exclusive_group(required=True)
+    source.add_argument("--json", help="path to a worksheet JSON file")
+    source.add_argument("--study", choices=list_case_studies())
+    ws.add_argument(
+        "--clocks", default="", help="comma-separated clock sweep in MHz"
+    )
+    ws.add_argument(
+        "--double-buffered", action="store_true", help="use Equation (6)"
+    )
+
+    st = sub.add_parser("study", help="full case-study report")
+    st.add_argument("name", choices=list_case_studies())
+
+    ex = sub.add_parser("experiment", help="run paper reproduction experiments")
+    ex_target = ex.add_mutually_exclusive_group(required=True)
+    ex_target.add_argument("id", nargs="?", choices=list_experiments())
+    ex_target.add_argument("--all", action="store_true")
+
+    gs = sub.add_parser("goalseek", help="inverse analysis for a target speedup")
+    gs.add_argument("--study", required=True, choices=list_case_studies())
+    gs.add_argument("--target", type=float, required=True)
+    gs.add_argument(
+        "--variable",
+        default="throughput_proc",
+        choices=["throughput_proc", "clock", "alpha"],
+    )
+    gs.add_argument("--double-buffered", action="store_true")
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one parameter and chart predicted speedup"
+    )
+    sweep.add_argument("--study", required=True, choices=list_case_studies())
+    sweep.add_argument(
+        "--variable", default="clock",
+        choices=["clock", "alpha", "throughput_proc"],
+    )
+    sweep.add_argument(
+        "--values", required=True,
+        help="comma-separated values (MHz for clock, fractions for alpha)",
+    )
+    sweep.add_argument("--double-buffered", action="store_true")
+
+    lint = sub.add_parser(
+        "lint", help="check a worksheet for the paper's classic mistakes"
+    )
+    lint_source = lint.add_mutually_exclusive_group(required=True)
+    lint_source.add_argument("--json", help="path to a worksheet JSON file")
+    lint_source.add_argument("--study", choices=list_case_studies())
+    lint.add_argument(
+        "--platform", default="",
+        help="platform name for curve-based checks (default: the study's)",
+    )
+    lint.add_argument("--double-buffered", action="store_true")
+
+    report = sub.add_parser(
+        "report", help="generate the Markdown reproduction report"
+    )
+    report.add_argument(
+        "--output", "-o", default="", help="write to a file instead of stdout"
+    )
+
+    sub.add_parser("platforms", help="list the platform catalog")
+
+    return parser
+
+
+def _parse_clocks(text: str) -> tuple[float, ...]:
+    if not text:
+        return ()
+    return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+def _cmd_worksheet(args: argparse.Namespace) -> int:
+    if args.json:
+        with open(args.json, encoding="utf-8") as handle:
+            rat = RATInput.from_dict(json.load(handle))
+    else:
+        rat = get_case_study(args.study).rat
+    worksheet = RATWorksheet(rat, clocks_mhz=_parse_clocks(args.clocks))
+    mode = BufferingMode.DOUBLE if args.double_buffered else BufferingMode.SINGLE
+    print(worksheet.input_table())
+    print()
+    print(worksheet.performance_table(mode).render())
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    study = get_case_study(args.name)
+    print(f"# {study.name}")
+    print()
+    print(study.platform.describe())
+    print()
+    print(study.worksheet().input_table())
+    print()
+    print(study.performance_table_with_actual().render())
+    print()
+    print(study.resource_report().render())
+    if study.notes:
+        print()
+        print(f"Notes: {study.notes}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    results = run_all_experiments() if args.all else [run_experiment(args.id)]
+    failures = 0
+    for result in results:
+        print(result.render())
+        print()
+        if not result.all_within:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had cells outside tolerance")
+    return 1 if failures else 0
+
+
+def _cmd_goalseek(args: argparse.Namespace) -> int:
+    study = get_case_study(args.study)
+    mode = BufferingMode.DOUBLE if args.double_buffered else BufferingMode.SINGLE
+    rat = study.rat
+    if args.variable == "throughput_proc":
+        value = required_throughput_proc(rat, args.target, mode)
+        print(
+            f"{study.name}: {value:.2f} ops/cycle required for "
+            f"{args.target:g}x ({mode.value}-buffered, at "
+            f"{rat.computation.clock_mhz:g} MHz)"
+        )
+    elif args.variable == "clock":
+        value = required_clock(rat, args.target, mode)
+        print(
+            f"{study.name}: {value / MHZ:.1f} MHz required for {args.target:g}x "
+            f"({mode.value}-buffered, at {rat.computation.throughput_proc:g} "
+            "ops/cycle)"
+        )
+    else:
+        value = required_alpha(rat, args.target, mode)
+        feasible = "" if value <= 1 else "  (INFEASIBLE: exceeds 1)"
+        print(
+            f"{study.name}: uniform alpha {value:.3f} required for "
+            f"{args.target:g}x ({mode.value}-buffered){feasible}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweep import sweep_alpha, sweep_clock, sweep_throughput_proc
+
+    study = get_case_study(args.study)
+    mode = BufferingMode.DOUBLE if args.double_buffered else BufferingMode.SINGLE
+    values = [float(part) for part in args.values.split(",") if part.strip()]
+    if args.variable == "clock":
+        result = sweep_clock(study.rat, [v * MHZ for v in values], mode)
+    elif args.variable == "alpha":
+        result = sweep_alpha(study.rat, values, mode)
+    else:
+        result = sweep_throughput_proc(study.rat, values, mode)
+    print(result.render_ascii())
+    best_value, best = result.best()
+    print(f"best: {args.variable}={best_value:g} -> {best.speedup:.1f}x")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .core.lint import lint_worksheet
+
+    platform = None
+    if args.json:
+        with open(args.json, encoding="utf-8") as handle:
+            rat = RATInput.from_dict(json.load(handle))
+    else:
+        study = get_case_study(args.study)
+        rat = study.rat
+        platform = study.platform
+    if args.platform:
+        platform = get_platform(args.platform)
+    mode = BufferingMode.DOUBLE if args.double_buffered else BufferingMode.SINGLE
+    warnings = lint_worksheet(rat, platform, mode)
+    if not warnings:
+        print("no findings")
+        return 0
+    for warning in warnings:
+        print(warning.describe())
+    return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.reportgen import generate_markdown_report
+
+    text = generate_markdown_report()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_platforms(_: argparse.Namespace) -> int:
+    print("Platforms:")
+    for name in list_platforms():
+        print(get_platform(name).describe())
+        print()
+    print("Devices:      " + ", ".join(list_devices()))
+    print("Interconnects: " + ", ".join(list_interconnects()))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "worksheet": _cmd_worksheet,
+        "study": _cmd_study,
+        "experiment": _cmd_experiment,
+        "goalseek": _cmd_goalseek,
+        "sweep": _cmd_sweep,
+        "lint": _cmd_lint,
+        "report": _cmd_report,
+        "platforms": _cmd_platforms,
+    }
+    try:
+        return handlers[args.command](args)
+    except RATError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: exit
+        # quietly with the conventional SIGPIPE status.
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover - double-close race
+            pass
+        return 141
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

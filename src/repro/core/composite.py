@@ -1,0 +1,170 @@
+"""Composite-application and multi-FPGA analyses (paper Section 6).
+
+The paper's stated future work: "the current methodology was designed to
+support applications involving several algorithms, each with their own
+separate RAT analysis" and "systems containing multiple FPGAs being
+increasingly deployed."  This module provides both compositions:
+
+* :class:`CompositeAnalysis` — an application as a sequence of stages,
+  each a complete RAT worksheet, executed serially on one FPGA (the
+  common reconfigure-or-timeshare pattern).  Total RC time is the sum of
+  stage times; total speedup compares against the *sum* of stage software
+  baselines, which is what the application actually experiences.
+* :class:`MultiFPGAAnalysis` — N identical devices processing a data-
+  parallel decomposition of one worksheet.  Computation divides by N;
+  the host interconnect is a shared serial resource, so communication
+  does *not* divide — giving the classic communication-bound scaling
+  ceiling that :meth:`MultiFPGAAnalysis.max_useful_devices` locates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ParameterError
+from .buffering import BufferingMode
+from .params import RATInput
+from .throughput import (
+    communication_time,
+    computation_time,
+    predict,
+    rc_execution_time,
+)
+
+__all__ = ["StageResult", "CompositeAnalysis", "MultiFPGAAnalysis"]
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One stage's contribution to a composite application."""
+
+    name: str
+    t_rc: float
+    t_soft: float
+    speedup: float
+    fraction_of_total_rc: float
+
+
+@dataclass(frozen=True)
+class CompositeAnalysis:
+    """Serial composition of independently analysed kernels.
+
+    Each stage is a full :class:`~repro.core.params.RATInput`; stages run
+    one after another on the same FPGA (reconfiguration time is ignored,
+    consistent with the paper's throughput test, which "ignores
+    reconfiguration and other setup times").
+    """
+
+    stages: tuple[RATInput, ...]
+    mode: BufferingMode = BufferingMode.SINGLE
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ParameterError("CompositeAnalysis requires at least one stage")
+
+    def total_rc_time(self) -> float:
+        """Sum of stage RC execution times."""
+        return sum(rc_execution_time(stage, self.mode) for stage in self.stages)
+
+    def total_soft_time(self) -> float:
+        """Sum of stage software baselines."""
+        return sum(stage.software.t_soft for stage in self.stages)
+
+    def speedup(self) -> float:
+        """Application-level speedup (Equation 7 over the composition)."""
+        return self.total_soft_time() / self.total_rc_time()
+
+    def stage_results(self) -> list[StageResult]:
+        """Per-stage breakdown, including each stage's share of RC time.
+
+        The share identifies the Amdahl bottleneck stage: accelerating a
+        stage that is already a small fraction of total RC time cannot
+        move the application speedup much.
+        """
+        total = self.total_rc_time()
+        results = []
+        for i, stage in enumerate(self.stages):
+            t_rc = rc_execution_time(stage, self.mode)
+            results.append(
+                StageResult(
+                    name=stage.name or f"stage {i + 1}",
+                    t_rc=t_rc,
+                    t_soft=stage.software.t_soft,
+                    speedup=stage.software.t_soft / t_rc,
+                    fraction_of_total_rc=t_rc / total,
+                )
+            )
+        return results
+
+    def bottleneck(self) -> StageResult:
+        """The stage consuming the largest share of RC time."""
+        return max(self.stage_results(), key=lambda s: s.t_rc)
+
+
+@dataclass(frozen=True)
+class MultiFPGAAnalysis:
+    """Data-parallel decomposition of one kernel across N FPGAs.
+
+    The problem's iterations are distributed round-robin over ``n_fpgas``
+    devices; each device computes its share concurrently, but all input
+    and output data still crosses the single host interconnect serially.
+    """
+
+    rat: RATInput
+    n_fpgas: int
+    mode: BufferingMode = BufferingMode.SINGLE
+
+    def __post_init__(self) -> None:
+        if self.n_fpgas < 1:
+            raise ParameterError(f"n_fpgas must be >= 1, got {self.n_fpgas}")
+
+    def rc_time(self) -> float:
+        """Execution time with computation divided, communication shared.
+
+        Per "round" of N concurrent iterations the host must move N
+        blocks (serial) while each device computes one block (parallel):
+        ``t_round = N * t_comm + t_comp`` single-buffered, or
+        ``max(N * t_comm, t_comp)`` double-buffered.  Rounds =
+        ``ceil(N_iter / N)``; the final partial round is modelled at the
+        full round cost (devices without work idle).
+        """
+        t_comm = communication_time(self.rat)
+        t_comp = computation_time(self.rat)
+        rounds = math.ceil(self.rat.software.n_iterations / self.n_fpgas)
+        if self.mode is BufferingMode.SINGLE:
+            per_round = self.n_fpgas * t_comm + t_comp
+        elif self.mode is BufferingMode.DOUBLE:
+            per_round = max(self.n_fpgas * t_comm, t_comp)
+        else:
+            raise ParameterError(f"unknown buffering mode {self.mode!r}")
+        return rounds * per_round
+
+    def speedup(self) -> float:
+        """Application speedup with N devices."""
+        return self.rat.software.t_soft / self.rc_time()
+
+    def scaling_efficiency(self) -> float:
+        """Speedup relative to N x the single-device speedup."""
+        single = MultiFPGAAnalysis(self.rat, 1, self.mode).speedup()
+        return self.speedup() / (self.n_fpgas * single)
+
+    def max_useful_devices(self, efficiency_floor: float = 0.5) -> int:
+        """Largest N whose scaling efficiency stays above the floor.
+
+        Grows N until efficiency drops below ``efficiency_floor`` or N
+        exceeds the iteration count (beyond which devices must idle).
+        """
+        if not 0 < efficiency_floor <= 1:
+            raise ParameterError(
+                f"efficiency_floor must be in (0, 1], got {efficiency_floor}"
+            )
+        best = 1
+        for n in range(1, self.rat.software.n_iterations + 1):
+            analysis = MultiFPGAAnalysis(self.rat, n, self.mode)
+            if analysis.scaling_efficiency() >= efficiency_floor:
+                best = n
+            else:
+                break
+        return best

@@ -1,0 +1,167 @@
+"""Inverse throughput analyses ("tuning-parameter" mode).
+
+Section 3.1 of the paper: for data-dependent algorithms where the average
+operation rate cannot be predicted, "a better approach would be to treat
+``throughput_proc`` as an independent variable and select a desired speedup
+value.  Then one can solve for the particular ``throughput_proc`` value
+required to achieve that desired speedup."  The MD case study (Section 5.2)
+uses exactly this: 50 ops/cycle is the value the equations return for the
+desired ~10x speedup, interpreted qualitatively as "substantial data
+parallelism and functional pipelining must be achieved".
+
+This module inverts Equations (5)-(7) for each tunable in turn:
+``throughput_proc``, ``f_clock``, and a uniform ``alpha``.  Each solver
+raises :class:`~repro.errors.GoalSeekError` when the target is infeasible —
+e.g. communication time alone already exceeds the per-iteration budget, in
+which case *no* amount of compute parallelism can reach the target.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import GoalSeekError, ParameterError
+from .buffering import BufferingMode
+from .params import RATInput
+from .throughput import communication_time, computation_time
+
+__all__ = [
+    "iteration_budget",
+    "required_throughput_proc",
+    "required_clock",
+    "required_alpha",
+    "max_achievable_speedup",
+]
+
+
+def iteration_budget(rat: RATInput, target_speedup: float) -> float:
+    """Per-iteration time budget implied by a target speedup.
+
+    From Equation (7): ``t_RC <= t_soft / speedup``; dividing by ``N_iter``
+    gives the time each communication+computation block may take.
+    """
+    if target_speedup <= 0:
+        raise ParameterError(f"target_speedup must be positive, got {target_speedup}")
+    return rat.software.t_soft / target_speedup / rat.software.n_iterations
+
+
+def _comp_budget(
+    rat: RATInput, target_speedup: float, mode: BufferingMode
+) -> float:
+    """Time available for computation per iteration under the target.
+
+    Single buffered subtracts the (fixed) communication time from the
+    budget; double buffered allows computation to fill the whole budget,
+    but the budget must still cover communication (which cannot be
+    compressed by adding compute parallelism).
+    """
+    budget = iteration_budget(rat, target_speedup)
+    t_comm = communication_time(rat)
+    if mode is BufferingMode.SINGLE:
+        remaining = budget - t_comm
+        if remaining <= 0:
+            raise GoalSeekError(
+                f"target speedup {target_speedup:g} is infeasible single-buffered: "
+                f"communication alone takes {t_comm:.3e} s of the "
+                f"{budget:.3e} s per-iteration budget"
+            )
+        return remaining
+    if mode is BufferingMode.DOUBLE:
+        if t_comm > budget:
+            raise GoalSeekError(
+                f"target speedup {target_speedup:g} is infeasible even "
+                f"double-buffered: communication ({t_comm:.3e} s) exceeds the "
+                f"{budget:.3e} s per-iteration budget"
+            )
+        return budget
+    raise ParameterError(f"unknown buffering mode {mode!r}")
+
+
+def required_throughput_proc(
+    rat: RATInput,
+    target_speedup: float,
+    mode: BufferingMode = BufferingMode.SINGLE,
+) -> float:
+    """Operations/cycle needed to reach a target speedup.
+
+    Inverts Equation (4) for ``throughput_proc`` given the computation-time
+    budget.  The result "serves qualitatively to the user as an indicator"
+    of how much parallelism the design must deliver (paper, Section 5.2).
+    """
+    budget = _comp_budget(rat, target_speedup, mode)
+    total_ops = rat.dataset.elements_in * rat.computation.ops_per_element
+    return total_ops / (rat.computation.clock_hz * budget)
+
+
+def required_clock(
+    rat: RATInput,
+    target_speedup: float,
+    mode: BufferingMode = BufferingMode.SINGLE,
+) -> float:
+    """Fabric clock (Hz) needed to reach a target speedup.
+
+    Inverts Equation (4) for ``f_clock`` with ``throughput_proc`` held at
+    the worksheet value.  Useful for judging whether a design concept is
+    viable at all: a required clock beyond the device's practical ceiling
+    means the parallelism estimate, not the clock, must improve.
+    """
+    budget = _comp_budget(rat, target_speedup, mode)
+    total_ops = rat.dataset.elements_in * rat.computation.ops_per_element
+    return total_ops / (rat.computation.throughput_proc * budget)
+
+
+def required_alpha(
+    rat: RATInput,
+    target_speedup: float,
+    mode: BufferingMode = BufferingMode.SINGLE,
+) -> float:
+    """Uniform sustained fraction needed to reach a target speedup.
+
+    Solves for a single ``alpha`` applied to both directions, with
+    computation time held at the worksheet value.  Returns a value that
+    may exceed 1, signalling that *no* interconnect tuning can reach the
+    target (the caller decides whether to treat that as infeasible; a
+    value of e.g. 1.7 usefully quantifies "you need a 1.7x faster link").
+    """
+    budget = iteration_budget(rat, target_speedup)
+    t_comp = computation_time(rat)
+    if mode is BufferingMode.SINGLE:
+        comm_budget = budget - t_comp
+        if comm_budget <= 0:
+            raise GoalSeekError(
+                f"target speedup {target_speedup:g} is infeasible single-buffered: "
+                f"computation alone takes {t_comp:.3e} s of the "
+                f"{budget:.3e} s per-iteration budget"
+            )
+    elif mode is BufferingMode.DOUBLE:
+        if t_comp > budget:
+            raise GoalSeekError(
+                f"target speedup {target_speedup:g} is infeasible even "
+                f"double-buffered: computation ({t_comp:.3e} s) exceeds the "
+                f"{budget:.3e} s per-iteration budget"
+            )
+        comm_budget = budget
+    else:
+        raise ParameterError(f"unknown buffering mode {mode!r}")
+    total_bytes = rat.dataset.bytes_in + rat.dataset.bytes_out
+    return total_bytes / (rat.communication.ideal_bandwidth * comm_budget)
+
+
+def max_achievable_speedup(
+    rat: RATInput, mode: BufferingMode = BufferingMode.SINGLE
+) -> float:
+    """Speedup ceiling as compute parallelism grows without bound.
+
+    With ``throughput_proc -> infinity``, ``t_comp -> 0`` and the execution
+    time floors at ``N_iter * t_comm`` in both buffering modes.  This is
+    the communication-bound Amdahl limit of the design; if it falls below
+    the project's requirement, the decomposition (block sizes, data
+    volume) must change, not the kernel.
+    """
+    t_comm = communication_time(rat)
+    if t_comm == 0:
+        return math.inf
+    floor = rat.software.n_iterations * t_comm
+    if mode not in (BufferingMode.SINGLE, BufferingMode.DOUBLE):
+        raise ParameterError(f"unknown buffering mode {mode!r}")
+    return rat.software.t_soft / floor

@@ -1,0 +1,194 @@
+"""Worksheet linting: catch the mistakes the paper's case studies made.
+
+RAT's equations are trivially easy to feed garbage.  The linter encodes
+the failure modes documented in the paper (and a few physical sanity
+checks) as warnings on a worksheet + platform pair:
+
+* ``SMALL_TRANSFERS`` — the block size sits in the overhead-dominated
+  region of the platform's alpha curve *and* many iterations will repeat
+  the cost: the 1-D PDF's 4.5x communication miss.
+* ``ALPHA_OPTIMISTIC`` — the worksheet alpha exceeds what the platform's
+  tabulated curve sustains at this transfer size: the 2-D PDF's 6x miss.
+* ``CLOCK_ABOVE_DEVICE`` — the assumed clock exceeds the device's
+  practical fabric ceiling.
+* ``FEW_ITERATIONS_DB`` — double buffering assumed but too few
+  iterations for the startup transient to amortise (the paper's
+  steady-state caveat on Equations 10-11).
+* ``THROUGHPUT_EXCEEDS_OPS`` — ``throughput_proc`` above
+  ``ops_per_element``: the design would finish an element in under a
+  cycle, which the element/operation bookkeeping cannot mean.
+* ``OUTPUT_DOMINATES`` — output volume dwarfs input: consider whether
+  results can stay on-chip (the 1-D PDF's end-of-run readback trick).
+
+Each warning carries an explanation and a suggestion; none is fatal —
+RAT remains a designer-judgement tool.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..platforms.platform import RCPlatform
+from .buffering import BufferingMode
+from .params import RATInput
+
+__all__ = ["LintCode", "LintWarning", "lint_worksheet"]
+
+
+class LintCode(str, enum.Enum):
+    """Machine-readable warning identifiers."""
+
+    SMALL_TRANSFERS = "small-transfers"
+    ALPHA_OPTIMISTIC = "alpha-optimistic"
+    CLOCK_ABOVE_DEVICE = "clock-above-device"
+    FEW_ITERATIONS_DB = "few-iterations-db"
+    THROUGHPUT_EXCEEDS_OPS = "throughput-exceeds-ops"
+    OUTPUT_DOMINATES = "output-dominates"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    """One finding: code, explanation, suggestion."""
+
+    code: LintCode
+    message: str
+    suggestion: str
+
+    def describe(self) -> str:
+        """Render as ``[code] message (suggestion)``."""
+        return f"[{self.code.value}] {self.message} — {self.suggestion}"
+
+
+# Transfers below this fraction of the platform's asymptotic alpha are
+# considered overhead-dominated.
+_SMALL_TRANSFER_ALPHA_FRACTION = 0.6
+# Iterations below this make the DB steady-state assumption shaky.
+_MIN_DB_ITERATIONS = 10
+# Alpha optimism slack: worksheet alpha may exceed the curve by this
+# relative margin before warning (curves are themselves estimates).
+_ALPHA_SLACK = 0.05
+
+
+def lint_worksheet(
+    rat: RATInput,
+    platform: RCPlatform | None = None,
+    mode: BufferingMode = BufferingMode.SINGLE,
+) -> list[LintWarning]:
+    """Check one worksheet (optionally against a platform's curves).
+
+    Returns warnings in a stable order; an empty list means no findings.
+    Platform-dependent checks are skipped when ``platform`` is None.
+    """
+    warnings: list[LintWarning] = []
+
+    # --- pure worksheet checks ------------------------------------------------
+    if rat.computation.throughput_proc > rat.computation.ops_per_element:
+        warnings.append(LintWarning(
+            code=LintCode.THROUGHPUT_EXCEEDS_OPS,
+            message=(
+                f"throughput_proc ({rat.computation.throughput_proc:g} "
+                f"ops/cycle) exceeds ops_per_element "
+                f"({rat.computation.ops_per_element:g})"
+            ),
+            suggestion=(
+                "a fully pipelined design peaks at one element per cycle, "
+                "i.e. throughput_proc = ops_per_element; check the "
+                "operation scope on both sides"
+            ),
+        ))
+
+    if mode is BufferingMode.DOUBLE and (
+        rat.software.n_iterations < _MIN_DB_ITERATIONS
+    ):
+        warnings.append(LintWarning(
+            code=LintCode.FEW_ITERATIONS_DB,
+            message=(
+                f"double buffering assumed with only "
+                f"{rat.software.n_iterations} iterations"
+            ),
+            suggestion=(
+                "Equation (6) and the DB utilizations assume steady state; "
+                "with few iterations the startup transient is material — "
+                "use the single-buffered equations or the simulator"
+            ),
+        ))
+
+    if rat.dataset.bytes_out > 10 * rat.dataset.bytes_in:
+        warnings.append(LintWarning(
+            code=LintCode.OUTPUT_DOMINATES,
+            message=(
+                f"output volume ({rat.dataset.bytes_out:g} B/iter) is "
+                f">10x the input ({rat.dataset.bytes_in:g} B/iter)"
+            ),
+            suggestion=(
+                "consider accumulating results on-chip and reading back "
+                "once (the paper's 1-D PDF does this), or recheck "
+                "elements_out"
+            ),
+        ))
+
+    if platform is None:
+        return warnings
+
+    # --- platform-dependent checks ---------------------------------------------
+    device = platform.device
+    if rat.computation.clock_hz > device.max_clock_hz:
+        warnings.append(LintWarning(
+            code=LintCode.CLOCK_ABOVE_DEVICE,
+            message=(
+                f"assumed clock {rat.computation.clock_mhz:g} MHz exceeds "
+                f"the {device.name}'s practical ceiling "
+                f"{device.max_clock_hz / 1e6:g} MHz"
+            ),
+            suggestion="sweep clocks the fabric can plausibly close instead",
+        ))
+
+    for direction, nbytes, worksheet_alpha, lookup in (
+        ("write", rat.dataset.bytes_in, rat.communication.alpha_write,
+         platform.alpha_write),
+        ("read", rat.dataset.bytes_out, rat.communication.alpha_read,
+         platform.alpha_read),
+    ):
+        if nbytes <= 0:
+            continue
+        curve_alpha = lookup(nbytes)
+        if worksheet_alpha > curve_alpha * (1 + _ALPHA_SLACK):
+            warnings.append(LintWarning(
+                code=LintCode.ALPHA_OPTIMISTIC,
+                message=(
+                    f"alpha_{direction} {worksheet_alpha:g} exceeds the "
+                    f"platform's tabulated {curve_alpha:.3f} at "
+                    f"{nbytes:g} B transfers"
+                ),
+                suggestion=(
+                    "re-run the microbenchmark at the actual transfer size "
+                    "(alpha falls steeply for small transfers)"
+                ),
+            ))
+
+    asymptote = platform.write_alpha.max_alpha()
+    if (
+        rat.software.n_iterations >= _MIN_DB_ITERATIONS
+        and platform.alpha_write(rat.dataset.bytes_in)
+        < _SMALL_TRANSFER_ALPHA_FRACTION * asymptote
+    ):
+        warnings.append(LintWarning(
+            code=LintCode.SMALL_TRANSFERS,
+            message=(
+                f"{rat.software.n_iterations} iterations of "
+                f"{rat.dataset.bytes_in:g} B transfers sit in the "
+                "overhead-dominated region of the platform's alpha curve"
+            ),
+            suggestion=(
+                "batch more elements per transfer, or expect "
+                "application-visible alpha well below the microbenchmark "
+                "(the paper's 1-D PDF measured 4.5x worse)"
+            ),
+        ))
+
+    return warnings

@@ -1,0 +1,235 @@
+"""The RAT methodology flow (paper Figure 1).
+
+The flow: identify the kernel, create a design on paper, then apply three
+tests —
+
+1. **throughput test**: does the predicted speedup meet the requirement?
+   If not: *insufficient communication or computation throughput* — revise
+   the design.
+2. **numerical precision test**: does the minimum precision satisfying the
+   error tolerance exist and balance performance?  If not: *unrealizable
+   precision requirement*.
+3. **resource test**: does the estimated design fit the device?  If not:
+   *insufficient resources*.
+
+Only after all three pass does the designer "build in HDL or HLL, simulate
+design, verify on HW platform" — i.e. PROCEED.  The tests "are not
+necessarily used as a single, sequential procedure.  Often, RAT is applied
+iteratively during the design process until a suitable version of the
+algorithm is formulated or all reasonable permutations are exhausted" —
+:func:`iterate_designs` implements that loop over a candidate list.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ParameterError, PrecisionError
+from ..platforms.device import FPGADevice
+from .buffering import BufferingMode
+from .params import RATInput
+from .precision.error import ErrorReport
+from .resources.estimator import KernelDesign
+from .resources.report import UtilizationReport, utilization_report
+from .throughput import ThroughputPrediction, predict
+
+__all__ = [
+    "Verdict",
+    "Requirements",
+    "DesignCandidate",
+    "MethodologyResult",
+    "evaluate_design",
+    "iterate_designs",
+]
+
+
+class Verdict(str, enum.Enum):
+    """Terminal outcomes of Figure 1."""
+
+    PROCEED = "proceed"
+    INSUFFICIENT_THROUGHPUT = "insufficient throughput"
+    UNREALIZABLE_PRECISION = "unrealizable precision requirement"
+    INSUFFICIENT_RESOURCES = "insufficient resources"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """The designer's acceptance criteria.
+
+    ``min_speedup`` is the project's metric of success — the paper notes
+    this varies from 50-100x ("middle management"), through break-even
+    factors of ten, down to ~1x for embedded power savings.  Precision
+    tolerances are optional (None skips the corresponding check, matching
+    how the paper's case studies fixed precision up front).
+    """
+
+    min_speedup: float
+    max_rel_error: float | None = None
+    min_sqnr_db: float | None = None
+    buffering: BufferingMode = BufferingMode.SINGLE
+    routing_risk_is_failure: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_speedup <= 0:
+            raise ParameterError(
+                f"min_speedup must be positive, got {self.min_speedup}"
+            )
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One "design on paper": worksheet input + optional deeper artefacts.
+
+    ``precision_report`` carries the error analysis of the chosen format
+    against the software reference (None when precision is asserted
+    acceptable by the designer); ``kernel_design`` carries the
+    architecture for the resource test (None skips it, as the molecular
+    dynamics framework [13] cited by the paper chose to — at its own
+    peril).
+    """
+
+    rat: RATInput
+    precision_report: ErrorReport | None = None
+    kernel_design: KernelDesign | None = None
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        """Display name: explicit label, else the worksheet name."""
+        return self.label or self.rat.name or "unnamed design"
+
+
+@dataclass(frozen=True)
+class MethodologyResult:
+    """Outcome of running the Figure-1 flow on one candidate."""
+
+    candidate: DesignCandidate
+    verdict: Verdict
+    prediction: ThroughputPrediction
+    utilization: UtilizationReport | None
+    details: tuple[str, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        """True only for the PROCEED verdict."""
+        return self.verdict is Verdict.PROCEED
+
+    def describe(self) -> str:
+        """Multi-line verdict summary."""
+        lines = [
+            f"Design:  {self.candidate.name}",
+            f"Verdict: {self.verdict.value.upper()}",
+            f"  predicted speedup {self.prediction.speedup:.1f}x "
+            f"({self.prediction.mode.value}-buffered, "
+            f"{self.prediction.bound}-bound)",
+        ]
+        lines.extend(f"  {detail}" for detail in self.details)
+        return "\n".join(lines)
+
+
+def evaluate_design(
+    candidate: DesignCandidate,
+    requirements: Requirements,
+    device: FPGADevice | None = None,
+) -> MethodologyResult:
+    """Run the three RAT tests on one candidate (Figure 1, one pass).
+
+    Tests run in the paper's order and the verdict is the *first* failing
+    test — matching the flow chart's routing, where a throughput failure
+    sends the designer back to the drawing board before precision is even
+    considered.  All tests still execute so the result carries complete
+    diagnostics.
+    """
+    details: list[str] = []
+
+    # --- Throughput test ----------------------------------------------------
+    prediction = predict(candidate.rat, requirements.buffering)
+    throughput_ok = prediction.speedup >= requirements.min_speedup
+    details.append(
+        f"throughput: predicted {prediction.speedup:.2f}x vs required "
+        f"{requirements.min_speedup:g}x -> {'pass' if throughput_ok else 'FAIL'}"
+    )
+
+    # --- Precision test -----------------------------------------------------
+    precision_ok = True
+    if candidate.precision_report is not None and (
+        requirements.max_rel_error is not None
+        or requirements.min_sqnr_db is not None
+    ):
+        precision_ok = candidate.precision_report.within(
+            max_rel=requirements.max_rel_error,
+            min_sqnr_db=requirements.min_sqnr_db,
+        )
+        details.append(
+            f"precision: {candidate.precision_report.describe()} -> "
+            f"{'pass' if precision_ok else 'FAIL'}"
+        )
+    else:
+        details.append("precision: accepted by designer (no report/tolerance)")
+
+    # --- Resource test --------------------------------------------------------
+    utilization: UtilizationReport | None = None
+    resources_ok = True
+    if candidate.kernel_design is not None:
+        if device is None:
+            raise ParameterError(
+                "resource test requires a device when kernel_design is given"
+            )
+        utilization = utilization_report(candidate.kernel_design, device)
+        resources_ok = utilization.fits and not (
+            requirements.routing_risk_is_failure and utilization.routing_risk
+        )
+        limiting = utilization.limiting_resource
+        details.append(
+            f"resources: limiting {limiting.value} at "
+            f"{utilization.utilization(limiting):.0%} -> "
+            f"{'pass' if resources_ok else 'FAIL'}"
+        )
+    else:
+        details.append("resources: skipped (no kernel design supplied)")
+
+    if not throughput_ok:
+        verdict = Verdict.INSUFFICIENT_THROUGHPUT
+    elif not precision_ok:
+        verdict = Verdict.UNREALIZABLE_PRECISION
+    elif not resources_ok:
+        verdict = Verdict.INSUFFICIENT_RESOURCES
+    else:
+        verdict = Verdict.PROCEED
+
+    return MethodologyResult(
+        candidate=candidate,
+        verdict=verdict,
+        prediction=prediction,
+        utilization=utilization,
+        details=tuple(details),
+    )
+
+
+def iterate_designs(
+    candidates: Iterable[DesignCandidate],
+    requirements: Requirements,
+    device: FPGADevice | None = None,
+) -> tuple[MethodologyResult | None, list[MethodologyResult]]:
+    """Apply RAT iteratively over candidate designs (Figure 1's loop).
+
+    Returns ``(first_passing_result_or_None, all_results)``.  A ``None``
+    first element is the paper's "all reasonable permutations are
+    exhausted without a satisfactory solution" outcome; the full result
+    list preserves the audit trail either way.
+    """
+    results: list[MethodologyResult] = []
+    winner: MethodologyResult | None = None
+    for candidate in candidates:
+        result = evaluate_design(candidate, requirements, device)
+        results.append(result)
+        if winner is None and result.passed:
+            winner = result
+    if not results:
+        raise ParameterError("iterate_designs requires at least one candidate")
+    return winner, results

@@ -1,0 +1,309 @@
+"""RAT worksheet input parameters (paper Table 1).
+
+The worksheet groups its inputs into four categories:
+
+======================  =====================================================
+Dataset parameters      ``N_elements,input``, ``N_elements,output``,
+                        bytes/element
+Communication params    ``throughput_ideal`` (MB/s), ``alpha_write``,
+                        ``alpha_read``
+Computation params      ops/element, ``throughput_proc`` (ops/cycle),
+                        ``f_clock`` (MHz)
+Software parameters     ``t_soft`` (s), ``N_iter``
+======================  =====================================================
+
+All quantities are stored in SI base units (bytes, bytes/s, Hz, seconds);
+the constructors accept the worksheet's scaled units through the
+``from_worksheet`` helpers.  Validation is strict — the paper's methodology
+depends on every parameter being physically meaningful, and a silent
+negative element count would poison every downstream equation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from ..errors import ParameterError
+from ..units import MB, MHZ
+
+__all__ = [
+    "DatasetParams",
+    "CommunicationParams",
+    "ComputationParams",
+    "SoftwareParams",
+    "RATInput",
+]
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not math.isfinite(value) or not value > 0:
+        raise ParameterError(f"{name} must be positive and finite, got {value}")
+
+
+def _require_nonnegative(name: str, value: float) -> None:
+    if not math.isfinite(value) or value < 0:
+        raise ParameterError(f"{name} must be >= 0 and finite, got {value}")
+
+
+def _require_fraction(name: str, value: float) -> None:
+    if not math.isfinite(value) or not 0 < value <= 1:
+        raise ParameterError(f"{name} must be in (0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class DatasetParams:
+    """Problem-size parameters of one buffered block.
+
+    ``elements_in`` is the number of elements transferred host→FPGA per
+    iteration; ``elements_out`` the number returned FPGA→host.  The
+    "element" is the paper's common unit tying communication volume to
+    computation volume — e.g. one data sample for PDF estimation, one
+    molecule for MD.  ``bytes_per_element`` is fixed by the chosen
+    numerical precision *as communicated* (the 1-D PDF computes in 18-bit
+    fixed point but communicates 32-bit words, so it is 4 here).
+    """
+
+    elements_in: int
+    elements_out: int
+    bytes_per_element: float
+
+    def __post_init__(self) -> None:
+        _require_positive("elements_in", self.elements_in)
+        _require_nonnegative("elements_out", self.elements_out)
+        _require_positive("bytes_per_element", self.bytes_per_element)
+
+    @property
+    def bytes_in(self) -> float:
+        """Input transfer size per iteration, in bytes."""
+        return self.elements_in * self.bytes_per_element
+
+    @property
+    def bytes_out(self) -> float:
+        """Output transfer size per iteration, in bytes."""
+        return self.elements_out * self.bytes_per_element
+
+
+@dataclass(frozen=True)
+class CommunicationParams:
+    """Interconnect parameters: Equations (2)-(3) denominators.
+
+    ``ideal_bandwidth`` is the documented theoretical maximum in bytes/s;
+    ``alpha_write`` / ``alpha_read`` are the microbenchmark-measured
+    sustained fractions for host→FPGA and FPGA→host transfers.
+    """
+
+    ideal_bandwidth: float
+    alpha_write: float
+    alpha_read: float
+
+    def __post_init__(self) -> None:
+        _require_positive("ideal_bandwidth", self.ideal_bandwidth)
+        _require_fraction("alpha_write", self.alpha_write)
+        _require_fraction("alpha_read", self.alpha_read)
+
+    @classmethod
+    def from_worksheet(
+        cls, ideal_mbps: float, alpha_write: float, alpha_read: float
+    ) -> "CommunicationParams":
+        """Construct from the worksheet's MB/s convention."""
+        return cls(
+            ideal_bandwidth=ideal_mbps * MB,
+            alpha_write=alpha_write,
+            alpha_read=alpha_read,
+        )
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Sustained host→FPGA bandwidth, bytes/s."""
+        return self.alpha_write * self.ideal_bandwidth
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Sustained FPGA→host bandwidth, bytes/s."""
+        return self.alpha_read * self.ideal_bandwidth
+
+
+@dataclass(frozen=True)
+class ComputationParams:
+    """Kernel parameters: Equation (4) terms.
+
+    ``ops_per_element`` is manually counted from the algorithm structure;
+    ``throughput_proc`` is the expected operations *completed per cycle*
+    by the proposed design.  Both must share one definition of
+    "operation" — the paper's Booth-multiplier example shows that
+    counting a 16-cycle multiply as 1 op at 1/16 op/cycle or as 16 ops at
+    1 op/cycle yields identical times, and tests pin that equivalence.
+    ``clock_hz`` is the assumed fabric clock.
+    """
+
+    ops_per_element: float
+    throughput_proc: float
+    clock_hz: float
+
+    def __post_init__(self) -> None:
+        _require_positive("ops_per_element", self.ops_per_element)
+        _require_positive("throughput_proc", self.throughput_proc)
+        _require_positive("clock_hz", self.clock_hz)
+
+    @classmethod
+    def from_worksheet(
+        cls, ops_per_element: float, throughput_proc: float, clock_mhz: float
+    ) -> "ComputationParams":
+        """Construct from the worksheet's MHz convention."""
+        return cls(
+            ops_per_element=ops_per_element,
+            throughput_proc=throughput_proc,
+            clock_hz=clock_mhz * MHZ,
+        )
+
+    @property
+    def clock_mhz(self) -> float:
+        """Clock in MHz for worksheet display."""
+        return self.clock_hz / MHZ
+
+    @property
+    def ops_per_second(self) -> float:
+        """Sustained operation rate: ``f_clock * throughput_proc``."""
+        return self.clock_hz * self.throughput_proc
+
+    def with_clock_hz(self, clock_hz: float) -> "ComputationParams":
+        """Copy with a different clock (used by worksheet clock sweeps)."""
+        return replace(self, clock_hz=clock_hz)
+
+
+@dataclass(frozen=True)
+class SoftwareParams:
+    """Baseline and problem-decomposition parameters.
+
+    ``t_soft`` is the measured execution time of the *entire* software
+    baseline (all iterations); ``n_iterations`` is how many
+    communication+computation blocks the FPGA needs to cover the same
+    problem (paper: 204800 samples / 512 per block = 400).
+    """
+
+    t_soft: float
+    n_iterations: int = 1
+
+    def __post_init__(self) -> None:
+        _require_positive("t_soft", self.t_soft)
+        if self.n_iterations < 1:
+            raise ParameterError(
+                f"n_iterations must be >= 1, got {self.n_iterations}"
+            )
+
+
+@dataclass(frozen=True)
+class RATInput:
+    """The complete RAT worksheet input (paper Table 1).
+
+    Bundles the four parameter groups plus an optional name for reports.
+    Immutable; what-if edits go through the ``with_*`` helpers so each
+    candidate design is a distinct value (the methodology of Figure 1
+    iterates over such candidates).
+    """
+
+    dataset: DatasetParams
+    communication: CommunicationParams
+    computation: ComputationParams
+    software: SoftwareParams
+    name: str = ""
+
+    # ---- derived convenience properties -----------------------------------
+
+    @property
+    def total_elements(self) -> float:
+        """Total input elements across all iterations."""
+        return self.dataset.elements_in * self.software.n_iterations
+
+    @property
+    def total_ops(self) -> float:
+        """Total operations across all iterations."""
+        return self.total_elements * self.computation.ops_per_element
+
+    # ---- what-if edit helpers ---------------------------------------------
+
+    def with_clock_hz(self, clock_hz: float) -> "RATInput":
+        """Copy with a different assumed fabric clock."""
+        return replace(self, computation=self.computation.with_clock_hz(clock_hz))
+
+    def with_throughput_proc(self, throughput_proc: float) -> "RATInput":
+        """Copy with a different ops/cycle estimate."""
+        return replace(
+            self, computation=replace(self.computation, throughput_proc=throughput_proc)
+        )
+
+    def with_alphas(self, alpha_write: float, alpha_read: float) -> "RATInput":
+        """Copy with different sustained-bandwidth fractions."""
+        return replace(
+            self,
+            communication=replace(
+                self.communication, alpha_write=alpha_write, alpha_read=alpha_read
+            ),
+        )
+
+    def with_block_size(self, elements_in: int, n_iterations: int) -> "RATInput":
+        """Copy with a different problem decomposition.
+
+        The caller is responsible for keeping ``elements_in * n_iterations``
+        equal to the total problem size; a mismatch is legal (padding the
+        final block) but changes the modelled workload.
+        """
+        return replace(
+            self,
+            dataset=replace(self.dataset, elements_in=elements_in),
+            software=replace(self.software, n_iterations=n_iterations),
+        )
+
+    def with_name(self, name: str) -> "RATInput":
+        """Copy under a different report name."""
+        return replace(self, name=name)
+
+    # ---- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten to the worksheet's unit conventions (MB/s, MHz)."""
+        return {
+            "name": self.name,
+            "elements_in": self.dataset.elements_in,
+            "elements_out": self.dataset.elements_out,
+            "bytes_per_element": self.dataset.bytes_per_element,
+            "throughput_ideal_mbps": self.communication.ideal_bandwidth / MB,
+            "alpha_write": self.communication.alpha_write,
+            "alpha_read": self.communication.alpha_read,
+            "ops_per_element": self.computation.ops_per_element,
+            "throughput_proc": self.computation.throughput_proc,
+            "clock_mhz": self.computation.clock_mhz,
+            "t_soft": self.software.t_soft,
+            "n_iterations": self.software.n_iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RATInput":
+        """Inverse of :meth:`to_dict`; raises ParameterError on bad keys."""
+        try:
+            return cls(
+                name=str(data.get("name", "")),
+                dataset=DatasetParams(
+                    elements_in=int(data["elements_in"]),
+                    elements_out=int(data["elements_out"]),
+                    bytes_per_element=float(data["bytes_per_element"]),
+                ),
+                communication=CommunicationParams.from_worksheet(
+                    ideal_mbps=float(data["throughput_ideal_mbps"]),
+                    alpha_write=float(data["alpha_write"]),
+                    alpha_read=float(data["alpha_read"]),
+                ),
+                computation=ComputationParams.from_worksheet(
+                    ops_per_element=float(data["ops_per_element"]),
+                    throughput_proc=float(data["throughput_proc"]),
+                    clock_mhz=float(data["clock_mhz"]),
+                ),
+                software=SoftwareParams(
+                    t_soft=float(data["t_soft"]),
+                    n_iterations=int(data["n_iterations"]),
+                ),
+            )
+        except KeyError as exc:
+            raise ParameterError(f"missing worksheet field {exc.args[0]!r}") from exc

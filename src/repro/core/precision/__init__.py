@@ -1,0 +1,45 @@
+"""Numerical precision analysis (paper Section 3.2).
+
+The paper treats precision as a design input: the application designer
+chooses a data format (the 1-D PDF case study settled on 18-bit fixed
+point, whose maximum error of a few percent was "satisfactory precision"),
+and RAT consumes only the consequences — bytes per element for the
+communication equations and multiplier demand for the resource test.
+
+This subpackage provides the tooling that choice requires:
+
+* :mod:`formats` — parameterised fixed-point (Qm.n) and custom
+  floating-point formats;
+* :mod:`quantize` — value/array quantization into a format, with
+  round-to-nearest or truncation, and saturation or wrap-around;
+* :mod:`error` — error metrics (max absolute/relative error, RMS, SQNR)
+  between a reference signal and its quantized counterpart;
+* :mod:`search` — minimal-bitwidth search: the smallest format whose
+  error on a representative dataset stays within tolerance, mirroring
+  the PDF case study's "18-bit was chosen so that only one 18x18 MAC is
+  needed per multiplication" trade-off.
+"""
+
+from .error import ErrorReport, error_report, max_abs_error, max_rel_error, rms_error, sqnr_db
+from .formats import FixedPointFormat, FloatFormat, float32, float64
+from .quantize import OverflowMode, RoundingMode, quantize
+from .search import PrecisionCandidate, minimal_fixed_point, sweep_fixed_point
+
+__all__ = [
+    "ErrorReport",
+    "FixedPointFormat",
+    "FloatFormat",
+    "OverflowMode",
+    "PrecisionCandidate",
+    "RoundingMode",
+    "error_report",
+    "float32",
+    "float64",
+    "max_abs_error",
+    "max_rel_error",
+    "minimal_fixed_point",
+    "quantize",
+    "rms_error",
+    "sqnr_db",
+    "sweep_fixed_point",
+]

@@ -1,0 +1,130 @@
+"""Error metrics between a reference signal and its quantized counterpart.
+
+The paper's 1-D PDF study reports "the maximum error percentage was only a
+few percent for 18-bit fixed point, which is satisfactory precision for
+the application" — i.e. the accept/reject metric is maximum relative error
+against the double-precision software output.  This module provides that
+metric plus the standard companions (max absolute error, RMS error, SQNR)
+so tolerance can be expressed in whichever unit the application demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import PrecisionError
+
+__all__ = [
+    "max_abs_error",
+    "max_rel_error",
+    "rms_error",
+    "sqnr_db",
+    "ErrorReport",
+    "error_report",
+]
+
+
+def _as_arrays(reference, candidate) -> tuple[np.ndarray, np.ndarray]:
+    ref = np.asarray(reference, dtype=np.float64)
+    cand = np.asarray(candidate, dtype=np.float64)
+    if ref.shape != cand.shape:
+        raise PrecisionError(
+            f"shape mismatch: reference {ref.shape} vs candidate {cand.shape}"
+        )
+    if ref.size == 0:
+        raise PrecisionError("error metrics require at least one sample")
+    return ref, cand
+
+
+def max_abs_error(reference, candidate) -> float:
+    """Largest absolute deviation ``max |ref - cand|``."""
+    ref, cand = _as_arrays(reference, candidate)
+    return float(np.max(np.abs(ref - cand)))
+
+
+def max_rel_error(reference, candidate, *, floor: float = 0.0) -> float:
+    """Largest relative deviation ``max |ref - cand| / max(|ref|, floor)``.
+
+    ``floor`` guards against division by (near-)zero reference samples:
+    deviations at samples with ``|ref| <= floor`` are measured relative to
+    ``floor``.  With the default ``floor=0`` a zero reference sample with
+    any deviation yields ``inf``, which is the honest answer.
+    """
+    ref, cand = _as_arrays(reference, candidate)
+    denom = np.maximum(np.abs(ref), floor)
+    diff = np.abs(ref - cand)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(diff == 0, 0.0, diff / denom)
+    return float(np.max(ratios))
+
+
+def rms_error(reference, candidate) -> float:
+    """Root-mean-square deviation."""
+    ref, cand = _as_arrays(reference, candidate)
+    return float(np.sqrt(np.mean((ref - cand) ** 2)))
+
+
+def sqnr_db(reference, candidate) -> float:
+    """Signal-to-quantization-noise ratio in decibels.
+
+    ``10 log10(sum ref^2 / sum (ref - cand)^2)``; infinite for an exact
+    match, raises if the reference signal is identically zero (SQNR is
+    undefined).
+    """
+    ref, cand = _as_arrays(reference, candidate)
+    signal = float(np.sum(ref**2))
+    if signal == 0:
+        raise PrecisionError("SQNR undefined for an identically zero reference")
+    noise = float(np.sum((ref - cand) ** 2))
+    if noise == 0:
+        return float("inf")
+    return 10.0 * np.log10(signal / noise)
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """All four metrics for one reference/candidate pair."""
+
+    max_abs: float
+    max_rel: float
+    rms: float
+    sqnr_db: float
+    n_samples: int
+
+    def within(self, *, max_rel: float | None = None, max_abs: float | None = None,
+               min_sqnr_db: float | None = None) -> bool:
+        """Check the report against any combination of tolerances."""
+        if max_rel is not None and self.max_rel > max_rel:
+            return False
+        if max_abs is not None and self.max_abs > max_abs:
+            return False
+        if min_sqnr_db is not None and self.sqnr_db < min_sqnr_db:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """One-line summary for worksheet output."""
+        return (
+            f"max_rel={self.max_rel:.3%} max_abs={self.max_abs:.3e} "
+            f"rms={self.rms:.3e} SQNR={self.sqnr_db:.1f} dB "
+            f"(n={self.n_samples})"
+        )
+
+
+def error_report(reference, candidate, *, rel_floor: float = 0.0) -> ErrorReport:
+    """Compute all metrics at once."""
+    ref, cand = _as_arrays(reference, candidate)
+    signal = float(np.sum(ref**2))
+    if signal == 0:
+        sqnr = float("inf") if np.array_equal(ref, cand) else float("-inf")
+    else:
+        sqnr = sqnr_db(ref, cand)
+    return ErrorReport(
+        max_abs=max_abs_error(ref, cand),
+        max_rel=max_rel_error(ref, cand, floor=rel_floor),
+        rms=rms_error(ref, cand),
+        sqnr_db=sqnr,
+        n_samples=int(ref.size),
+    )

@@ -1,0 +1,228 @@
+"""Numeric format descriptions for FPGA datapaths.
+
+Two families are modelled:
+
+* :class:`FixedPointFormat` — signed/unsigned two's-complement Qm.n
+  formats, the workhorse of FPGA arithmetic (the paper's PDF pipelines
+  use 18-bit fixed point to fit one Xilinx 18x18 MAC per multiply);
+* :class:`FloatFormat` — IEEE-style ``(exponent, mantissa)`` splits,
+  covering both standard float32/float64 and the custom-width formats
+  the FPGA literature explores.
+
+Formats know their representable range, resolution, storage width, and —
+for the resource test — how many ``DxD``-bit hardware multipliers a
+product of two values in the format consumes on a device whose DSP
+primitive is ``dsp_width_bits`` wide (e.g. two 18-bit multipliers for a
+32-bit product on Virtex-4, as the paper notes in Section 3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...errors import PrecisionError
+
+__all__ = ["FixedPointFormat", "FloatFormat", "float32", "float64"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A two's-complement fixed-point format.
+
+    Parameters
+    ----------
+    total_bits:
+        Word length including the sign bit when ``signed``.
+    frac_bits:
+        Bits to the right of the binary point.  May be zero (pure
+        integers) or equal to ``total_bits`` (pure fractions); may not be
+        negative or exceed ``total_bits``.
+    signed:
+        Two's complement when True; unsigned otherwise.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 1:
+            raise PrecisionError(f"total_bits must be >= 1, got {self.total_bits}")
+        if not 0 <= self.frac_bits <= self.total_bits:
+            raise PrecisionError(
+                f"frac_bits must be in [0, total_bits], got {self.frac_bits} "
+                f"with total_bits={self.total_bits}"
+            )
+        if self.signed and self.total_bits < 2 and self.frac_bits == self.total_bits:
+            # A signed format needs at least the sign bit outside the
+            # fraction to represent any non-negative magnitude... actually
+            # Q0.1 signed (1 bit) can only hold {0, -0.5}; we allow >= 2.
+            raise PrecisionError(
+                "signed formats need total_bits >= 2 when fully fractional"
+            )
+
+    @property
+    def int_bits(self) -> int:
+        """Bits to the left of the binary point (excluding sign)."""
+        return self.total_bits - self.frac_bits - (1 if self.signed else 0)
+
+    @property
+    def resolution(self) -> float:
+        """Weight of the least-significant bit (quantization step)."""
+        return 2.0**-self.frac_bits
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable value (0 for unsigned)."""
+        if not self.signed:
+            return 0.0
+        return -(2.0 ** (self.total_bits - 1)) * self.resolution
+
+    @property
+    def max_value(self) -> float:
+        """Most positive representable value."""
+        levels = 2 ** (self.total_bits - 1) if self.signed else 2**self.total_bits
+        return (levels - 1) * self.resolution
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits as stored/transferred (same as total_bits for fixed point)."""
+        return self.total_bits
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes per element when communicated, rounded up to whole bytes.
+
+        Note the paper's 1-D PDF communicates 18-bit values in 32-bit
+        words because the *channel* is 32-bit — communication padding is a
+        platform property, so callers may override this with the channel
+        word size (see ``DatasetParams.bytes_per_element``).
+        """
+        return (self.total_bits + 7) // 8
+
+    def representable(self, value: float) -> bool:
+        """True if ``value`` lies within the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    def multipliers_required(self, dsp_width_bits: int = 18) -> int:
+        """Hardware multipliers consumed by one product in this format.
+
+        A ``W x W`` product on a device with ``D``-bit multiplier
+        primitives tiles into ``ceil(W/D)^2`` primitives in the general
+        case — matching the paper's "32-bit fixed-point multiplications on
+        Xilinx V4 FPGAs require two dedicated 18-bit multipliers" once the
+        partial-product at the top (sign) position is folded, which
+        vendors implement as ``ceil(W/D) * ceil(W/D)`` minus shared
+        corrections.  We use the vendor-observed rule: 1 primitive when
+        ``W <= D``, else ``W <= 2D - 2`` (sign reuse) costs 2... in
+        practice Xilinx maps 32x32 onto 2 DSP48s using the 48-bit
+        post-adder.  The model: ``ceil(W / D) ** 2`` capped by the
+        post-adder shortcut ``2 * ceil(W / (2 * D - 1))`` — min of both.
+        """
+        if dsp_width_bits < 2:
+            raise PrecisionError(f"dsp_width_bits must be >= 2, got {dsp_width_bits}")
+        width = self.total_bits
+        if width <= dsp_width_bits:
+            return 1
+        tiles = math.ceil(width / dsp_width_bits) ** 2
+        # Vendor post-adder chains let an N x N product up to ~2D-2 bits
+        # use just 2 primitives (the paper's V4 32-bit example); beyond
+        # that the full tiling applies (e.g. a 24-bit float mantissa on
+        # Stratix-II 9-bit elements consumes a whole 36x36-mode block).
+        if width <= 2 * dsp_width_bits - 2:
+            return 2
+        return tiles
+
+    def describe(self) -> str:
+        """Q-format style label, e.g. ``"Q9.8 (signed, 18-bit)"``."""
+        sign = "signed" if self.signed else "unsigned"
+        return f"Q{self.int_bits}.{self.frac_bits} ({sign}, {self.total_bits}-bit)"
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-754-style floating point format with custom field widths.
+
+    Covers standard formats (``float32`` = 8-bit exponent, 23-bit
+    mantissa) and the reduced formats explored by the bitwidth-analysis
+    literature the paper cites ([3], [9]).
+    """
+
+    exponent_bits: int
+    mantissa_bits: int
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise PrecisionError(
+                f"exponent_bits must be >= 2, got {self.exponent_bits}"
+            )
+        if self.mantissa_bits < 1:
+            raise PrecisionError(
+                f"mantissa_bits must be >= 1, got {self.mantissa_bits}"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width: sign + exponent + mantissa."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def storage_bits(self) -> int:
+        """Alias for ``total_bits`` (uniform API with fixed point)."""
+        return self.total_bits
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes per element when communicated, rounded up."""
+        return (self.total_bits + 7) // 8
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias, IEEE convention."""
+        return 2 ** (self.exponent_bits - 1) - 1
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite value."""
+        max_exp = 2**self.exponent_bits - 2 - self.bias
+        return (2 - 2.0**-self.mantissa_bits) * 2.0**max_exp
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal value."""
+        return 2.0 ** (1 - self.bias)
+
+    @property
+    def epsilon(self) -> float:
+        """Relative resolution: gap between 1.0 and the next value."""
+        return 2.0**-self.mantissa_bits
+
+    def representable(self, value: float) -> bool:
+        """True if |value| fits within the finite range (or is zero)."""
+        return value == 0.0 or abs(value) <= self.max_value
+
+    def multipliers_required(self, dsp_width_bits: int = 18) -> int:
+        """Hardware multipliers for one mantissa product.
+
+        The mantissa multiply is ``(m+1) x (m+1)`` including the hidden
+        bit; exponents add in plain logic.
+        """
+        mantissa_format = FixedPointFormat(
+            total_bits=self.mantissa_bits + 1, frac_bits=0, signed=False
+        )
+        return mantissa_format.multipliers_required(dsp_width_bits)
+
+    def describe(self) -> str:
+        """e.g. ``"float(e8, m23) 32-bit"``."""
+        return f"float(e{self.exponent_bits}, m{self.mantissa_bits}) {self.total_bits}-bit"
+
+
+def float32() -> FloatFormat:
+    """The IEEE-754 single-precision format."""
+    return FloatFormat(exponent_bits=8, mantissa_bits=23)
+
+
+def float64() -> FloatFormat:
+    """The IEEE-754 double-precision format."""
+    return FloatFormat(exponent_bits=11, mantissa_bits=52)

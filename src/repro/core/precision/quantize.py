@@ -1,0 +1,160 @@
+"""Quantization of values and arrays into FPGA numeric formats.
+
+Quantizing a software-precision (float64) signal into a candidate hardware
+format is the first step of the precision test: the quantized signal is
+then compared against the reference by :mod:`repro.core.precision.error`.
+
+Supports the two rounding behaviours (round-to-nearest-even via
+``np.round``, truncation toward negative infinity as produced by dropping
+LSBs in hardware) and the two overflow behaviours (saturation, the safe
+choice; two's-complement wrap-around, what unguarded hardware actually
+does) so designers can see the catastrophic effect of wrap-around on
+out-of-range data.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import overload
+
+import numpy as np
+
+from ...errors import PrecisionError
+from .formats import FixedPointFormat, FloatFormat
+
+__all__ = ["RoundingMode", "OverflowMode", "quantize", "quantize_array"]
+
+
+class RoundingMode(str, enum.Enum):
+    """How sub-LSB information is discarded."""
+
+    NEAREST = "nearest"  # round half to even (np.round)
+    TRUNCATE = "truncate"  # floor toward -inf (drop LSBs)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class OverflowMode(str, enum.Enum):
+    """What happens to values outside the representable range."""
+
+    SATURATE = "saturate"
+    WRAP = "wrap"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def _quantize_fixed(
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    rounding: RoundingMode,
+    overflow: OverflowMode,
+) -> np.ndarray:
+    scaled = values * (2.0**fmt.frac_bits)
+    if rounding is RoundingMode.NEAREST:
+        integers = np.round(scaled)
+    elif rounding is RoundingMode.TRUNCATE:
+        integers = np.floor(scaled)
+    else:  # pragma: no cover - enum exhaustive
+        raise PrecisionError(f"unknown rounding mode {rounding!r}")
+
+    lo = fmt.min_value * (2.0**fmt.frac_bits)
+    hi = fmt.max_value * (2.0**fmt.frac_bits)
+    if overflow is OverflowMode.SATURATE:
+        integers = np.clip(integers, lo, hi)
+    elif overflow is OverflowMode.WRAP:
+        span = 2.0**fmt.total_bits
+        integers = np.mod(integers - lo, span) + lo
+    else:  # pragma: no cover - enum exhaustive
+        raise PrecisionError(f"unknown overflow mode {overflow!r}")
+    return integers * fmt.resolution
+
+
+def _quantize_float(
+    values: np.ndarray,
+    fmt: FloatFormat,
+    rounding: RoundingMode,
+    overflow: OverflowMode,
+) -> np.ndarray:
+    result = np.array(values, dtype=np.float64, copy=True)
+    finite = np.isfinite(result) & (result != 0.0)
+    if np.any(finite):
+        magnitudes = np.abs(result[finite])
+        exponents = np.floor(np.log2(magnitudes))
+        # Clamp to the normal range; values below min_normal flush to the
+        # subnormal grid of the smallest exponent.
+        min_exp = float(1 - fmt.bias)
+        exponents = np.maximum(exponents, min_exp)
+        scale = 2.0 ** (exponents - fmt.mantissa_bits)
+        scaled = result[finite] / scale
+        if rounding is RoundingMode.NEAREST:
+            quantized = np.round(scaled)
+        elif rounding is RoundingMode.TRUNCATE:
+            quantized = np.trunc(scaled)
+        else:  # pragma: no cover - enum exhaustive
+            raise PrecisionError(f"unknown rounding mode {rounding!r}")
+        result[finite] = quantized * scale
+    # Overflow handling: floats saturate to +-max (there is no meaningful
+    # wrap for floating point; WRAP maps to infinity like real hardware
+    # overflow to the IEEE infinity encoding).
+    over = np.abs(result) > fmt.max_value
+    if np.any(over):
+        if overflow is OverflowMode.SATURATE:
+            result[over] = np.sign(result[over]) * fmt.max_value
+        else:
+            result[over] = np.sign(result[over]) * np.inf
+    return result
+
+
+@overload
+def quantize(
+    values: float,
+    fmt: FixedPointFormat | FloatFormat,
+    rounding: RoundingMode = ...,
+    overflow: OverflowMode = ...,
+) -> float: ...
+
+
+@overload
+def quantize(
+    values: np.ndarray,
+    fmt: FixedPointFormat | FloatFormat,
+    rounding: RoundingMode = ...,
+    overflow: OverflowMode = ...,
+) -> np.ndarray: ...
+
+
+def quantize(
+    values,
+    fmt,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+):
+    """Quantize a scalar or array into a numeric format.
+
+    Returns the same shape as the input, as float64 values lying exactly
+    on the format's representable grid (within the range limits implied by
+    ``overflow``).
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if isinstance(fmt, FixedPointFormat):
+        result = _quantize_fixed(array, fmt, rounding, overflow)
+    elif isinstance(fmt, FloatFormat):
+        result = _quantize_float(array, fmt, rounding, overflow)
+    else:
+        raise PrecisionError(f"unsupported format type {type(fmt).__name__}")
+    if np.isscalar(values) or np.ndim(values) == 0:
+        return float(result)
+    return result
+
+
+def quantize_array(
+    values: np.ndarray,
+    fmt: FixedPointFormat | FloatFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+) -> np.ndarray:
+    """Array-typed alias of :func:`quantize` for call sites that want
+    a guaranteed ndarray return type."""
+    return np.asarray(quantize(np.asarray(values), fmt, rounding, overflow))

@@ -1,0 +1,217 @@
+"""Minimal-bitwidth search over fixed-point formats.
+
+Reproduces the decision process of the paper's 1-D PDF case study: 18-bit
+and 32-bit fixed point and 32-bit floating point were evaluated against an
+error tolerance; 18-bit fixed point won because it met the tolerance while
+"only one Xilinx 18x18 multiply-accumulate (MAC) unit would be needed per
+multiplication", and going below 18 bits brought "no performance gains or
+appreciable resource savings".
+
+:func:`minimal_fixed_point` automates that: given a representative dataset
+transformation (a callable evaluating the algorithm under a quantizing
+format) and a tolerance, it finds the narrowest format that stays within
+tolerance, and annotates each candidate with its DSP cost so the
+cost-cliff at multiples of the device's native multiplier width is
+visible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ...errors import PrecisionError
+from .error import ErrorReport, error_report
+from .formats import FixedPointFormat
+from .quantize import OverflowMode, RoundingMode, quantize_array
+
+__all__ = [
+    "PrecisionCandidate",
+    "sweep_fixed_point",
+    "minimal_fixed_point",
+    "minimal_float",
+]
+
+# A transformation maps (data, format) -> output computed under that
+# format.  The default transformation is plain quantization of the data
+# itself; case studies supply their kernel (e.g. the PDF estimator
+# evaluated with quantized samples).
+Transformation = Callable[[np.ndarray, FixedPointFormat], np.ndarray]
+
+
+def _default_transform(data: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    return quantize_array(data, fmt)
+
+
+@dataclass(frozen=True)
+class PrecisionCandidate:
+    """One evaluated format: error metrics plus resource cost."""
+
+    fmt: FixedPointFormat
+    report: ErrorReport
+    dsp_cost_per_multiply: int
+    feasible: bool
+
+    def describe(self) -> str:
+        """One-line summary for worksheet output."""
+        marker = "PASS" if self.feasible else "FAIL"
+        return (
+            f"{self.fmt.describe():<28} {marker}  "
+            f"{self.report.describe()}  "
+            f"DSPs/mult={self.dsp_cost_per_multiply}"
+        )
+
+
+def _auto_frac_bits(data: np.ndarray, total_bits: int, signed: bool) -> int:
+    """Choose frac_bits so the data's magnitude range fits.
+
+    Leaves ``ceil(log2(max|x| + 1 LSB))`` integer bits and gives the rest
+    to the fraction — the standard range-driven Q-format assignment.
+    """
+    finite = data[np.isfinite(data)]
+    peak = float(np.max(np.abs(finite))) if finite.size else 0.0
+    sign_bits = 1 if signed else 0
+    if peak <= 0:
+        int_bits = 0
+    else:
+        int_bits = max(0, int(math.floor(math.log2(peak))) + 1)
+    frac = total_bits - sign_bits - int_bits
+    return max(0, min(frac, total_bits - sign_bits))
+
+
+def sweep_fixed_point(
+    data,
+    reference,
+    *,
+    widths: Iterable[int] = range(8, 33),
+    transform: Transformation = _default_transform,
+    max_rel: float | None = None,
+    max_abs: float | None = None,
+    min_sqnr_db: float | None = None,
+    signed: bool = True,
+    rel_floor: float = 0.0,
+    dsp_width_bits: int = 18,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+) -> list[PrecisionCandidate]:
+    """Evaluate every candidate width and report feasibility.
+
+    ``reference`` is the full-precision output to compare against —
+    usually ``transform(data, <float64>)`` computed by the caller with no
+    quantization at all.
+    """
+    if max_rel is None and max_abs is None and min_sqnr_db is None:
+        raise PrecisionError(
+            "at least one tolerance (max_rel, max_abs, min_sqnr_db) is required"
+        )
+    data = np.asarray(data, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    # The Q-format must hold the largest intermediate the datapath sees;
+    # the reference output bounds the accumulator magnitude (e.g. the PDF
+    # bin totals grow far beyond the +-1 input samples).
+    range_probe = np.concatenate([data.ravel(), reference.ravel()])
+    candidates: list[PrecisionCandidate] = []
+    for width in widths:
+        frac = _auto_frac_bits(range_probe, width, signed)
+        fmt = FixedPointFormat(total_bits=width, frac_bits=frac, signed=signed)
+        produced = transform(data, fmt)
+        report = error_report(reference, produced, rel_floor=rel_floor)
+        feasible = report.within(
+            max_rel=max_rel, max_abs=max_abs, min_sqnr_db=min_sqnr_db
+        )
+        candidates.append(
+            PrecisionCandidate(
+                fmt=fmt,
+                report=report,
+                dsp_cost_per_multiply=fmt.multipliers_required(dsp_width_bits),
+                feasible=feasible,
+            )
+        )
+    return candidates
+
+
+def minimal_fixed_point(
+    data,
+    reference,
+    *,
+    widths: Iterable[int] = range(8, 33),
+    transform: Transformation = _default_transform,
+    max_rel: float | None = None,
+    max_abs: float | None = None,
+    min_sqnr_db: float | None = None,
+    signed: bool = True,
+    rel_floor: float = 0.0,
+    dsp_width_bits: int = 18,
+) -> PrecisionCandidate:
+    """The narrowest feasible fixed-point format.
+
+    Raises :class:`~repro.errors.PrecisionError` when no candidate width
+    meets the tolerance (the Figure-1 "unrealizable precision requirement"
+    verdict).
+    """
+    candidates = sweep_fixed_point(
+        data,
+        reference,
+        widths=widths,
+        transform=transform,
+        max_rel=max_rel,
+        max_abs=max_abs,
+        min_sqnr_db=min_sqnr_db,
+        signed=signed,
+        rel_floor=rel_floor,
+        dsp_width_bits=dsp_width_bits,
+    )
+    feasible = [c for c in candidates if c.feasible]
+    if not feasible:
+        raise PrecisionError(
+            "no fixed-point width in "
+            f"{sorted(c.fmt.total_bits for c in candidates)} meets the tolerance"
+        )
+    return min(feasible, key=lambda c: c.fmt.total_bits)
+
+
+def minimal_float(
+    data,
+    reference,
+    *,
+    exponent_bits: int = 8,
+    mantissa_widths: Iterable[int] = range(4, 53),
+    max_rel: float | None = None,
+    max_abs: float | None = None,
+    min_sqnr_db: float | None = None,
+    rel_floor: float = 0.0,
+) -> "FloatFormat":
+    """The narrowest-mantissa float format meeting the tolerance.
+
+    Complements :func:`minimal_fixed_point` for designs that keep a
+    floating representation in hardware (the paper's cited bitwidth
+    literature [3], [9] explores exactly this space).  Quantizes the data
+    into each candidate ``FloatFormat(exponent_bits, m)`` and returns the
+    smallest feasible format; raises
+    :class:`~repro.errors.PrecisionError` when none qualifies.
+    """
+    from .formats import FloatFormat
+    from .quantize import quantize_array
+
+    if max_rel is None and max_abs is None and min_sqnr_db is None:
+        raise PrecisionError(
+            "at least one tolerance (max_rel, max_abs, min_sqnr_db) is required"
+        )
+    data = np.asarray(data, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    widths = sorted(set(int(m) for m in mantissa_widths))
+    if not widths:
+        raise PrecisionError("at least one mantissa width is required")
+    for mantissa in widths:
+        fmt = FloatFormat(exponent_bits=exponent_bits, mantissa_bits=mantissa)
+        produced = quantize_array(data, fmt)
+        report = error_report(reference, produced, rel_floor=rel_floor)
+        if report.within(max_rel=max_rel, max_abs=max_abs,
+                         min_sqnr_db=min_sqnr_db):
+            return fmt
+    raise PrecisionError(
+        f"no float mantissa width in {widths} meets the tolerance"
+    )

@@ -1,0 +1,38 @@
+"""Resource utilization analysis (paper Section 3.3).
+
+The resource test estimates a proposed design's demand for the three
+resource classes that empirically bound FPGA designs — on-chip RAM,
+dedicated multipliers/DSP blocks, and basic logic elements — and compares
+it against a target device's capacities to "detect designs that consume
+more than the available resources" before any HDL exists.
+
+* :mod:`model` — :class:`ResourceVector`, an additive demand vector;
+* :mod:`operators` — a cost library for common datapath operators
+  (adders, multipliers incl. the 16-cycle Booth variant from the paper's
+  operation-scope example, dividers, square roots, float units);
+* :mod:`estimator` — kernel descriptions (operator mix x replication +
+  buffering) folded into a total demand;
+* :mod:`report` — utilization tables in the style of the paper's
+  Tables 4, 7 and 10, with the routing-strain warning the paper gives
+  ("routing strain increases exponentially as logic utilization
+  approaches maximum ... it is often unwise to fill the entire FPGA").
+"""
+
+from .estimator import BufferSpec, KernelDesign, OperatorInstance, estimate_kernel
+from .model import ResourceVector
+from .operators import OPERATOR_LIBRARY, OperatorCost, get_operator, operator_cost
+from .report import UtilizationReport, utilization_report
+
+__all__ = [
+    "BufferSpec",
+    "KernelDesign",
+    "OPERATOR_LIBRARY",
+    "OperatorCost",
+    "OperatorInstance",
+    "ResourceVector",
+    "UtilizationReport",
+    "estimate_kernel",
+    "get_operator",
+    "operator_cost",
+    "utilization_report",
+]

@@ -1,0 +1,107 @@
+"""Additive resource demand vectors.
+
+A design's resource estimate is a vector over the three classes RAT
+tracks (logic elements, DSP blocks, BRAM tiles).  Demands add when
+components are composed and scale when a component is replicated —
+precisely the algebra :class:`ResourceVector` implements.  BRAM demand is
+carried both as tile counts and as raw bytes so the estimator can convert
+storage needs to tiles for a specific device's tile size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ResourceError
+
+__all__ = ["ResourceVector"]
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Demand for FPGA resources, additive under composition.
+
+    ``logic`` counts basic logic units (slices or ALUTs — the estimator
+    works in the target family's unit), ``dsp`` dedicated multiplier
+    blocks, ``bram_bytes`` raw on-chip storage.  ``bram_blocks`` may be
+    set directly when the design maps buffers to tiles explicitly;
+    otherwise :meth:`with_bram_blocks_for` derives it from bytes.
+    """
+
+    logic: float = 0.0
+    dsp: float = 0.0
+    bram_bytes: float = 0.0
+    bram_blocks: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("logic", "dsp", "bram_bytes", "bram_blocks"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ResourceError(f"{name} must be >= 0, got {value}")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return ResourceVector(
+            logic=self.logic + other.logic,
+            dsp=self.dsp + other.dsp,
+            bram_bytes=self.bram_bytes + other.bram_bytes,
+            bram_blocks=self.bram_blocks + other.bram_blocks,
+        )
+
+    def __mul__(self, factor: float) -> "ResourceVector":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        if factor < 0:
+            raise ResourceError(f"replication factor must be >= 0, got {factor}")
+        return ResourceVector(
+            logic=self.logic * factor,
+            dsp=self.dsp * factor,
+            bram_bytes=self.bram_bytes * factor,
+            bram_blocks=self.bram_blocks * factor,
+        )
+
+    __rmul__ = __mul__
+
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The additive identity."""
+        return cls()
+
+    def is_zero(self) -> bool:
+        """True when every component is zero."""
+        return (
+            self.logic == 0
+            and self.dsp == 0
+            and self.bram_bytes == 0
+            and self.bram_blocks == 0
+        )
+
+    def with_bram_blocks_for(self, bytes_per_block: float) -> "ResourceVector":
+        """Convert byte demand into whole tiles of a device's block size.
+
+        Each independently addressed buffer would round up separately; the
+        estimator calls this per buffer, so here the byte total converts
+        with a single ceiling.  The explicit ``bram_blocks`` component is
+        preserved and added to.
+        """
+        if bytes_per_block <= 0:
+            raise ResourceError(
+                f"bytes_per_block must be positive, got {bytes_per_block}"
+            )
+        import math
+
+        derived = math.ceil(self.bram_bytes / bytes_per_block) if self.bram_bytes else 0
+        return ResourceVector(
+            logic=self.logic,
+            dsp=self.dsp,
+            bram_bytes=self.bram_bytes,
+            bram_blocks=self.bram_blocks + derived,
+        )
+
+    def describe(self) -> str:
+        """Compact single-line rendering."""
+        return (
+            f"logic={self.logic:g}, dsp={self.dsp:g}, "
+            f"bram={self.bram_blocks:g} blocks ({self.bram_bytes:g} B)"
+        )

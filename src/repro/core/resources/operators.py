@@ -1,0 +1,222 @@
+"""Datapath operator cost library.
+
+Section 3.3 of the paper: "the usage of RAT requires some vendor-specific
+knowledge (e.g. 32-bit fixed-point multiplications on Xilinx V4 FPGAs
+require two dedicated 18-bit multipliers)".  This module encodes that kind
+of knowledge as parameterised cost functions: each operator maps a bit
+width (and the device's DSP primitive width) to a
+:class:`~repro.core.resources.model.ResourceVector` plus timing metadata
+(pipeline latency and initiation interval) consumed by the hardware
+simulator.
+
+Costs are deliberately *estimates of the right magnitude*, as the paper
+prescribes — "resource analyses are meant to highlight general application
+trends and predict scalability", not replace place-and-route.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ...errors import ResourceError
+from ..precision.formats import FixedPointFormat
+from .model import ResourceVector
+
+__all__ = ["OperatorCost", "OPERATOR_LIBRARY", "get_operator", "operator_cost"]
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Resource and timing cost of one operator instance.
+
+    ``latency_cycles`` is the pipeline depth (cycles from input to
+    output); ``initiation_interval`` the cycles between successive
+    independent inputs (1 for fully pipelined units; 16 for the paper's
+    iterative Booth multiplier, which reuses one adder across cycles).
+    """
+
+    name: str
+    resources: ResourceVector
+    latency_cycles: int
+    initiation_interval: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ResourceError(f"{self.name}: latency must be >= 0")
+        if self.initiation_interval < 1:
+            raise ResourceError(f"{self.name}: initiation interval must be >= 1")
+
+    @property
+    def ops_per_cycle(self) -> float:
+        """Sustained operation rate of one instance (1 / II)."""
+        return 1.0 / self.initiation_interval
+
+
+CostFn = Callable[[int, int], OperatorCost]
+
+
+def _slices_for_add(width: int) -> float:
+    # Ripple/fast-carry adders consume ~width/2 slices on 4-LUT fabrics.
+    return max(1.0, width / 2)
+
+
+def _add(width: int, dsp_width: int) -> OperatorCost:
+    return OperatorCost(
+        name=f"add{width}",
+        resources=ResourceVector(logic=_slices_for_add(width)),
+        latency_cycles=1,
+    )
+
+
+def _sub(width: int, dsp_width: int) -> OperatorCost:
+    cost = _add(width, dsp_width)
+    return OperatorCost(
+        name=f"sub{width}",
+        resources=cost.resources,
+        latency_cycles=cost.latency_cycles,
+    )
+
+
+def _compare(width: int, dsp_width: int) -> OperatorCost:
+    # A comparison is a subtraction whose result bits feed one LUT level.
+    return OperatorCost(
+        name=f"cmp{width}",
+        resources=ResourceVector(logic=_slices_for_add(width)),
+        latency_cycles=1,
+    )
+
+
+def _mult_dsp(width: int, dsp_width: int) -> OperatorCost:
+    fmt = FixedPointFormat(total_bits=max(width, 2), frac_bits=0, signed=True)
+    dsps = fmt.multipliers_required(dsp_width)
+    # Pipeline registers between DSP tiles: ~log2(tiles)+2 stages.
+    latency = 2 + max(0, math.ceil(math.log2(dsps))) if dsps > 1 else 2
+    return OperatorCost(
+        name=f"mult{width}",
+        resources=ResourceVector(dsp=dsps, logic=width / 4),
+        latency_cycles=latency,
+    )
+
+
+def _mult_booth(width: int, dsp_width: int) -> OperatorCost:
+    """Iterative Booth multiplier: one adder reused for ``width/2`` cycles.
+
+    This is the paper's Section 3.1 example: a resource-saving 32-bit
+    multiplier built from the Booth algorithm taking 16 clock cycles —
+    zero DSP blocks, small logic footprint, initiation interval 16.
+    """
+    cycles = max(1, width // 2)
+    return OperatorCost(
+        name=f"booth_mult{width}",
+        resources=ResourceVector(logic=_slices_for_add(width) + width),
+        latency_cycles=cycles,
+        initiation_interval=cycles,
+    )
+
+
+def _mac(width: int, dsp_width: int) -> OperatorCost:
+    """Multiply-accumulate: the PDF pipelines' workhorse.
+
+    An ``18x18`` MAC fits one DSP48 (Xilinx) or two 9-bit DSP elements
+    (Stratix-II), which the width/dsp_width tiling captures.
+    """
+    mult = _mult_dsp(width, dsp_width)
+    return OperatorCost(
+        name=f"mac{width}",
+        resources=mult.resources + ResourceVector(logic=_slices_for_add(width)),
+        latency_cycles=mult.latency_cycles + 1,
+    )
+
+
+def _divide(width: int, dsp_width: int) -> OperatorCost:
+    # Radix-2 restoring divider: one bit per cycle, adder-sized logic per bit.
+    return OperatorCost(
+        name=f"div{width}",
+        resources=ResourceVector(logic=2.0 * width),
+        latency_cycles=width,
+        initiation_interval=width,
+    )
+
+
+def _sqrt(width: int, dsp_width: int) -> OperatorCost:
+    # Non-restoring square root: width/2 iterations.
+    cycles = max(1, width // 2)
+    return OperatorCost(
+        name=f"sqrt{width}",
+        resources=ResourceVector(logic=1.5 * width),
+        latency_cycles=cycles,
+        initiation_interval=cycles,
+    )
+
+
+def _fadd(width: int, dsp_width: int) -> OperatorCost:
+    # Single-precision float adder: align/add/normalise, ~350 slices, no DSP.
+    scale = width / 32.0
+    return OperatorCost(
+        name=f"fadd{width}",
+        resources=ResourceVector(logic=350.0 * scale),
+        latency_cycles=max(4, round(10 * scale)),
+    )
+
+
+def _fmul(width: int, dsp_width: int) -> OperatorCost:
+    # Float multiplier: mantissa product on DSPs + normalisation logic.
+    mantissa = {32: 24, 64: 53}.get(width, max(8, int(width * 0.75)))
+    fmt = FixedPointFormat(total_bits=mantissa, frac_bits=0, signed=False)
+    dsps = fmt.multipliers_required(dsp_width)
+    return OperatorCost(
+        name=f"fmul{width}",
+        resources=ResourceVector(dsp=dsps, logic=120.0 * width / 32.0),
+        latency_cycles=max(5, 4 + dsps),
+    )
+
+
+def _fdiv(width: int, dsp_width: int) -> OperatorCost:
+    mantissa = {32: 24, 64: 53}.get(width, max(8, int(width * 0.75)))
+    return OperatorCost(
+        name=f"fdiv{width}",
+        resources=ResourceVector(logic=800.0 * width / 32.0),
+        latency_cycles=mantissa + 4,
+        initiation_interval=1,
+    )
+
+
+OPERATOR_LIBRARY: Mapping[str, CostFn] = {
+    "add": _add,
+    "sub": _sub,
+    "compare": _compare,
+    "mult": _mult_dsp,
+    "booth_mult": _mult_booth,
+    "mac": _mac,
+    "divide": _divide,
+    "sqrt": _sqrt,
+    "fadd": _fadd,
+    "fmul": _fmul,
+    "fdiv": _fdiv,
+}
+
+
+def get_operator(kind: str) -> CostFn:
+    """Look up an operator cost function by name."""
+    try:
+        return OPERATOR_LIBRARY[kind]
+    except KeyError:
+        raise ResourceError(
+            f"unknown operator {kind!r}; known: {sorted(OPERATOR_LIBRARY)}"
+        ) from None
+
+
+def operator_cost(kind: str, width: int, dsp_width_bits: int = 18) -> OperatorCost:
+    """Cost of one operator instance at a given bit width.
+
+    ``dsp_width_bits`` is the device's multiplier primitive width: 18 for
+    Virtex-4 DSP48s, 9 for the Stratix-II 9-bit DSP elements the paper's
+    Table 10 counts.
+    """
+    if width < 1:
+        raise ResourceError(f"operator width must be >= 1, got {width}")
+    if dsp_width_bits < 2:
+        raise ResourceError(f"dsp_width_bits must be >= 2, got {dsp_width_bits}")
+    return get_operator(kind)(width, dsp_width_bits)

@@ -1,0 +1,149 @@
+"""Resource utilization reports (paper Tables 4, 7, 10).
+
+The report divides a design's estimated demand by the device's capacities
+and renders the three-row table the paper uses, flagging two conditions:
+
+* **over-capacity** — any resource above 100% (Figure 1's "insufficient
+  resources" verdict);
+* **routing risk** — logic utilization above a configurable threshold
+  (default 80%), reflecting the paper's warning that "routing strain
+  increases exponentially as logic element utilization approaches
+  maximum ... it is often unwise (if not impossible) to fill the entire
+  FPGA."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ResourceError
+from ...platforms.device import FPGADevice, ResourceKind
+from ...units import format_percent
+from .estimator import KernelDesign, estimate_kernel
+from .model import ResourceVector
+
+__all__ = ["UtilizationReport", "utilization_report", "ROUTING_RISK_THRESHOLD"]
+
+# Above this logic utilization, place-and-route typically struggles.
+ROUTING_RISK_THRESHOLD = 0.80
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Estimated demand vs. device capacity for one design."""
+
+    design_name: str
+    device: FPGADevice
+    demand: ResourceVector
+    routing_risk_threshold: float = ROUTING_RISK_THRESHOLD
+
+    def utilization(self, kind: ResourceKind) -> float:
+        """Fraction of device capacity demanded for one resource kind.
+
+        A device with zero capacity for a demanded resource yields
+        ``inf`` (demand exists, capacity does not).
+        """
+        capacity = self.device.capacity(kind)
+        demand = {
+            ResourceKind.LOGIC: self.demand.logic,
+            ResourceKind.DSP: self.demand.dsp,
+            ResourceKind.BRAM: self.demand.bram_blocks,
+        }[kind]
+        if capacity == 0:
+            return float("inf") if demand > 0 else 0.0
+        return demand / capacity
+
+    @property
+    def fits(self) -> bool:
+        """True when every resource is within device capacity."""
+        return all(self.utilization(kind) <= 1.0 for kind in ResourceKind)
+
+    @property
+    def routing_risk(self) -> bool:
+        """True when logic utilization is in the risky region."""
+        return self.utilization(ResourceKind.LOGIC) > self.routing_risk_threshold
+
+    @property
+    def limiting_resource(self) -> ResourceKind:
+        """The resource closest to (or furthest past) capacity.
+
+        The MD case study's parallelism "was ultimately limited by the
+        availability of multiplier resources" — this property identifies
+        that bound programmatically.
+        """
+        return max(ResourceKind, key=self.utilization)
+
+    def headroom_replicas(self, per_replica: ResourceVector) -> int:
+        """How many more copies of a replica the device could absorb.
+
+        Supports the paper's observation that the PDF designs' "relatively
+        low resource usage illustrates a potential for further speedup by
+        including additional parallel kernels."
+        """
+        if per_replica.is_zero():
+            raise ResourceError("per_replica demand must be non-zero")
+        remaining = {
+            ResourceKind.LOGIC: self.device.logic_cells - self.demand.logic,
+            ResourceKind.DSP: self.device.dsp_blocks - self.demand.dsp,
+            ResourceKind.BRAM: self.device.bram_blocks - self.demand.bram_blocks,
+        }
+        needs = {
+            ResourceKind.LOGIC: per_replica.logic,
+            ResourceKind.DSP: per_replica.dsp,
+            ResourceKind.BRAM: per_replica.bram_blocks,
+        }
+        counts = []
+        for kind in ResourceKind:
+            if needs[kind] > 0:
+                counts.append(int(remaining[kind] // needs[kind]))
+        return max(0, min(counts)) if counts else 0
+
+    def rows(self) -> list[tuple[str, float]]:
+        """``(vendor label, utilization fraction)`` rows, paper order."""
+        return [
+            (self.device.resource_label(ResourceKind.DSP), self.utilization(ResourceKind.DSP)),
+            (self.device.resource_label(ResourceKind.BRAM), self.utilization(ResourceKind.BRAM)),
+            (self.device.resource_label(ResourceKind.LOGIC), self.utilization(ResourceKind.LOGIC)),
+        ]
+
+    def render(self) -> str:
+        """ASCII table in the paper's Table 4/7/10 layout."""
+        title = f"Resource usage of {self.design_name} ({self.device.name})"
+        rows = self.rows()
+        width = max(len(label) for label, _ in rows)
+        lines = [title, f"{'FPGA Resource'.ljust(width)}  Utilization"]
+        lines.append("-" * (width + 13))
+        for label, value in rows:
+            lines.append(f"{label.ljust(width)}  {format_percent(value)}")
+        verdicts = []
+        if not self.fits:
+            verdicts.append(
+                f"OVER CAPACITY: {self.limiting_resource.value} at "
+                f"{format_percent(self.utilization(self.limiting_resource))}"
+            )
+        elif self.routing_risk:
+            verdicts.append(
+                "ROUTING RISK: logic above "
+                f"{format_percent(self.routing_risk_threshold)}"
+            )
+        lines.extend(verdicts)
+        return "\n".join(lines)
+
+
+def utilization_report(
+    design: KernelDesign,
+    device: FPGADevice,
+    *,
+    routing_risk_threshold: float = ROUTING_RISK_THRESHOLD,
+) -> UtilizationReport:
+    """Estimate a design and wrap the result in a report."""
+    if not 0 < routing_risk_threshold <= 1:
+        raise ResourceError(
+            f"routing_risk_threshold must be in (0, 1], got {routing_risk_threshold}"
+        )
+    return UtilizationReport(
+        design_name=design.name,
+        device=device,
+        demand=estimate_kernel(design, device),
+        routing_risk_threshold=routing_risk_threshold,
+    )

@@ -1,0 +1,100 @@
+"""Streaming-application variant of the throughput test.
+
+Section 3.1 of the paper: "The RAT throughput test inherently models FPGAs
+as co-processors to general-purpose processors but the framework can be
+adjusted for streaming applications."  In a streaming design data flows
+continuously through the FPGA rather than in buffered blocks; the natural
+performance quantities become *rates* rather than block times:
+
+* ingest rate — what the interconnect sustains, ``alpha_write * thr_ideal``
+  (bytes/s) or that divided by bytes/element (elements/s);
+* drain rate — the same for results;
+* compute rate — ``f_clock * throughput_proc / ops_per_element``
+  (elements/s);
+
+and the achieved element rate is the minimum of the three.  ``N_iter`` and
+``t_soft`` generalise to a total element count and a baseline rate, from
+which the familiar execution time and speedup re-emerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .params import RATInput
+
+__all__ = ["StreamingPrediction", "predict_streaming"]
+
+
+@dataclass(frozen=True)
+class StreamingPrediction:
+    """Rates (elements/second) and the resulting sustained throughput."""
+
+    rat: RATInput
+    ingest_rate: float
+    drain_rate: float
+    compute_rate: float
+
+    @property
+    def element_rate(self) -> float:
+        """Sustained end-to-end elements/second: the tightest of the three.
+
+        In a stream all three stages operate concurrently by construction
+        (streaming is the limiting case of perfect double buffering), so
+        the pipeline runs at the slowest stage's rate.
+        """
+        return min(self.ingest_rate, self.drain_rate, self.compute_rate)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which stage limits: ``"ingest"``, ``"drain"`` or ``"compute"``."""
+        rates = {
+            "ingest": self.ingest_rate,
+            "drain": self.drain_rate,
+            "compute": self.compute_rate,
+        }
+        return min(rates, key=rates.__getitem__)
+
+    def execution_time(self, total_elements: float | None = None) -> float:
+        """Time to stream the whole problem.
+
+        Defaults to the worksheet's total (``elements_in * n_iterations``).
+        """
+        if total_elements is None:
+            total_elements = self.rat.total_elements
+        if total_elements <= 0:
+            raise ParameterError(
+                f"total_elements must be positive, got {total_elements}"
+            )
+        return total_elements / self.element_rate
+
+    def speedup(self, total_elements: float | None = None) -> float:
+        """Speedup vs. the software baseline over the same problem."""
+        return self.rat.software.t_soft / self.execution_time(total_elements)
+
+
+def predict_streaming(rat: RATInput) -> StreamingPrediction:
+    """Run the streaming-adjusted throughput analysis.
+
+    Output elements may be zero (a sink-style kernel); the drain rate is
+    then unbounded and never limits.
+    """
+    bytes_in_per_element = rat.dataset.bytes_per_element
+    ingest = rat.communication.write_bandwidth / bytes_in_per_element
+    if rat.dataset.elements_out == 0:
+        drain = float("inf")
+    else:
+        # Results per input element: elements_out/elements_in output
+        # elements must drain for each input element consumed.
+        out_bytes_per_input_element = (
+            rat.dataset.bytes_out / rat.dataset.elements_in
+        )
+        drain = rat.communication.read_bandwidth / out_bytes_per_input_element
+    compute = rat.computation.ops_per_second / rat.computation.ops_per_element
+    return StreamingPrediction(
+        rat=rat,
+        ingest_rate=ingest,
+        drain_rate=drain,
+        compute_rate=compute,
+    )

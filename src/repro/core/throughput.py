@@ -1,0 +1,228 @@
+"""RAT throughput analysis: Equations (1)-(11) of the paper.
+
+Naming
+------
+The paper names transfers from the *host's* perspective: the host **writes**
+input data to the FPGA (Equation 2's ``alpha_write`` applies to the input
+stream) and **reads** results back (Equation 3's ``alpha_read`` applies to
+the output stream).  Figure 2's timeline instead labels lanes from the
+FPGA's perspective (``R`` = data arriving).  This module uses unambiguous
+names — ``t_input`` and ``t_output`` — and exposes the paper's ``t_comm``,
+``t_comp``, ``t_RC``, speedup and utilization terms on the prediction
+result.
+
+Verified anchors (paper Tables 3, 6, 9):
+
+>>> from repro.apps import pdf1d  # doctest: +SKIP
+>>> predict(pdf1d.rat_input(clock_mhz=150)).t_rc  # doctest: +SKIP
+0.0546...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .buffering import BufferingMode
+from .params import RATInput
+
+__all__ = [
+    "ThroughputPrediction",
+    "input_transfer_time",
+    "output_transfer_time",
+    "communication_time",
+    "computation_time",
+    "rc_execution_time",
+    "speedup",
+    "utilization_comp",
+    "utilization_comm",
+    "predict",
+]
+
+
+def input_transfer_time(rat: RATInput) -> float:
+    """Equation (2): host→FPGA transfer time for one iteration's block.
+
+    ``t_input = N_elements,in * N_bytes/element / (alpha_write * throughput_ideal)``
+    """
+    return rat.dataset.bytes_in / rat.communication.write_bandwidth
+
+
+def output_transfer_time(rat: RATInput) -> float:
+    """Equation (3): FPGA→host transfer time for one iteration's results.
+
+    ``t_output = N_elements,out * N_bytes/element / (alpha_read * throughput_ideal)``
+
+    Zero output elements yield zero time (e.g. the 1-D PDF returns its 256
+    accumulated bins once at the end; per-iteration output is negligible
+    and the paper models it as a single element).
+    """
+    if rat.dataset.elements_out == 0:
+        return 0.0
+    return rat.dataset.bytes_out / rat.communication.read_bandwidth
+
+
+def communication_time(rat: RATInput) -> float:
+    """Equation (1): ``t_comm = t_input + t_output`` for one iteration."""
+    return input_transfer_time(rat) + output_transfer_time(rat)
+
+
+def computation_time(rat: RATInput) -> float:
+    """Equation (4): FPGA compute time for one iteration's block.
+
+    ``t_comp = N_elements * ops/element / (f_clock * throughput_proc)``
+
+    The numerator and ``throughput_proc`` must count "operations" at the
+    same granularity; the equation is invariant to that choice as long as
+    both sides agree (see the paper's Booth-multiplier example, pinned by
+    ``tests/core/test_throughput.py``).
+    """
+    total_ops = rat.dataset.elements_in * rat.computation.ops_per_element
+    return total_ops / rat.computation.ops_per_second
+
+
+def rc_execution_time(
+    rat: RATInput, mode: BufferingMode = BufferingMode.SINGLE
+) -> float:
+    """Equations (5)-(6): total FPGA execution time over all iterations.
+
+    Single buffered: ``t_RC = N_iter * (t_comm + t_comp)``.
+    Double buffered: ``t_RC = N_iter * max(t_comm, t_comp)`` — the smaller
+    term hides entirely in steady state; the startup transient is ignored,
+    as the paper assumes for sufficiently many iterations.
+    """
+    t_comm = communication_time(rat)
+    t_comp = computation_time(rat)
+    n = rat.software.n_iterations
+    if mode is BufferingMode.SINGLE:
+        return n * (t_comm + t_comp)
+    if mode is BufferingMode.DOUBLE:
+        return n * max(t_comm, t_comp)
+    raise ParameterError(f"unknown buffering mode {mode!r}")
+
+
+def speedup(rat: RATInput, mode: BufferingMode = BufferingMode.SINGLE) -> float:
+    """Equation (7): ``speedup = t_soft / t_RC`` over the whole application."""
+    return rat.software.t_soft / rc_execution_time(rat, mode)
+
+
+def utilization_comp(
+    t_comm: float, t_comp: float, mode: BufferingMode = BufferingMode.SINGLE
+) -> float:
+    """Equations (8)/(10): fraction of execution spent computing.
+
+    High values mean the FPGA is rarely idle (speedup is maximised); low
+    values flag reformulation potential — less, or better overlapped,
+    communication.
+    """
+    _validate_util_inputs(t_comm, t_comp)
+    if mode is BufferingMode.SINGLE:
+        return t_comp / (t_comm + t_comp)
+    if mode is BufferingMode.DOUBLE:
+        return t_comp / max(t_comm, t_comp)
+    raise ParameterError(f"unknown buffering mode {mode!r}")
+
+
+def utilization_comm(
+    t_comm: float, t_comp: float, mode: BufferingMode = BufferingMode.SINGLE
+) -> float:
+    """Equations (9)/(11): fraction of execution spent communicating.
+
+    Unlike compute (which can be widened with more parallel logic), the
+    channel is a single serial resource, so this utilization directly
+    bounds how much extra transfer traffic the design could absorb.
+    """
+    _validate_util_inputs(t_comm, t_comp)
+    if mode is BufferingMode.SINGLE:
+        return t_comm / (t_comm + t_comp)
+    if mode is BufferingMode.DOUBLE:
+        return t_comm / max(t_comm, t_comp)
+    raise ParameterError(f"unknown buffering mode {mode!r}")
+
+
+def _validate_util_inputs(t_comm: float, t_comp: float) -> None:
+    if t_comm < 0 or t_comp < 0:
+        raise ParameterError(
+            f"times must be >= 0, got t_comm={t_comm}, t_comp={t_comp}"
+        )
+    if t_comm + t_comp == 0:
+        raise ParameterError("t_comm and t_comp cannot both be zero")
+
+
+@dataclass(frozen=True)
+class ThroughputPrediction:
+    """Complete output of one RAT throughput analysis.
+
+    All times are in seconds.  ``t_input`` / ``t_output`` are per
+    iteration; ``t_rc`` covers all ``n_iterations``.  The per-mode
+    utilizations follow Equations (8)-(11).
+    """
+
+    rat: RATInput
+    mode: BufferingMode
+    t_input: float
+    t_output: float
+    t_comm: float
+    t_comp: float
+    t_rc: float
+    speedup: float
+    util_comp: float
+    util_comm: float
+
+    @property
+    def clock_mhz(self) -> float:
+        """Assumed fabric clock in MHz (column header of Tables 3/6/9)."""
+        return self.rat.computation.clock_mhz
+
+    @property
+    def bound(self) -> str:
+        """Which term dominates: ``"communication"`` or ``"computation"``."""
+        return "communication" if self.t_comm > self.t_comp else "computation"
+
+    @property
+    def t_iteration(self) -> float:
+        """Modelled duration of one steady-state iteration."""
+        if self.mode is BufferingMode.SINGLE:
+            return self.t_comm + self.t_comp
+        return max(self.t_comm, self.t_comp)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat numeric dict (used by table rendering and JSON output)."""
+        return {
+            "clock_mhz": self.clock_mhz,
+            "t_input": self.t_input,
+            "t_output": self.t_output,
+            "t_comm": self.t_comm,
+            "t_comp": self.t_comp,
+            "t_rc": self.t_rc,
+            "speedup": self.speedup,
+            "util_comp": self.util_comp,
+            "util_comm": self.util_comm,
+        }
+
+
+def predict(
+    rat: RATInput, mode: BufferingMode = BufferingMode.SINGLE
+) -> ThroughputPrediction:
+    """Run the full throughput analysis for one worksheet input.
+
+    This is the library's central entry point: everything in the paper's
+    Tables 3, 6 and 9 "Predicted" columns derives from this call.
+    """
+    t_input = input_transfer_time(rat)
+    t_output = output_transfer_time(rat)
+    t_comm = t_input + t_output
+    t_comp = computation_time(rat)
+    t_rc = rc_execution_time(rat, mode)
+    return ThroughputPrediction(
+        rat=rat,
+        mode=mode,
+        t_input=t_input,
+        t_output=t_output,
+        t_comm=t_comm,
+        t_comp=t_comp,
+        t_rc=t_rc,
+        speedup=rat.software.t_soft / t_rc,
+        util_comp=utilization_comp(t_comm, t_comp, mode),
+        util_comm=utilization_comm(t_comm, t_comp, mode),
+    )

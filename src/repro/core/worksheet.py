@@ -1,0 +1,243 @@
+"""The RAT worksheet: parameter sheet plus clock-sweep performance tables.
+
+Section 4 of the paper: "a worksheet can be constructed based upon
+Equations (1) through (11).  Users simply provide the input parameters and
+the resulting performance values are returned."  Because the achievable
+fabric clock is unknowable before place-and-route, the paper evaluates each
+case study at a *range* of clocks (75/100/150 MHz); :class:`RATWorksheet`
+does the same and renders tables in the exact row layout of Tables 3/6/9:
+
+======================  =========== =========== ===========
+f_clk (MHz)             75          100         150
+t_comm (sec)            5.56E-6     5.56E-6     5.56E-6
+t_comp (sec)            2.62E-4     1.97E-4     1.31E-4
+utilcommSB              2%          3%          4%
+utilcompSB              98%         97%         96%
+t_RC_SB (sec)           1.07E-1     8.09E-2     5.46E-2
+speedup                 5.4         7.2         10.6
+======================  =========== =========== ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import ParameterError
+from ..units import MHZ, format_percent, format_seconds
+from .buffering import BufferingMode
+from .params import RATInput
+from .throughput import ThroughputPrediction, predict
+
+__all__ = ["PerformanceTable", "RATWorksheet"]
+
+# Row order of the paper's performance tables.
+_ROW_ORDER: tuple[tuple[str, str], ...] = (
+    ("t_comm", "t_comm (sec)"),
+    ("t_comp", "t_comp (sec)"),
+    ("util_comm", "util_comm"),
+    ("util_comp", "util_comp"),
+    ("t_rc", "t_RC (sec)"),
+    ("speedup", "speedup"),
+)
+
+
+@dataclass(frozen=True)
+class PerformanceTable:
+    """A rendered set of predictions (plus optional measured column).
+
+    ``columns`` holds one :class:`ThroughputPrediction` per assumed clock;
+    ``actual`` optionally holds measured values keyed like
+    :meth:`ThroughputPrediction.as_dict` (produced by the hardware
+    simulator or typed in from a real run), rendered as a final "Actual"
+    column exactly as in the paper.
+    """
+
+    title: str
+    mode: BufferingMode
+    columns: tuple[ThroughputPrediction, ...]
+    actual: Mapping[str, float] | None = None
+    actual_label: str = "Actual"
+
+    def column_for_clock(self, clock_mhz: float) -> ThroughputPrediction:
+        """Return the prediction column closest to a clock in MHz."""
+        if not self.columns:
+            raise ParameterError("table has no prediction columns")
+        return min(
+            self.columns, key=lambda c: abs(c.clock_mhz - clock_mhz)
+        )
+
+    def best_speedup(self) -> ThroughputPrediction:
+        """The prediction column with the highest speedup."""
+        if not self.columns:
+            raise ParameterError("table has no prediction columns")
+        return max(self.columns, key=lambda c: c.speedup)
+
+    def rows(self) -> list[tuple[str, list[str]]]:
+        """Render the table body: ``(row_label, [cell, ...])`` pairs."""
+        cells: list[tuple[str, list[str]]] = []
+        sources: list[Mapping[str, float]] = [c.as_dict() for c in self.columns]
+        if self.actual is not None:
+            sources.append(self.actual)
+        header = [f"Predicted {c.clock_mhz:g}" for c in self.columns]
+        if self.actual is not None:
+            header.append(self.actual_label)
+        cells.append(("f_clk (MHz)", [
+            f"{src.get('clock_mhz', float('nan')):g}" for src in sources
+        ]))
+        for key, label in _ROW_ORDER:
+            row: list[str] = []
+            for src in sources:
+                value = src.get(key)
+                if value is None:
+                    row.append("-")
+                elif key.startswith("util"):
+                    row.append(format_percent(value))
+                elif key == "speedup":
+                    row.append(f"{value:.1f}")
+                else:
+                    row.append(format_seconds(value))
+            cells.append((label, row))
+        return cells
+
+    def render(self) -> str:
+        """ASCII rendering in the paper's layout."""
+        body = self.rows()
+        headers = ["" ] + [f"Predicted {c.clock_mhz:g} MHz" for c in self.columns]
+        if self.actual is not None:
+            headers.append(self.actual_label)
+        widths = [max(len(headers[0]), max(len(label) for label, _ in body))]
+        n_cols = len(headers) - 1
+        for col in range(n_cols):
+            widths.append(
+                max(len(headers[col + 1]), max(len(row[col]) for _, row in body))
+            )
+        lines = [self.title] if self.title else []
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for label, row in body:
+            lines.append(
+                "  ".join(
+                    cell.ljust(w)
+                    for cell, w in zip([label, *row], widths)
+                ).rstrip()
+            )
+        return "\n".join(lines)
+
+    def as_records(self) -> list[dict[str, float]]:
+        """One dict per predicted column (for JSON/benchmark output)."""
+        return [c.as_dict() for c in self.columns]
+
+    def as_csv(self) -> str:
+        """Comma-separated rendering (numeric, full precision).
+
+        One row per quantity, one column per prediction (plus the actual
+        column when present) — the same layout as :meth:`render` but
+        machine-readable for spreadsheets, which is where most real RAT
+        worksheets live.
+        """
+        sources: list[Mapping[str, float]] = [c.as_dict() for c in self.columns]
+        headers = ["quantity"] + [
+            f"predicted_{c.clock_mhz:g}MHz" for c in self.columns
+        ]
+        if self.actual is not None:
+            sources.append(self.actual)
+            headers.append("actual")
+        lines = [",".join(headers)]
+        keys = ["clock_mhz", "t_comm", "t_comp", "util_comm", "util_comp",
+                "t_rc", "speedup"]
+        for key in keys:
+            cells = [key]
+            for src in sources:
+                value = src.get(key)
+                cells.append("" if value is None else repr(float(value)))
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class RATWorksheet:
+    """User-facing worksheet: one design's inputs, many assumed clocks.
+
+    Parameters
+    ----------
+    rat:
+        Complete worksheet input.  Its embedded clock is used when
+        ``clocks_mhz`` is empty.
+    clocks_mhz:
+        Candidate fabric clocks to sweep (the paper uses 75/100/150 MHz
+        because pre-P&R clock estimates are unreliable).
+    """
+
+    rat: RATInput
+    clocks_mhz: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        for clock in self.clocks_mhz:
+            if clock <= 0:
+                raise ParameterError(f"clock must be positive, got {clock} MHz")
+
+    @property
+    def effective_clocks_mhz(self) -> tuple[float, ...]:
+        """The sweep clocks, defaulting to the input's embedded clock."""
+        if self.clocks_mhz:
+            return self.clocks_mhz
+        return (self.rat.computation.clock_mhz,)
+
+    def predictions(
+        self, mode: BufferingMode = BufferingMode.SINGLE
+    ) -> list[ThroughputPrediction]:
+        """One throughput prediction per sweep clock."""
+        return [
+            predict(self.rat.with_clock_hz(clock * MHZ), mode)
+            for clock in self.effective_clocks_mhz
+        ]
+
+    def performance_table(
+        self,
+        mode: BufferingMode = BufferingMode.SINGLE,
+        actual: Mapping[str, float] | None = None,
+        title: str | None = None,
+    ) -> PerformanceTable:
+        """Build the paper-style performance table, optionally vs. actual."""
+        name = title if title is not None else (
+            f"Performance parameters of {self.rat.name}" if self.rat.name else ""
+        )
+        return PerformanceTable(
+            title=name,
+            mode=mode,
+            columns=tuple(self.predictions(mode)),
+            actual=actual,
+        )
+
+    def input_table(self) -> str:
+        """Render the Table-2 style input parameter sheet."""
+        d = self.rat.to_dict()
+        clocks = "/".join(f"{c:g}" for c in self.effective_clocks_mhz)
+        rows = [
+            ("Dataset Parameters", ""),
+            ("  N_elements, input (elements)", f"{d['elements_in']}"),
+            ("  N_elements, output (elements)", f"{d['elements_out']}"),
+            ("  N_bytes/element (bytes/element)", f"{d['bytes_per_element']:g}"),
+            ("Communication Parameters", ""),
+            ("  throughput_ideal (MB/s)", f"{d['throughput_ideal_mbps']:g}"),
+            ("  alpha_write (0 < a <= 1)", f"{d['alpha_write']:g}"),
+            ("  alpha_read (0 < a <= 1)", f"{d['alpha_read']:g}"),
+            ("Computation Parameters", ""),
+            ("  N_ops/element (ops/element)", f"{d['ops_per_element']:g}"),
+            ("  throughput_proc (ops/cycle)", f"{d['throughput_proc']:g}"),
+            ("  f_clock (MHz)", clocks),
+            ("Software Parameters", ""),
+            ("  t_soft (sec)", f"{d['t_soft']:g}"),
+            ("  N_iter (iterations)", f"{d['n_iterations']}"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        title = f"Input parameters of {self.rat.name}" if self.rat.name else (
+            "Input parameters"
+        )
+        lines = [title, "-" * width]
+        for label, value in rows:
+            lines.append(f"{label.ljust(width)}  {value}".rstrip())
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the RAT reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`RATError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the broad failure classes below.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RATError",
+    "ParameterError",
+    "UnitError",
+    "PrecisionError",
+    "ResourceError",
+    "PlatformError",
+    "SimulationError",
+    "GoalSeekError",
+    "ExperimentError",
+]
+
+
+class RATError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(RATError, ValueError):
+    """An input parameter is missing, out of range, or inconsistent.
+
+    Raised during validation of the RAT worksheet inputs (Table 1 of the
+    paper): e.g. a negative element count, an ``alpha`` outside ``(0, 1]``,
+    or a zero clock frequency.
+    """
+
+
+class UnitError(RATError, ValueError):
+    """A quantity was supplied in an unrecognised or non-convertible unit."""
+
+
+class PrecisionError(RATError, ValueError):
+    """A numerical-precision analysis failed.
+
+    Examples: an unrepresentable fixed-point format (zero total width,
+    fractional bits exceeding word length) or an error-tolerance search
+    with an empty feasible set.
+    """
+
+
+class ResourceError(RATError, ValueError):
+    """A resource estimate cannot be formed or exceeds hard device limits."""
+
+
+class PlatformError(RATError, KeyError):
+    """An unknown FPGA device, interconnect, or platform was requested."""
+
+
+class SimulationError(RATError, RuntimeError):
+    """The cycle-level hardware simulator reached an inconsistent state."""
+
+
+class GoalSeekError(RATError, ValueError):
+    """A goal-seek (inverse throughput) problem is infeasible.
+
+    For instance, asking for a speedup that communication time alone
+    already precludes: no finite ``throughput_proc`` can achieve it.
+    """
+
+
+class ExperimentError(RATError, RuntimeError):
+    """An experiment-registry lookup or reproduction run failed."""

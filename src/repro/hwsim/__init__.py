@@ -1,0 +1,44 @@
+"""Cycle-level RC system simulator.
+
+This package is the stand-in for the paper's physical testbeds: it
+produces the "Actual" columns of Tables 3, 6 and 9 by *executing* a
+modelled design — DMA transfers over the calibrated bus model, a pipelined
+kernel with fill latency and stalls, and a single- or double-buffer
+controller — rather than evaluating the closed-form RAT equations.  The
+gap between this simulator's measurements and the analytic prediction
+therefore has the same mechanisms the paper reports: repeated-transfer
+overheads and jitter on the communication side, pipeline fill and stalls
+on the computation side.
+
+Modules
+-------
+``clock``    — clock domains (cycles <-> seconds).
+``kernel``   — pipelined-kernel timing model (fill, stalls, II).
+``memory``   — on-chip buffer pool with single/double-buffer semantics.
+``dma``      — DMA engine: channel occupancy over the bus model.
+``engine``   — a minimal discrete-event core (time-ordered event queue).
+``system``   — :class:`RCSystemSim`: the full co-processor loop.
+``timeline`` — converts simulation traces into Figure-2 style timelines.
+"""
+
+from .clock import ClockDomain
+from .composite import CompositeResult, StageRun, run_composite
+from .dma import DMAEngine
+from .engine import Event, EventQueue
+from .kernel import PipelinedKernel
+from .memory import BufferPool
+from .system import RCSystemSim, SimulationResult
+
+__all__ = [
+    "BufferPool",
+    "ClockDomain",
+    "CompositeResult",
+    "DMAEngine",
+    "Event",
+    "EventQueue",
+    "PipelinedKernel",
+    "RCSystemSim",
+    "SimulationResult",
+    "StageRun",
+    "run_composite",
+]

@@ -1,0 +1,65 @@
+"""Clock domains: cycle/second conversion for the simulator.
+
+The RAT worksheet reasons in seconds; the kernel model reasons in cycles.
+:class:`ClockDomain` is the (deliberately tiny) bridge, with ceil-to-cycle
+semantics where hardware would quantise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import MHZ
+
+__all__ = ["ClockDomain"]
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A fixed-frequency clock."""
+
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ParameterError(
+                f"frequency_hz must be positive, got {self.frequency_hz}"
+            )
+
+    @classmethod
+    def from_mhz(cls, mhz: float) -> "ClockDomain":
+        """Construct from the worksheet's MHz convention."""
+        return cls(frequency_hz=mhz * MHZ)
+
+    @property
+    def period_s(self) -> float:
+        """Duration of one cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Frequency in MHz for display."""
+        return self.frequency_hz / MHZ
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Exact conversion of a cycle count to seconds."""
+        if cycles < 0:
+            raise ParameterError(f"cycles must be >= 0, got {cycles}")
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Whole cycles needed to cover a duration (ceiling).
+
+        Values within one part in 1e9 of an integer snap to it, so a
+        duration produced by :meth:`cycles_to_seconds` round-trips
+        exactly despite float rounding.
+        """
+        if seconds < 0:
+            raise ParameterError(f"seconds must be >= 0, got {seconds}")
+        value = seconds * self.frequency_hz
+        nearest = round(value)
+        if abs(value - nearest) <= 1e-9 * max(1.0, abs(nearest)):
+            return int(nearest)
+        return math.ceil(value)

@@ -1,0 +1,111 @@
+"""Composite-application simulation with reconfiguration costs.
+
+The throughput test "ignores reconfiguration and other setup times" —
+safe for the paper's single-kernel case studies, but a composite
+application that timeshares one FPGA across kernels pays a bitstream
+reload between stages.  This module simulates staged execution and makes
+the ignored term explicit, so its ablation benchmark can locate where
+the paper's assumption breaks: when per-stage work shrinks toward the
+tens of milliseconds a Virtex-4-class full reconfiguration costs.
+
+Analytic counterpart: :class:`repro.core.composite.CompositeAnalysis`
+(which, following the paper, charges nothing for reconfiguration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SimulationError
+from .system import RCSystemSim, SimulationResult
+
+__all__ = ["StageRun", "CompositeResult", "run_composite"]
+
+# Full-device configuration times of the era (bitstream size / config
+# clock): tens of milliseconds for Virtex-4/Stratix-II class parts.
+DEFAULT_RECONFIGURATION_S = 50e-3
+
+
+@dataclass(frozen=True)
+class StageRun:
+    """One stage's simulation outcome within the composite run."""
+
+    name: str
+    start: float
+    reconfiguration_s: float
+    result: SimulationResult
+
+    @property
+    def end(self) -> float:
+        """Completion time of the stage (including its reconfiguration)."""
+        return self.start + self.reconfiguration_s + self.result.t_rc
+
+
+@dataclass(frozen=True)
+class CompositeResult:
+    """The full staged execution."""
+
+    stages: tuple[StageRun, ...]
+
+    @property
+    def t_total(self) -> float:
+        """Wall clock of the whole composite run."""
+        return self.stages[-1].end if self.stages else 0.0
+
+    @property
+    def t_reconfiguration(self) -> float:
+        """Total time spent reloading bitstreams."""
+        return sum(stage.reconfiguration_s for stage in self.stages)
+
+    @property
+    def reconfiguration_fraction(self) -> float:
+        """Share of the run spent reconfiguring — the size of the error
+        made by the paper's 'ignore reconfiguration' simplification."""
+        if self.t_total == 0:
+            return 0.0
+        return self.t_reconfiguration / self.t_total
+
+    def speedup(self, t_soft_total: float) -> float:
+        """Composite speedup against the summed software baselines."""
+        if t_soft_total <= 0:
+            raise SimulationError(
+                f"t_soft_total must be positive, got {t_soft_total}"
+            )
+        return t_soft_total / self.t_total
+
+
+def run_composite(
+    stages: Sequence[tuple[str, RCSystemSim]],
+    *,
+    reconfiguration_s: float = DEFAULT_RECONFIGURATION_S,
+    reconfigure_first: bool = True,
+) -> CompositeResult:
+    """Simulate kernels back-to-back on one timeshared FPGA.
+
+    ``reconfiguration_s`` is charged before every stage (or every stage
+    after the first with ``reconfigure_first=False``, modelling a device
+    that boots configured).
+    """
+    if not stages:
+        raise SimulationError("at least one stage is required")
+    if reconfiguration_s < 0:
+        raise SimulationError("reconfiguration_s must be >= 0")
+    runs: list[StageRun] = []
+    clock = 0.0
+    for index, (name, sim) in enumerate(stages):
+        reconfig = (
+            reconfiguration_s
+            if (index > 0 or reconfigure_first)
+            else 0.0
+        )
+        result = sim.run()
+        run = StageRun(
+            name=name,
+            start=clock,
+            reconfiguration_s=reconfig,
+            result=result,
+        )
+        runs.append(run)
+        clock = run.end
+    return CompositeResult(stages=tuple(runs))

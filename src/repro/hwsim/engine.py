@@ -1,0 +1,123 @@
+"""Minimal discrete-event simulation core.
+
+A time-ordered event queue with deterministic tie-breaking (insertion
+order), sufficient for the transfer/compute granularity the RC system
+simulator works at.  Kept deliberately free of domain knowledge so it can
+be reused (and tested) in isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is ``(time, sequence)`` so simultaneous events fire in the
+    order they were scheduled — determinism matters because the system
+    simulator's buffer bookkeeping assumes it.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """The simulation clock and pending-event heap."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._heap)
+
+    @property
+    def fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay,
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})"
+            )
+        return self.schedule(time - self._now, action, label)
+
+    def step(self) -> Event:
+        """Fire the next event; returns it.  Raises when empty."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._fired += 1
+        event.action()
+        return event
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Fire events until the queue drains; returns the final time.
+
+        ``max_events`` guards against a scheduling bug producing an
+        infinite self-rescheduling loop.
+        """
+        executed = 0
+        while self._heap:
+            self.step()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}); "
+                    "likely a self-rescheduling loop"
+                )
+        return self._now
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> float:
+        """Fire events with time <= ``time``; advances the clock to it."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time}")
+        executed = 0
+        while self._heap and self._heap[0].time <= time:
+            self.step()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"event budget exceeded ({max_events})")
+        self._now = max(self._now, time)
+        return self._now

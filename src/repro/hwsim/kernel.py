@@ -1,0 +1,114 @@
+"""Pipelined-kernel timing model.
+
+Models the computation side of an RC design the way the paper's case
+studies describe theirs: ``replicas`` parallel pipelines, each completing
+``ops_per_cycle_per_replica`` operations per cycle when full, with a
+one-time fill latency and a stall fraction covering the effects the paper
+folds into its conservative ``throughput_proc`` derating ("enough latency
+and pipeline stalls existed to genuinely warrant a 17% reduction in the
+throughput estimate").
+
+The block-processing time is computed cycle-accurately:
+
+``cycles(block) = fill_latency + ceil(elements * ops_per_element /
+(replicas * ops_per_cycle_per_replica) * (1 + stall_fraction))``
+
+so the *ideal* throughput of the architecture is
+``replicas * ops_per_cycle_per_replica`` ops/cycle, and the *effective*
+throughput for a given block size is what the simulator actually measures
+— fill and stalls included.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .clock import ClockDomain
+
+__all__ = ["PipelinedKernel"]
+
+
+@dataclass(frozen=True)
+class PipelinedKernel:
+    """Timing model of one hardware kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel label for traces.
+    ops_per_element:
+        Operation count per element — same definition as the worksheet's
+        ``N_ops/element`` (the simulator and the analytic model must agree
+        on operation scope, exactly as the paper requires of
+        ``throughput_proc``).
+    replicas:
+        Parallel pipeline count (1-D PDF: 8).
+    ops_per_cycle_per_replica:
+        Sustained per-pipeline rate when full (1-D PDF: 3 — compare,
+        multiply, accumulate each cycle).
+    fill_latency_cycles:
+        One-time pipeline fill cost per block.
+    stall_fraction:
+        Fractional cycle inflation from hazards, drains between element
+        groups, and control bubbles. 0 = perfect pipelining.
+    """
+
+    name: str
+    ops_per_element: float
+    replicas: int = 1
+    ops_per_cycle_per_replica: float = 1.0
+    fill_latency_cycles: int = 0
+    stall_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ops_per_element <= 0:
+            raise ParameterError(f"{self.name}: ops_per_element must be positive")
+        if self.replicas < 1:
+            raise ParameterError(f"{self.name}: replicas must be >= 1")
+        if self.ops_per_cycle_per_replica <= 0:
+            raise ParameterError(
+                f"{self.name}: ops_per_cycle_per_replica must be positive"
+            )
+        if self.fill_latency_cycles < 0:
+            raise ParameterError(f"{self.name}: fill_latency_cycles must be >= 0")
+        if self.stall_fraction < 0:
+            raise ParameterError(f"{self.name}: stall_fraction must be >= 0")
+
+    @property
+    def ideal_ops_per_cycle(self) -> float:
+        """Architecture's peak rate: ``replicas * per-replica rate``."""
+        return self.replicas * self.ops_per_cycle_per_replica
+
+    def block_cycles(self, elements: int) -> int:
+        """Cycles to process one block of ``elements`` elements."""
+        if elements < 1:
+            raise ParameterError(f"elements must be >= 1, got {elements}")
+        steady = elements * self.ops_per_element / self.ideal_ops_per_cycle
+        return self.fill_latency_cycles + math.ceil(steady * (1.0 + self.stall_fraction))
+
+    def block_time(self, elements: int, clock: ClockDomain) -> float:
+        """Seconds to process one block at a given clock."""
+        return clock.cycles_to_seconds(self.block_cycles(elements))
+
+    def effective_ops_per_cycle(self, elements: int) -> float:
+        """Measured throughput for a block size, fill and stalls included.
+
+        This is the quantity the worksheet's ``throughput_proc`` tries to
+        anticipate; comparing it with :attr:`ideal_ops_per_cycle`
+        quantifies the derating a designer should apply (the 1-D PDF's
+        24 -> 20).
+        """
+        total_ops = elements * self.ops_per_element
+        return total_ops / self.block_cycles(elements)
+
+    def describe(self) -> str:
+        """One-line summary for traces and reports."""
+        return (
+            f"{self.name}: {self.replicas} x "
+            f"{self.ops_per_cycle_per_replica:g} ops/cycle "
+            f"(ideal {self.ideal_ops_per_cycle:g}), "
+            f"fill {self.fill_latency_cycles} cyc, "
+            f"stalls {self.stall_fraction:.0%}"
+        )

@@ -1,0 +1,120 @@
+"""On-chip buffer pool with single/double-buffer semantics.
+
+The buffer organisation is what distinguishes Figure 2's three scenarios:
+one buffer forces strict read-compute-write alternation; two buffers let
+the DMA engine fill one while the kernel drains the other.  The pool also
+enforces a capacity check against the device's block RAM, because double
+buffering's hidden price is *doubling* the I/O buffer footprint — a
+resource-test interaction the paper's Section 3.3 calls "readily
+measurable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["Buffer", "BufferPool"]
+
+
+@dataclass
+class Buffer:
+    """One on-chip data buffer and its occupancy state."""
+
+    index: int
+    capacity_bytes: float
+    filled_bytes: float = 0.0
+    owner_iteration: int | None = None
+
+    def fill(self, nbytes: float, iteration: int) -> None:
+        """Mark the buffer as loaded with one iteration's input block."""
+        if self.owner_iteration is not None:
+            raise SimulationError(
+                f"buffer {self.index} still owned by iteration "
+                f"{self.owner_iteration}; cannot fill for {iteration}"
+            )
+        if nbytes > self.capacity_bytes:
+            raise SimulationError(
+                f"buffer {self.index} overflow: {nbytes} B into "
+                f"{self.capacity_bytes} B"
+            )
+        self.filled_bytes = nbytes
+        self.owner_iteration = iteration
+
+    def release(self) -> None:
+        """Free the buffer after its compute has consumed it."""
+        if self.owner_iteration is None:
+            raise SimulationError(
+                f"buffer {self.index} released while already free"
+            )
+        self.filled_bytes = 0.0
+        self.owner_iteration = None
+
+    @property
+    def free(self) -> bool:
+        """True when no iteration owns the buffer."""
+        return self.owner_iteration is None
+
+
+@dataclass
+class BufferPool:
+    """A fixed set of equal-sized input buffers.
+
+    ``n_buffers=1`` gives single-buffered semantics; ``2`` double-buffered.
+    Larger pools model deeper prefetch queues (beyond the paper, but a
+    natural extension the simulator supports).
+    """
+
+    n_buffers: int
+    capacity_bytes: float
+    buffers: list[Buffer] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_buffers < 1:
+            raise SimulationError(f"n_buffers must be >= 1, got {self.n_buffers}")
+        if self.capacity_bytes <= 0:
+            raise SimulationError(
+                f"capacity_bytes must be positive, got {self.capacity_bytes}"
+            )
+        self.buffers = [
+            Buffer(index=i, capacity_bytes=self.capacity_bytes)
+            for i in range(self.n_buffers)
+        ]
+
+    @property
+    def total_bytes(self) -> float:
+        """Aggregate on-chip storage the pool consumes."""
+        return self.n_buffers * self.capacity_bytes
+
+    def acquire_free(self, iteration: int, nbytes: float) -> Buffer:
+        """Claim a free buffer for an incoming block.
+
+        Raises :class:`~repro.errors.SimulationError` when none is free —
+        the scheduler must never issue a read without a free buffer, so
+        this guards the simulator's own correctness.
+        """
+        for buffer in self.buffers:
+            if buffer.free:
+                buffer.fill(nbytes, iteration)
+                return buffer
+        raise SimulationError(
+            f"no free buffer for iteration {iteration} "
+            f"(pool size {self.n_buffers})"
+        )
+
+    def release_iteration(self, iteration: int) -> None:
+        """Release the buffer owned by a finished iteration."""
+        for buffer in self.buffers:
+            if buffer.owner_iteration == iteration:
+                buffer.release()
+                return
+        raise SimulationError(f"no buffer owned by iteration {iteration}")
+
+    def free_count(self) -> int:
+        """Number of currently free buffers."""
+        return sum(1 for b in self.buffers if b.free)
+
+    def fits_device_bram(self, device_bram_bytes: float) -> bool:
+        """Capacity check against a device's total block RAM."""
+        return self.total_bytes <= device_bram_bytes

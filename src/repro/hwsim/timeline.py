@@ -1,0 +1,84 @@
+"""Timeline analysis utilities for simulated runs.
+
+Bridges the event-driven simulator's output back to the analytic model:
+given a :class:`~repro.core.buffering.OverlapTimeline` produced by
+:class:`~repro.hwsim.system.RCSystemSim`, these helpers extract the
+steady-state per-iteration period and compare the realised schedule with
+the closed-form Equations (5)/(6) — the cross-validation at the heart of
+the reproduction (predicted vs. "actual" columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.buffering import BufferingMode, OverlapTimeline
+from ..errors import SimulationError
+
+__all__ = ["SteadyState", "steady_state", "analytic_gap"]
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Steady-state behaviour extracted from a timeline."""
+
+    period: float
+    startup: float
+    n_measured: int
+
+    @property
+    def rate(self) -> float:
+        """Iterations per second in steady state."""
+        if self.period == 0:
+            raise SimulationError("zero steady-state period")
+        return 1.0 / self.period
+
+
+def steady_state(timeline: OverlapTimeline, skip: int = 2) -> SteadyState:
+    """Estimate the steady-state iteration period of a schedule.
+
+    Uses compute-completion times: after ``skip`` warm-up iterations
+    (double buffering needs at least one to reach steady state), the mean
+    gap between consecutive compute completions is the period.  The
+    startup is the completion time of the first iteration.
+    """
+    completions = sorted(
+        segment.end
+        for segment in timeline.segments
+        if segment.lane == "comp"
+    )
+    if len(completions) < skip + 2:
+        raise SimulationError(
+            f"need at least {skip + 2} compute segments, got {len(completions)}"
+        )
+    tail = completions[skip:]
+    gaps = [b - a for a, b in zip(tail, tail[1:])]
+    return SteadyState(
+        period=sum(gaps) / len(gaps),
+        startup=completions[0],
+        n_measured=len(gaps),
+    )
+
+
+def analytic_gap(
+    timeline: OverlapTimeline,
+    t_comm: float,
+    t_comp: float,
+    n_iterations: int,
+) -> float:
+    """Relative gap between the realised makespan and Equations (5)/(6).
+
+    Returns ``(makespan - analytic) / analytic``.  Positive values mean
+    the realised schedule is slower than the closed-form model — expected
+    for double buffering (startup transient) and for runs with protocol
+    overheads the analytic inputs exclude.
+    """
+    if n_iterations < 1:
+        raise SimulationError(f"n_iterations must be >= 1, got {n_iterations}")
+    if timeline.mode is BufferingMode.SINGLE:
+        analytic = n_iterations * (t_comm + t_comp)
+    else:
+        analytic = n_iterations * max(t_comm, t_comp)
+    if analytic <= 0:
+        raise SimulationError("analytic time must be positive")
+    return (timeline.makespan() - analytic) / analytic

@@ -1,0 +1,33 @@
+"""Interconnect simulation substrate.
+
+The paper measures its ``alpha`` parameters with hardware microbenchmarks:
+"microbenchmarks composed of simple data transfers can be used to
+establish the true communication bandwidth."  We have no Nallatech card or
+XD1000, so this package simulates the transfer path:
+
+* :mod:`bus` — an event-capable bus model built on the latency-bandwidth
+  parameters of :class:`~repro.platforms.interconnect.InterconnectSpec`,
+  with optional per-transfer jitter and a repeated-transfer overhead that
+  reproduces the paper's observation that 800 back-to-back 2 KB transfers
+  sustained far less than the microbenchmark rate;
+* :mod:`protocols` — overhead profiles for the two modelled stacks
+  (Nallatech-over-PCI-X, XD1000 HyperTransport);
+* :mod:`microbenchmark` — the measurement procedure itself: sweep
+  transfer sizes, time reads and writes, tabulate alphas into an
+  :class:`~repro.platforms.alpha.AlphaTable`.
+"""
+
+from .bus import BusModel, TransferRecord
+from .microbenchmark import MicrobenchmarkResult, measure_alpha, run_microbenchmark
+from .protocols import ProtocolProfile, NALLATECH_PCIX_PROFILE, XD1000_HT_PROFILE
+
+__all__ = [
+    "BusModel",
+    "MicrobenchmarkResult",
+    "NALLATECH_PCIX_PROFILE",
+    "ProtocolProfile",
+    "TransferRecord",
+    "XD1000_HT_PROFILE",
+    "measure_alpha",
+    "run_microbenchmark",
+]

@@ -1,0 +1,142 @@
+"""The alpha-measurement microbenchmark (paper Section 4.2).
+
+"The alpha parameters were computed using a microbenchmark consisting of a
+read and write for a data size comparable to one used by the 1-D PDF
+algorithm.  The resulting read and write times were measured, combined
+with the transfer size to compute the actual communication rates, and
+finally calculate the alpha parameters by dividing by the theoretical
+maximum."
+
+:func:`measure_alpha` performs exactly that procedure against the bus
+model; :func:`run_microbenchmark` sweeps a size range and tabulates the
+results into :class:`~repro.platforms.alpha.AlphaTable` objects ready for
+worksheet use, which is the paper's recommended practice ("the resulting
+alpha values can be tabulated and used in future RAT analyses for that
+FPGA platform").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ParameterError
+from ..platforms.alpha import AlphaTable
+from ..platforms.interconnect import InterconnectSpec
+from .bus import BusModel
+from .protocols import ProtocolProfile
+
+__all__ = ["MicrobenchmarkResult", "measure_alpha", "run_microbenchmark"]
+
+# The paper's platform characterisation swept "a wide range of possible
+# data sizes"; we default to 256 B .. 16 MB in octaves.
+DEFAULT_SIZES: tuple[float, ...] = tuple(256.0 * 2**i for i in range(17))
+
+
+@dataclass(frozen=True)
+class MicrobenchmarkResult:
+    """Tabulated alphas for both directions of one interconnect."""
+
+    interconnect_name: str
+    write_table: AlphaTable
+    read_table: AlphaTable
+    repetitions: int
+
+    def render(self) -> str:
+        """ASCII table: size vs write/read alpha."""
+        lines = [
+            f"Microbenchmark: {self.interconnect_name} "
+            f"({self.repetitions} repetitions/size)",
+            f"{'size (B)':>12}  {'alpha_write':>11}  {'alpha_read':>10}",
+        ]
+        for (size, a_w), (_, a_r) in zip(
+            self.write_table.as_rows(), self.read_table.as_rows()
+        ):
+            lines.append(f"{size:>12.0f}  {a_w:>11.4f}  {a_r:>10.4f}")
+        return "\n".join(lines)
+
+
+def measure_alpha(
+    spec: InterconnectSpec,
+    profile: ProtocolProfile,
+    transfer_bytes: float,
+    *,
+    read: bool = False,
+    repetitions: int = 16,
+    include_protocol_overhead: bool = False,
+) -> float:
+    """Measure the sustained fraction at one transfer size.
+
+    Runs ``repetitions`` timed transfers and converts the mean time into
+    an alpha.  With ``include_protocol_overhead=False`` (default) this is
+    the paper's pinned-buffer microbenchmark; setting it True measures the
+    *application-visible* alpha instead — the quantity the paper wishes it
+    had used for the repeated-small-transfer case studies.
+    """
+    if repetitions < 1:
+        raise ParameterError(f"repetitions must be >= 1, got {repetitions}")
+    bus = BusModel(spec=spec, profile=profile, record_transfers=False)
+    total = 0.0
+    for _ in range(repetitions):
+        total += bus.transfer_time(
+            transfer_bytes,
+            read=read,
+            microbenchmark=not include_protocol_overhead,
+        )
+    mean_time = total / repetitions
+    achieved = transfer_bytes / mean_time
+    return achieved / spec.ideal_bandwidth
+
+
+def run_microbenchmark(
+    spec: InterconnectSpec,
+    profile: ProtocolProfile,
+    *,
+    sizes: Iterable[float] = DEFAULT_SIZES,
+    repetitions: int = 16,
+    include_protocol_overhead: bool = False,
+) -> MicrobenchmarkResult:
+    """Sweep transfer sizes and tabulate both directions' alphas."""
+    size_list = sorted(set(float(s) for s in sizes))
+    if not size_list:
+        raise ParameterError("at least one transfer size is required")
+    write_pairs = []
+    read_pairs = []
+    for size in size_list:
+        write_pairs.append(
+            (
+                size,
+                measure_alpha(
+                    spec,
+                    profile,
+                    size,
+                    read=False,
+                    repetitions=repetitions,
+                    include_protocol_overhead=include_protocol_overhead,
+                ),
+            )
+        )
+        read_pairs.append(
+            (
+                size,
+                measure_alpha(
+                    spec,
+                    profile,
+                    size,
+                    read=True,
+                    repetitions=repetitions,
+                    include_protocol_overhead=include_protocol_overhead,
+                ),
+            )
+        )
+    label_suffix = " (application)" if include_protocol_overhead else ""
+    return MicrobenchmarkResult(
+        interconnect_name=spec.name,
+        write_table=AlphaTable.from_pairs(
+            write_pairs, label=f"{spec.name} write{label_suffix}"
+        ),
+        read_table=AlphaTable.from_pairs(
+            read_pairs, label=f"{spec.name} read{label_suffix}"
+        ),
+        repetitions=repetitions,
+    )

@@ -1,0 +1,46 @@
+"""FPGA device, interconnect, and platform models.
+
+A *platform* in RAT's sense (Section 4.2 of the paper) is the pairing of an
+FPGA device with the interconnect that attaches it to the host CPU, plus
+the empirically measured sustained-bandwidth fractions (``alpha``) for that
+interconnect.  The paper's two testbeds — a Nallatech H101-PCIXM card
+(Xilinx Virtex-4 LX100 over 133 MHz PCI-X) and an XtremeData XD1000 module
+(Altera Stratix-II EP2S180 over HyperTransport) — are provided in
+:mod:`repro.platforms.catalog`.
+"""
+
+from .alpha import AlphaTable
+from .catalog import (
+    PLATFORMS,
+    get_device,
+    get_interconnect,
+    get_platform,
+    list_devices,
+    list_interconnects,
+    list_platforms,
+    register_device,
+    register_interconnect,
+    register_platform,
+)
+from .device import DeviceFamily, FPGADevice, ResourceKind
+from .interconnect import InterconnectSpec
+from .platform import RCPlatform
+
+__all__ = [
+    "AlphaTable",
+    "DeviceFamily",
+    "FPGADevice",
+    "InterconnectSpec",
+    "PLATFORMS",
+    "RCPlatform",
+    "ResourceKind",
+    "get_device",
+    "get_interconnect",
+    "get_platform",
+    "list_devices",
+    "list_interconnects",
+    "list_platforms",
+    "register_device",
+    "register_interconnect",
+    "register_platform",
+]

@@ -1,0 +1,120 @@
+"""Tabulated sustained-bandwidth fractions (``alpha``) per transfer size.
+
+Section 4.2 of the paper: "the microbenchmark is performed on an FPGA over
+a wide range of possible data sizes.  The resulting alpha values can be
+tabulated and used in future RAT analyses for that FPGA platform."
+
+:class:`AlphaTable` is that tabulation: a monotone-size list of
+``(transfer_bytes, alpha)`` samples with log-linear interpolation between
+samples and clamping outside the sampled range.  Tables are produced by
+:func:`repro.interconnect.microbenchmark.run_microbenchmark` (our simulated
+stand-in for the hardware measurement) or entered by hand from vendor data.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["AlphaTable"]
+
+
+@dataclass(frozen=True)
+class AlphaTable:
+    """Measured ``alpha`` (sustained fraction of ideal bandwidth) vs size.
+
+    Parameters
+    ----------
+    sizes:
+        Transfer sizes in bytes, strictly increasing, all positive.
+    alphas:
+        Sustained fraction at each size, each in ``(0, 1]``.
+    label:
+        Free-form provenance, e.g. ``"H101-PCIXM write microbenchmark"``.
+    """
+
+    sizes: tuple[float, ...]
+    alphas: tuple[float, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.alphas):
+            raise ParameterError(
+                f"sizes ({len(self.sizes)}) and alphas ({len(self.alphas)}) "
+                "must have equal length"
+            )
+        if not self.sizes:
+            raise ParameterError("AlphaTable requires at least one sample")
+        previous = 0.0
+        for size in self.sizes:
+            if size <= previous:
+                raise ParameterError(
+                    "sizes must be strictly increasing and positive, "
+                    f"got {self.sizes}"
+                )
+            previous = size
+        for alpha in self.alphas:
+            if not 0 < alpha <= 1:
+                raise ParameterError(f"alpha values must be in (0, 1], got {alpha}")
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[float, float]], label: str = ""
+    ) -> "AlphaTable":
+        """Build a table from unsorted ``(size, alpha)`` pairs."""
+        ordered = sorted(pairs)
+        return cls(
+            sizes=tuple(size for size, _ in ordered),
+            alphas=tuple(alpha for _, alpha in ordered),
+            label=label,
+        )
+
+    @classmethod
+    def constant(cls, alpha: float, label: str = "") -> "AlphaTable":
+        """A degenerate single-sample table: the same alpha at every size."""
+        return cls(sizes=(1.0,), alphas=(alpha,), label=label)
+
+    def lookup(self, transfer_bytes: float) -> float:
+        """Interpolated alpha for a transfer size.
+
+        Interpolation is linear in ``log(size)`` because sustained-fraction
+        curves follow the latency-bandwidth model, which is close to linear
+        on a log-size axis over the ramp region.  Sizes outside the sampled
+        range clamp to the nearest endpoint (extrapolating the ramp would
+        produce alphas above the asymptote or below zero).
+        """
+        if transfer_bytes <= 0:
+            raise ParameterError(
+                f"transfer_bytes must be positive, got {transfer_bytes}"
+            )
+        sizes = self.sizes
+        if transfer_bytes <= sizes[0]:
+            return self.alphas[0]
+        if transfer_bytes >= sizes[-1]:
+            return self.alphas[-1]
+        hi = bisect.bisect_right(sizes, transfer_bytes)
+        lo = hi - 1
+        if sizes[lo] == transfer_bytes:
+            return self.alphas[lo]
+        log_lo, log_hi = math.log(sizes[lo]), math.log(sizes[hi])
+        weight = (math.log(transfer_bytes) - log_lo) / (log_hi - log_lo)
+        return self.alphas[lo] + weight * (self.alphas[hi] - self.alphas[lo])
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """Return ``(size, alpha)`` rows for table rendering."""
+        return list(zip(self.sizes, self.alphas))
+
+    def min_alpha(self) -> float:
+        """Smallest sampled alpha (worst case across sizes)."""
+        return min(self.alphas)
+
+    def max_alpha(self) -> float:
+        """Largest sampled alpha (asymptotic best case)."""
+        return max(self.alphas)

@@ -1,0 +1,358 @@
+"""Catalog of known FPGA devices, interconnects, and platforms.
+
+The two testbeds the paper evaluates on are modelled here:
+
+* **Nallatech H101-PCIXM**: Xilinx Virtex-4 LX100 user FPGA on a 133 MHz
+  64-bit PCI-X card (1 GB/s documented maximum), hosted by a 3.2 GHz Xeon.
+  The paper's microbenchmarks for this card measured ``alpha_write = 0.37``
+  and ``alpha_read = 0.16`` at the 1-D PDF's ~2 KB transfer size; our
+  interconnect model is calibrated so the same microbenchmark procedure
+  reproduces exactly those values at 2048 bytes.
+* **XtremeData XD1000**: Altera Stratix-II EP2S180 in an Opteron socket,
+  connected over HyperTransport.  The paper uses 500 MB/s ideal bandwidth
+  with ``alpha = 0.9`` in both directions at the MD transfer size
+  (16384 x 36 = 589 824 bytes); the model is calibrated to match there.
+
+Calibration is closed-form: with the latency-bandwidth model
+``alpha(S) = S / (setup * B_ideal + S / efficiency)``, fixing the
+asymptotic ``efficiency`` and one ``(S, alpha)`` anchor determines
+``setup`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import PlatformError
+from ..units import gbps, mbps
+from .alpha import AlphaTable
+from .device import DeviceFamily, FPGADevice
+from .interconnect import InterconnectSpec
+from .platform import RCPlatform
+
+__all__ = [
+    "DEVICES",
+    "INTERCONNECTS",
+    "PLATFORMS",
+    "alpha_table_from_spec",
+    "get_device",
+    "get_interconnect",
+    "get_platform",
+    "list_devices",
+    "list_interconnects",
+    "list_platforms",
+    "register_device",
+    "register_interconnect",
+    "register_platform",
+]
+
+# Default transfer sizes (bytes) at which catalog alpha tables are sampled:
+# 256 B to 16 MB in octaves, spanning the paper's 2 KB PDF transfers and
+# the MD case study's ~576 KB block.
+_DEFAULT_SAMPLE_SIZES: tuple[float, ...] = tuple(
+    256.0 * 2**i for i in range(17)
+)
+
+
+def alpha_table_from_spec(
+    spec: InterconnectSpec,
+    *,
+    read: bool = False,
+    sizes: Iterable[float] = _DEFAULT_SAMPLE_SIZES,
+    label: str = "",
+) -> AlphaTable:
+    """Tabulate an interconnect's alpha curve at the given transfer sizes.
+
+    This mirrors the paper's procedure of sweeping microbenchmark transfer
+    sizes and recording sustained fractions for later worksheet use.
+    """
+    size_list = sorted(set(float(s) for s in sizes))
+    return AlphaTable(
+        sizes=tuple(size_list),
+        alphas=tuple(spec.alpha(s, read=read) for s in size_list),
+        label=label or f"{spec.name} {'read' if read else 'write'}",
+    )
+
+
+def _calibrated_setup(
+    ideal_bandwidth: float, efficiency: float, anchor_bytes: float, anchor_alpha: float
+) -> float:
+    """Solve the latency-bandwidth model for the setup latency.
+
+    ``alpha(S) = S / (setup * B + S / eff)``  =>
+    ``setup = (S / alpha - S / eff) / B``.
+    """
+    return (anchor_bytes / anchor_alpha - anchor_bytes / efficiency) / ideal_bandwidth
+
+
+# --------------------------------------------------------------------------
+# Devices
+# --------------------------------------------------------------------------
+
+VIRTEX4_LX100 = FPGADevice(
+    name="Virtex-4 LX100",
+    family=DeviceFamily.XILINX_VIRTEX4,
+    logic_cells=49_152,  # slices
+    dsp_blocks=96,  # DSP48 (48-bit MAC) blocks
+    bram_blocks=240,  # 18 kbit block RAMs
+    bram_kbits_per_block=18.0,
+    dsp_width_bits=18,
+    max_clock_hz=400e6,
+    logic_name="Slices",
+    dsp_name="48-bit DSPs",
+    bram_name="BRAMs",
+    notes="User FPGA on the Nallatech H101-PCIXM card (paper Tables 4, 7).",
+)
+
+VIRTEX4_SX55 = FPGADevice(
+    name="Virtex-4 SX55",
+    family=DeviceFamily.XILINX_VIRTEX4,
+    logic_cells=24_576,
+    dsp_blocks=512,
+    bram_blocks=320,
+    bram_kbits_per_block=18.0,
+    dsp_width_bits=18,
+    max_clock_hz=400e6,
+    logic_name="Slices",
+    dsp_name="48-bit DSPs",
+    bram_name="BRAMs",
+    notes=(
+        "DSP-heavy Virtex-4 family member the paper cites as evidence of "
+        "demand for dedicated multipliers (Section 3.3)."
+    ),
+)
+
+STRATIX2_EP2S180 = FPGADevice(
+    name="Stratix-II EP2S180",
+    family=DeviceFamily.ALTERA_STRATIX2,
+    logic_cells=143_520,  # ALUTs
+    dsp_blocks=768,  # 9-bit DSP elements (96 full DSP blocks x 8)
+    bram_blocks=768,  # TriMatrix tiles normalised to M4K count
+    bram_kbits_per_block=12.0,  # averaged: (M512+M4K+M-RAM ~9.4 Mbit)/768
+    dsp_width_bits=9,
+    max_clock_hz=400e6,
+    logic_name="ALUTs",
+    dsp_name="9-bit DSPs",
+    bram_name="BRAMs",
+    notes=(
+        "User FPGA in the XtremeData XD1000 (paper Table 10). DSPs counted "
+        "as 9-bit elements to match the paper's '9-bit DSPs' row; BRAM "
+        "counted as 768 tiles whose per-tile size averages the whole "
+        "TriMatrix hierarchy (M512 + M4K + M-RAM, ~9.4 Mbit total) so "
+        "utilization reflects total memory bits."
+    ),
+)
+
+VIRTEX5_LX330 = FPGADevice(
+    name="Virtex-5 LX330",
+    family=DeviceFamily.XILINX_VIRTEX5,
+    logic_cells=51_840,  # slices (6-LUT, 4 LUTs + 4 FFs each)
+    dsp_blocks=192,  # DSP48E
+    bram_blocks=288,  # 36 kbit block RAMs
+    bram_kbits_per_block=36.0,
+    dsp_width_bits=18,  # DSP48E: 25x18 multiplier; 18 is the tiling unit
+    max_clock_hz=550e6,
+    logic_name="Slices",
+    dsp_name="DSP48Es",
+    bram_name="BRAMs",
+    notes=(
+        "A generation past the paper's testbeds; included so studies can "
+        "be re-targeted at newer silicon."
+    ),
+)
+
+STRATIX3_EP3SL340 = FPGADevice(
+    name="Stratix-III EP3SL340",
+    family=DeviceFamily.ALTERA_STRATIX3,
+    logic_cells=270_400,  # ALUTs
+    dsp_blocks=576,  # 18-bit DSP elements (72 blocks x 8 18x18)
+    bram_blocks=1_040,  # M9K tiles (M144K folded into the average)
+    bram_kbits_per_block=16.0,  # averaged TriMatrix (~16.7 Mbit total)
+    dsp_width_bits=18,
+    max_clock_hz=500e6,
+    logic_name="ALUTs",
+    dsp_name="18-bit DSPs",
+    bram_name="BRAMs",
+    notes="Altera generation past the XD1000's Stratix-II.",
+)
+
+GENERIC_SMALL = FPGADevice(
+    name="Generic Small FPGA",
+    family=DeviceFamily.GENERIC,
+    logic_cells=10_000,
+    dsp_blocks=32,
+    bram_blocks=64,
+    bram_kbits_per_block=18.0,
+    dsp_width_bits=18,
+    max_clock_hz=250e6,
+    notes="Synthetic small device for tests and resource-limit examples.",
+)
+
+# --------------------------------------------------------------------------
+# Interconnects
+# --------------------------------------------------------------------------
+
+# Nallatech protocol atop 133 MHz 64-bit PCI-X. Anchors: the paper's 2 KB
+# microbenchmark alphas (write 0.37, read 0.16). Asymptotic write
+# efficiency 0.8 is typical of PCI-X burst transfers under a vendor DMA
+# wrapper; the read path on this card is dramatically slower (the paper
+# calls both alphas "low due to communication protocols used by Nallatech
+# atop PCI-X").
+_PCIX_IDEAL = gbps(1.0)
+_PCIX_WRITE_EFF = 0.80
+_PCIX_ANCHOR_BYTES = 2048.0
+_PCIX_SETUP = _calibrated_setup(_PCIX_IDEAL, _PCIX_WRITE_EFF, _PCIX_ANCHOR_BYTES, 0.37)
+# Read efficiency solves alpha_read(2048) = 0.16 with the same setup cost.
+_PCIX_READ_EFF = _PCIX_ANCHOR_BYTES / (
+    _PCIX_ANCHOR_BYTES / 0.16 - _PCIX_SETUP * _PCIX_IDEAL
+)
+
+PCIX_133_NALLATECH = InterconnectSpec(
+    name="PCI-X 133/64 (Nallatech H101)",
+    ideal_bandwidth=_PCIX_IDEAL,
+    bus_clock_hz=133e6,
+    bus_width_bits=64,
+    setup_latency_s=_PCIX_SETUP,
+    protocol_efficiency=_PCIX_WRITE_EFF,
+    read_efficiency_scale=_PCIX_READ_EFF / _PCIX_WRITE_EFF,
+    duplex=False,
+)
+
+# HyperTransport as exposed to the XD1000 user design: the paper budgets
+# 500 MB/s ideal with alpha 0.9 both ways at the MD block size (589 824 B).
+_HT_IDEAL = mbps(500.0)
+_HT_EFF = 0.92
+_HT_ANCHOR_BYTES = 16384.0 * 36.0
+_HT_SETUP = _calibrated_setup(_HT_IDEAL, _HT_EFF, _HT_ANCHOR_BYTES, 0.90)
+
+HYPERTRANSPORT_XD1000 = InterconnectSpec(
+    name="HyperTransport (XD1000)",
+    ideal_bandwidth=_HT_IDEAL,
+    bus_clock_hz=400e6,
+    bus_width_bits=16,
+    setup_latency_s=_HT_SETUP,
+    protocol_efficiency=_HT_EFF,
+    duplex=True,
+)
+
+PCIE_X4_GEN1 = InterconnectSpec(
+    name="PCIe x4 Gen1",
+    ideal_bandwidth=gbps(1.0),
+    bus_clock_hz=2.5e9,
+    bus_width_bits=4,
+    setup_latency_s=1.0e-6,
+    protocol_efficiency=0.85,
+    duplex=True,
+)
+
+# --------------------------------------------------------------------------
+# Platforms
+# --------------------------------------------------------------------------
+
+NALLATECH_H101 = RCPlatform(
+    name="Nallatech H101-PCIXM",
+    device=VIRTEX4_LX100,
+    interconnect=PCIX_133_NALLATECH,
+    write_alpha=alpha_table_from_spec(PCIX_133_NALLATECH, read=False),
+    read_alpha=alpha_table_from_spec(PCIX_133_NALLATECH, read=True),
+    host_description="3.2 GHz Intel Xeon (paper's PDF software baseline host)",
+)
+
+XTREMEDATA_XD1000 = RCPlatform(
+    name="XtremeData XD1000",
+    device=STRATIX2_EP2S180,
+    interconnect=HYPERTRANSPORT_XD1000,
+    write_alpha=alpha_table_from_spec(HYPERTRANSPORT_XD1000, read=False),
+    read_alpha=alpha_table_from_spec(HYPERTRANSPORT_XD1000, read=True),
+    host_description="2.2 GHz AMD Opteron (paper's MD software baseline host)",
+)
+
+GENERIC_PCIE = RCPlatform(
+    name="Generic PCIe card",
+    device=GENERIC_SMALL,
+    interconnect=PCIE_X4_GEN1,
+    write_alpha=alpha_table_from_spec(PCIE_X4_GEN1, read=False),
+    read_alpha=alpha_table_from_spec(PCIE_X4_GEN1, read=True),
+    host_description="Generic x86 host",
+)
+
+# --------------------------------------------------------------------------
+# Registries
+# --------------------------------------------------------------------------
+
+DEVICES: dict[str, FPGADevice] = {
+    d.name: d
+    for d in (
+        VIRTEX4_LX100,
+        VIRTEX4_SX55,
+        VIRTEX5_LX330,
+        STRATIX2_EP2S180,
+        STRATIX3_EP3SL340,
+        GENERIC_SMALL,
+    )
+}
+INTERCONNECTS: dict[str, InterconnectSpec] = {
+    i.name: i for i in (PCIX_133_NALLATECH, HYPERTRANSPORT_XD1000, PCIE_X4_GEN1)
+}
+PLATFORMS: dict[str, RCPlatform] = {
+    p.name: p for p in (NALLATECH_H101, XTREMEDATA_XD1000, GENERIC_PCIE)
+}
+
+
+def _lookup(registry: dict, name: str, kind: str):
+    try:
+        return registry[name]
+    except KeyError:
+        # Case-insensitive fallback for CLI convenience.
+        lowered = name.lower()
+        for key, value in registry.items():
+            if key.lower() == lowered:
+                return value
+        raise PlatformError(
+            f"unknown {kind} {name!r}; known: {sorted(registry)}"
+        ) from None
+
+
+def get_device(name: str) -> FPGADevice:
+    """Look up a device by (case-insensitive) name."""
+    return _lookup(DEVICES, name, "device")
+
+
+def get_interconnect(name: str) -> InterconnectSpec:
+    """Look up an interconnect by (case-insensitive) name."""
+    return _lookup(INTERCONNECTS, name, "interconnect")
+
+
+def get_platform(name: str) -> RCPlatform:
+    """Look up a platform by (case-insensitive) name."""
+    return _lookup(PLATFORMS, name, "platform")
+
+
+def register_device(device: FPGADevice) -> None:
+    """Add a device to the catalog (e.g. from user configuration)."""
+    DEVICES[device.name] = device
+
+
+def register_interconnect(spec: InterconnectSpec) -> None:
+    """Add an interconnect to the catalog."""
+    INTERCONNECTS[spec.name] = spec
+
+
+def register_platform(platform: RCPlatform) -> None:
+    """Add a platform to the catalog."""
+    PLATFORMS[platform.name] = platform
+
+
+def list_devices() -> list[str]:
+    """Names of all catalogued devices."""
+    return sorted(DEVICES)
+
+
+def list_interconnects() -> list[str]:
+    """Names of all catalogued interconnects."""
+    return sorted(INTERCONNECTS)
+
+
+def list_platforms() -> list[str]:
+    """Names of all catalogued platforms."""
+    return sorted(PLATFORMS)

@@ -1,0 +1,155 @@
+"""FPGA device models: resource capacities per chip.
+
+RAT's resource test (Section 3.3 of the paper) checks an estimated design
+against three resource classes that empirically bound FPGA designs:
+
+* on-chip memory (block RAM),
+* dedicated functional units (hardware multipliers / DSP blocks), and
+* basic logic elements (LUT/flip-flop pairs — "slices" on Xilinx parts,
+  "ALUTs" on Altera parts).
+
+A device is therefore modelled as a named bag of resource capacities.  The
+vendor-specific *name* of the logic/DSP resource is retained so reports can
+print "48-bit DSPs" for a Virtex-4 and "9-bit DSPs" for a Stratix-II just
+as the paper's Tables 4, 7 and 10 do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ParameterError
+
+__all__ = ["ResourceKind", "DeviceFamily", "FPGADevice"]
+
+
+class ResourceKind(str, enum.Enum):
+    """The three resource classes RAT's resource test tracks.
+
+    ``LOGIC`` counts the vendor's basic logic unit (Xilinx slices, Altera
+    ALUTs); ``DSP`` counts dedicated multiplier/MAC blocks; ``BRAM`` counts
+    block-RAM tiles.  ``MULT18`` is a convenience alias used by operator
+    cost models on devices whose DSP primitive is an 18x18 multiplier.
+    """
+
+    LOGIC = "logic"
+    DSP = "dsp"
+    BRAM = "bram"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class DeviceFamily(str, enum.Enum):
+    """Vendor families with distinct resource naming conventions."""
+
+    XILINX_VIRTEX4 = "xilinx-virtex4"
+    XILINX_VIRTEX5 = "xilinx-virtex5"
+    ALTERA_STRATIX2 = "altera-stratix2"
+    ALTERA_STRATIX3 = "altera-stratix3"
+    GENERIC = "generic"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource capacities of a single FPGA chip.
+
+    Parameters
+    ----------
+    name:
+        Marketing part name, e.g. ``"Virtex-4 LX100"``.
+    family:
+        Vendor family, which fixes the display names of resources.
+    logic_cells:
+        Number of basic logic units (slices or ALUTs).
+    dsp_blocks:
+        Number of dedicated multiplier/DSP blocks.
+    bram_blocks:
+        Number of block-RAM tiles.
+    bram_kbits_per_block:
+        Capacity of one BRAM tile in kilobits (18 for Virtex-4 BRAMs;
+        Stratix-II mixes sizes, approximated by its M4K count).
+    dsp_width_bits:
+        Native width of the DSP primitive's multiplier input (18 for both
+        the Virtex-4 DSP48 and the Stratix-II 18-bit mode; the paper's
+        Table 10 counts Stratix "9-bit DSPs", i.e. half-DSP elements).
+    max_clock_hz:
+        A practical fabric clock ceiling used to sanity-check worksheet
+        clock estimates (not a hard electrical limit).
+    logic_name / dsp_name / bram_name:
+        Display labels for reports, matching the paper's table rows.
+    """
+
+    name: str
+    family: DeviceFamily
+    logic_cells: int
+    dsp_blocks: int
+    bram_blocks: int
+    bram_kbits_per_block: float = 18.0
+    dsp_width_bits: int = 18
+    max_clock_hz: float = 500e6
+    logic_name: str = "Slices"
+    dsp_name: str = "DSPs"
+    bram_name: str = "BRAMs"
+    notes: str = ""
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("logic_cells", self.logic_cells),
+            ("dsp_blocks", self.dsp_blocks),
+            ("bram_blocks", self.bram_blocks),
+        ):
+            if value < 0:
+                raise ParameterError(f"{self.name}: {label} must be >= 0, got {value}")
+        if self.bram_kbits_per_block <= 0:
+            raise ParameterError(
+                f"{self.name}: bram_kbits_per_block must be positive"
+            )
+        if self.max_clock_hz <= 0:
+            raise ParameterError(f"{self.name}: max_clock_hz must be positive")
+
+    def capacity(self, kind: ResourceKind) -> int:
+        """Return the device capacity for one resource kind."""
+        if kind is ResourceKind.LOGIC:
+            return self.logic_cells
+        if kind is ResourceKind.DSP:
+            return self.dsp_blocks
+        if kind is ResourceKind.BRAM:
+            return self.bram_blocks
+        raise ParameterError(f"unknown resource kind {kind!r}")
+
+    def resource_label(self, kind: ResourceKind) -> str:
+        """Return the vendor display label for one resource kind."""
+        if kind is ResourceKind.LOGIC:
+            return self.logic_name
+        if kind is ResourceKind.DSP:
+            return self.dsp_name
+        if kind is ResourceKind.BRAM:
+            return self.bram_name
+        raise ParameterError(f"unknown resource kind {kind!r}")
+
+    @property
+    def bram_total_kbits(self) -> float:
+        """Total on-chip block RAM capacity in kilobits."""
+        return self.bram_blocks * self.bram_kbits_per_block
+
+    @property
+    def bram_total_bytes(self) -> float:
+        """Total on-chip block RAM capacity in bytes."""
+        return self.bram_total_kbits * 1024 / 8
+
+    def describe(self) -> str:
+        """One-line human summary used by the CLI."""
+        return (
+            f"{self.name} ({self.family}): "
+            f"{self.logic_cells} {self.logic_name}, "
+            f"{self.dsp_blocks} {self.dsp_name}, "
+            f"{self.bram_blocks} {self.bram_name} "
+            f"({self.bram_total_kbits:.0f} kbit)"
+        )

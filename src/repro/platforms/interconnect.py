@@ -1,0 +1,122 @@
+"""Host-to-FPGA interconnect specifications.
+
+RAT's communication equations need only the *ideal* (documented) bandwidth
+of the interconnect plus the measured sustained fractions ``alpha``.  The
+spec here additionally carries the physical parameters (clock, bus width,
+per-transfer setup latency, protocol efficiency) consumed by the
+microbenchmark substrate in :mod:`repro.interconnect`, which is what stands
+in for the paper's hardware measurements of ``alpha``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = ["InterconnectSpec"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Parameters of a CPU-FPGA interconnect.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"PCI-X 133/64"`` or ``"HyperTransport x8"``.
+    ideal_bandwidth:
+        Documented theoretical maximum, in bytes/second.  This is the
+        ``throughput_ideal`` of Equations (2)-(3) of the paper.
+    bus_clock_hz / bus_width_bits:
+        Physical signalling parameters; for standards where
+        ``clock x width`` equals the ideal bandwidth (PCI-X) these are
+        redundant but retained for documentation value.
+    setup_latency_s:
+        Fixed per-transfer cost (driver call, DMA descriptor setup, bus
+        arbitration).  Dominates small transfers; this is the mechanism
+        behind the paper's observation that its 2 KB transfers sustained
+        far below the microbenchmark rate.
+    protocol_efficiency:
+        Asymptotic fraction of ideal bandwidth achievable by an infinitely
+        large transfer once protocol overheads (headers, handshakes,
+        vendor wrappers) are paid.  ``alpha(size)`` approaches this value
+        from below as size grows.
+    duplex:
+        ``True`` if reads and writes can proceed simultaneously
+        (HyperTransport); ``False`` for shared half-duplex buses (PCI-X).
+    """
+
+    name: str
+    ideal_bandwidth: float
+    bus_clock_hz: float = 0.0
+    bus_width_bits: int = 0
+    setup_latency_s: float = 0.0
+    protocol_efficiency: float = 1.0
+    read_efficiency_scale: float = 1.0
+    duplex: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ideal_bandwidth <= 0:
+            raise ParameterError(
+                f"{self.name}: ideal_bandwidth must be positive, "
+                f"got {self.ideal_bandwidth}"
+            )
+        if self.setup_latency_s < 0:
+            raise ParameterError(f"{self.name}: setup_latency_s must be >= 0")
+        if not 0 < self.protocol_efficiency <= 1:
+            raise ParameterError(
+                f"{self.name}: protocol_efficiency must be in (0, 1], "
+                f"got {self.protocol_efficiency}"
+            )
+        if not 0 < self.read_efficiency_scale <= 1:
+            raise ParameterError(
+                f"{self.name}: read_efficiency_scale must be in (0, 1], "
+                f"got {self.read_efficiency_scale}"
+            )
+
+    def effective_bandwidth(self, transfer_bytes: float, *, read: bool = False) -> float:
+        """Sustained bandwidth (bytes/s) for one transfer of a given size.
+
+        Uses the classic latency-bandwidth model
+        ``t = setup + size / (efficiency * ideal)``; the returned value is
+        ``size / t``.  Reads may be further derated by
+        ``read_efficiency_scale`` — on the paper's Nallatech card, reads
+        sustained less than half the write rate (alpha 0.16 vs 0.37).
+        """
+        if transfer_bytes <= 0:
+            raise ParameterError(
+                f"transfer_bytes must be positive, got {transfer_bytes}"
+            )
+        efficiency = self.protocol_efficiency
+        if read:
+            efficiency *= self.read_efficiency_scale
+        wire_time = transfer_bytes / (efficiency * self.ideal_bandwidth)
+        return transfer_bytes / (self.setup_latency_s + wire_time)
+
+    def alpha(self, transfer_bytes: float, *, read: bool = False) -> float:
+        """Sustained fraction of ideal bandwidth for a transfer size.
+
+        This is the quantity the paper measures with microbenchmarks and
+        tabulates per platform (Section 4.2).
+        """
+        return self.effective_bandwidth(transfer_bytes, read=read) / self.ideal_bandwidth
+
+    def transfer_time(self, transfer_bytes: float, *, read: bool = False) -> float:
+        """Wall-clock seconds to move one transfer of ``transfer_bytes``."""
+        if transfer_bytes <= 0:
+            raise ParameterError(
+                f"transfer_bytes must be positive, got {transfer_bytes}"
+            )
+        return transfer_bytes / self.effective_bandwidth(transfer_bytes, read=read)
+
+    def describe(self) -> str:
+        """One-line human summary used by the CLI."""
+        from ..units import format_bandwidth
+
+        return (
+            f"{self.name}: ideal {format_bandwidth(self.ideal_bandwidth)}, "
+            f"setup {self.setup_latency_s * 1e6:.1f} us, "
+            f"protocol efficiency {self.protocol_efficiency:.2f}"
+            + (", duplex" if self.duplex else "")
+        )

@@ -1,0 +1,101 @@
+"""Reconfigurable-computing platform: device + interconnect + alpha tables.
+
+The paper's RAT worksheet takes three communication parameters from the
+platform: ``throughput_ideal`` and the measured ``alpha_write`` /
+``alpha_read``.  :class:`RCPlatform` bundles those with the device (for the
+resource test) so case studies can be expressed against a named platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ParameterError
+from .alpha import AlphaTable
+from .device import FPGADevice
+from .interconnect import InterconnectSpec
+
+__all__ = ["RCPlatform"]
+
+
+@dataclass(frozen=True)
+class RCPlatform:
+    """A named CPU+FPGA system as seen by the RAT worksheet.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"Nallatech H101-PCIXM"``.
+    device:
+        The user FPGA on the card.
+    interconnect:
+        The host link (carries ``throughput_ideal`` for Equations 2-3).
+    write_alpha / read_alpha:
+        Tabulated sustained fractions from microbenchmarks.  *Write* is
+        host-to-FPGA (input data); *read* is FPGA-to-host (results) —
+        matching how the paper's Table 2 alphas apply to the 1-D PDF's
+        input and output streams.
+    host_description:
+        Free-form host CPU note (e.g. ``"3.2 GHz Xeon"``), documentation
+        only — RAT takes ``t_soft`` as a measured input.
+    """
+
+    name: str
+    device: FPGADevice
+    interconnect: InterconnectSpec
+    write_alpha: AlphaTable
+    read_alpha: AlphaTable
+    host_description: str = ""
+
+    @property
+    def ideal_bandwidth(self) -> float:
+        """``throughput_ideal`` of Equations (2)-(3), in bytes/second."""
+        return self.interconnect.ideal_bandwidth
+
+    def alpha_write(self, transfer_bytes: float) -> float:
+        """Sustained write (host→FPGA) fraction for a transfer size."""
+        return self.write_alpha.lookup(transfer_bytes)
+
+    def alpha_read(self, transfer_bytes: float) -> float:
+        """Sustained read (FPGA→host) fraction for a transfer size."""
+        return self.read_alpha.lookup(transfer_bytes)
+
+    def write_bandwidth(self, transfer_bytes: float) -> float:
+        """Sustained write bandwidth (bytes/s) for a transfer size."""
+        return self.alpha_write(transfer_bytes) * self.ideal_bandwidth
+
+    def read_bandwidth(self, transfer_bytes: float) -> float:
+        """Sustained read bandwidth (bytes/s) for a transfer size."""
+        return self.alpha_read(transfer_bytes) * self.ideal_bandwidth
+
+    def with_alphas(self, write_alpha: float, read_alpha: float) -> "RCPlatform":
+        """Return a copy using constant alphas (worksheet what-if edits)."""
+        if not 0 < write_alpha <= 1 or not 0 < read_alpha <= 1:
+            raise ParameterError(
+                f"alphas must be in (0, 1], got write={write_alpha} read={read_alpha}"
+            )
+        return RCPlatform(
+            name=self.name,
+            device=self.device,
+            interconnect=self.interconnect,
+            write_alpha=AlphaTable.constant(write_alpha, label="override"),
+            read_alpha=AlphaTable.constant(read_alpha, label="override"),
+            host_description=self.host_description,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human summary used by the CLI."""
+        lines = [
+            f"Platform: {self.name}",
+            f"  Device:       {self.device.describe()}",
+            f"  Interconnect: {self.interconnect.describe()}",
+        ]
+        if self.host_description:
+            lines.append(f"  Host:         {self.host_description}")
+        lines.append(
+            f"  alpha range:  write {self.write_alpha.min_alpha():.3f}-"
+            f"{self.write_alpha.max_alpha():.3f}, "
+            f"read {self.read_alpha.min_alpha():.3f}-"
+            f"{self.read_alpha.max_alpha():.3f}"
+        )
+        return "\n".join(lines)

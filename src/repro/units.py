@@ -1,0 +1,190 @@
+"""Unit conversion and engineering-notation formatting helpers.
+
+The RAT worksheet (Table 1 of the paper) mixes engineering units freely:
+interconnect bandwidth in MB/s, clock frequency in MHz, times in seconds
+rendered as ``5.56E-6``.  This module centralises the conversions so the
+rest of the library works in SI base units (bytes, bytes/second, hertz,
+seconds) and only the edges (worksheet parsing, table rendering) deal with
+scaled units.
+
+The paper's bandwidth figures are decimal ("133 MHz 64-bit PCI-X ... 1 GB/s"
+means 1e9 B/s), so all prefixes here are decimal (SI), not binary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Final
+
+from .errors import UnitError
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "mbps",
+    "gbps",
+    "mhz",
+    "ghz",
+    "to_mbps",
+    "to_mhz",
+    "parse_bandwidth",
+    "parse_frequency",
+    "parse_size",
+    "format_seconds",
+    "format_bytes",
+    "format_bandwidth",
+    "format_frequency",
+    "format_engineering",
+    "format_percent",
+]
+
+# Decimal (SI) scale factors. The paper quotes "1000 MB/s" for PCI-X's 1 GB/s
+# theoretical maximum, confirming decimal semantics.
+KB: Final[float] = 1e3
+MB: Final[float] = 1e6
+GB: Final[float] = 1e9
+
+KHZ: Final[float] = 1e3
+MHZ: Final[float] = 1e6
+GHZ: Final[float] = 1e9
+
+_BANDWIDTH_UNITS: Final[dict[str, float]] = {
+    "b/s": 1.0,
+    "kb/s": KB,
+    "mb/s": MB,
+    "gb/s": GB,
+}
+
+_FREQUENCY_UNITS: Final[dict[str, float]] = {
+    "hz": 1.0,
+    "khz": KHZ,
+    "mhz": MHZ,
+    "ghz": GHZ,
+}
+
+_SIZE_UNITS: Final[dict[str, float]] = {
+    "b": 1.0,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+}
+
+
+def mbps(value: float) -> float:
+    """Convert a bandwidth expressed in MB/s to bytes/second."""
+    return value * MB
+
+
+def gbps(value: float) -> float:
+    """Convert a bandwidth expressed in GB/s to bytes/second."""
+    return value * GB
+
+
+def mhz(value: float) -> float:
+    """Convert a frequency expressed in MHz to hertz."""
+    return value * MHZ
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency expressed in GHz to hertz."""
+    return value * GHZ
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Convert bytes/second back to MB/s (for worksheet display)."""
+    return bytes_per_second / MB
+
+
+def to_mhz(hertz: float) -> float:
+    """Convert hertz back to MHz (for worksheet display)."""
+    return hertz / MHZ
+
+
+def _parse(text: str, units: dict[str, float], kind: str) -> float:
+    """Parse ``"<number> <unit>"`` against a unit table; return base units."""
+    stripped = text.strip().lower()
+    for suffix in sorted(units, key=len, reverse=True):
+        if stripped.endswith(suffix):
+            number = stripped[: -len(suffix)].strip()
+            try:
+                value = float(number)
+            except ValueError as exc:
+                raise UnitError(f"cannot parse {kind} value {text!r}") from exc
+            return value * units[suffix]
+    raise UnitError(
+        f"unrecognised {kind} unit in {text!r}; expected one of {sorted(units)}"
+    )
+
+
+def parse_bandwidth(text: str) -> float:
+    """Parse e.g. ``"1000 MB/s"`` or ``"1 GB/s"`` into bytes/second."""
+    return _parse(text, _BANDWIDTH_UNITS, "bandwidth")
+
+
+def parse_frequency(text: str) -> float:
+    """Parse e.g. ``"150 MHz"`` into hertz."""
+    return _parse(text, _FREQUENCY_UNITS, "frequency")
+
+
+def parse_size(text: str) -> float:
+    """Parse e.g. ``"2 KB"`` into bytes (decimal prefixes)."""
+    return _parse(text, _SIZE_UNITS, "size")
+
+
+def format_engineering(value: float, sig_figs: int = 3) -> str:
+    """Render a number in the paper's ``5.56E-6`` exponent style.
+
+    Zero renders as ``0.00E+0``; infinities and NaN render as ``inf``/``nan``
+    so tables degrade gracefully instead of raising mid-render.
+    """
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if value == 0:
+        return f"{0:.{sig_figs - 1}f}E+0".replace("0.", "0.")
+    exponent = math.floor(math.log10(abs(value)))
+    mantissa = value / (10.0**exponent)
+    # Guard against mantissa rounding up to 10 (e.g. 9.999 at 3 sig figs).
+    rendered = f"{mantissa:.{sig_figs - 1}f}"
+    if float(rendered) >= 10.0:
+        mantissa /= 10.0
+        exponent += 1
+        rendered = f"{mantissa:.{sig_figs - 1}f}"
+    sign = "+" if exponent >= 0 else "-"
+    return f"{rendered}E{sign}{abs(exponent)}"
+
+
+def format_seconds(seconds: float, sig_figs: int = 3) -> str:
+    """Render a duration the way the paper's tables do (``1.31E-4``)."""
+    return format_engineering(seconds, sig_figs)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with the largest whole decimal prefix."""
+    for scale, suffix in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(num_bytes) >= scale:
+            return f"{num_bytes / scale:.4g} {suffix}"
+    return f"{num_bytes:.4g} B"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth with the largest whole decimal prefix."""
+    return format_bytes(bytes_per_second) + "/s"
+
+
+def format_frequency(hertz: float) -> str:
+    """Render a frequency with the largest whole decimal prefix."""
+    for scale, suffix in ((GHZ, "GHz"), (MHZ, "MHz"), (KHZ, "kHz")):
+        if abs(hertz) >= scale:
+            return f"{hertz / scale:.4g} {suffix}"
+    return f"{hertz:.4g} Hz"
+
+
+def format_percent(fraction: float, decimals: int = 0) -> str:
+    """Render a fraction in ``[0, 1]`` as a percentage string (``"15%"``)."""
+    return f"{fraction * 100:.{decimals}f}%"

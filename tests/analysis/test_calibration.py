@@ -1,0 +1,179 @@
+"""Calibration-fitting tests: recover the repo's own constants."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    fit_effective_throughput,
+    fit_interconnect,
+    fit_stall_fraction,
+    fit_transfer_overhead,
+)
+from repro.errors import ParameterError
+from repro.platforms.catalog import PCIX_133_NALLATECH
+
+
+class TestFitStallFraction:
+    def test_recovers_pdf1d_calibration(self):
+        """From the paper's measured t_comp (1.39E-4 s at 150 MHz), the
+        fit lands on the 1-D PDF kernel's documented ~25.6% stalls."""
+        result = fit_stall_fraction(
+            measured_block_time=1.39e-4,
+            elements=512,
+            ops_per_element=768,
+            ideal_ops_per_cycle=24.0,
+            clock_hz=150e6,
+            fill_latency_cycles=266,
+        )
+        assert result.value == pytest.approx(0.256, abs=0.005)
+        assert result.residual < 1e-6
+
+    def test_recovers_md_calibration(self):
+        result = fit_stall_fraction(
+            measured_block_time=8.79e-1,
+            elements=16384,
+            ops_per_element=164_000,
+            ideal_ops_per_cycle=50.0,
+            clock_hz=100e6,
+            fill_latency_cycles=2000,
+        )
+        assert result.value == pytest.approx(0.6357, abs=0.005)
+
+    def test_zero_stall_exact_model(self):
+        result = fit_stall_fraction(
+            measured_block_time=100 / 1e6,  # exactly 100 cycles at 1 MHz
+            elements=10,
+            ops_per_element=10,
+            ideal_ops_per_cycle=1.0,
+            clock_hz=1e6,
+        )
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_impossible_measurement_rejected(self):
+        with pytest.raises(ParameterError, match="too low"):
+            fit_stall_fraction(
+                measured_block_time=1e-6,
+                elements=512,
+                ops_per_element=768,
+                ideal_ops_per_cycle=24.0,
+                clock_hz=150e6,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fit_stall_fraction(
+                measured_block_time=0.0, elements=1,
+                ops_per_element=1, ideal_ops_per_cycle=1, clock_hz=1e6,
+            )
+
+
+class TestFitTransferOverhead:
+    def test_recovers_nallatech_overhead(self):
+        """From the paper's measured per-iteration t_comm (2.50E-5 s for
+        one 2 KB write + one 4 B read), the fit lands near the profile's
+        6.6 us at the Weyl jitter mean of 1.15."""
+        result = fit_transfer_overhead(
+            measured_comm_time=2.50e-5,
+            spec=PCIX_133_NALLATECH,
+            transfers=[(2048.0, False), (4.0, True)],
+            jitter_mean=1.15,
+        )
+        assert result.value == pytest.approx(6.6e-6, rel=0.05)
+        assert result.residual < 1e-9
+
+    def test_zero_overhead_when_wire_explains_all(self):
+        wire = PCIX_133_NALLATECH.transfer_time(2048.0)
+        result = fit_transfer_overhead(
+            measured_comm_time=wire,
+            spec=PCIX_133_NALLATECH,
+            transfers=[(2048.0, False)],
+        )
+        assert result.value == pytest.approx(0.0, abs=1e-15)
+
+    def test_impossible_measurement_rejected(self):
+        with pytest.raises(ParameterError, match="efficiency is too low"):
+            fit_transfer_overhead(
+                measured_comm_time=1e-9,
+                spec=PCIX_133_NALLATECH,
+                transfers=[(2048.0, False)],
+            )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fit_transfer_overhead(
+                measured_comm_time=1e-5, spec=PCIX_133_NALLATECH,
+                transfers=[],
+            )
+
+
+class TestFitInterconnect:
+    def test_recovers_catalog_pcix(self):
+        """The fit from the paper's (2 KB, 0.37/0.16) anchors reproduces
+        the catalog spec."""
+        fitted = fit_interconnect(
+            name="refit",
+            ideal_bandwidth=1e9,
+            efficiency=0.80,
+            anchor_bytes=2048.0,
+            anchor_alpha=0.37,
+            read_anchor_alpha=0.16,
+        )
+        assert fitted.setup_latency_s == pytest.approx(
+            PCIX_133_NALLATECH.setup_latency_s, rel=1e-9
+        )
+        assert fitted.alpha(2048.0) == pytest.approx(0.37, rel=1e-9)
+        assert fitted.alpha(2048.0, read=True) == pytest.approx(0.16, rel=1e-9)
+
+    def test_anchor_must_be_below_efficiency(self):
+        with pytest.raises(ParameterError):
+            fit_interconnect(
+                name="x", ideal_bandwidth=1e9, efficiency=0.5,
+                anchor_bytes=2048.0, anchor_alpha=0.6,
+            )
+
+    def test_read_anchor_bounds(self):
+        with pytest.raises(ParameterError):
+            fit_interconnect(
+                name="x", ideal_bandwidth=1e9, efficiency=0.8,
+                anchor_bytes=2048.0, anchor_alpha=0.37,
+                read_anchor_alpha=0.5,
+            )
+
+
+class TestFitEffectiveThroughput:
+    def test_pdf1d_derating_gap(self):
+        """The measured 1-D PDF implies ~18.9 ops/cycle against the
+        worksheet's 20 — the paper's two-significant-figures surprise."""
+        effective = fit_effective_throughput(
+            measured_block_time=1.39e-4,
+            elements=512,
+            ops_per_element=768,
+            clock_hz=150e6,
+        )
+        assert effective == pytest.approx(18.9, abs=0.1)
+
+    def test_md_moderate_success(self):
+        effective = fit_effective_throughput(
+            measured_block_time=8.79e-1,
+            elements=16384,
+            ops_per_element=164_000,
+            clock_hz=100e6,
+        )
+        assert effective == pytest.approx(30.6, abs=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fit_effective_throughput(
+                measured_block_time=0, elements=1,
+                ops_per_element=1, clock_hz=1e6,
+            )
+
+
+class TestCalibrationResult:
+    def test_describe(self):
+        result = fit_stall_fraction(
+            measured_block_time=1.39e-4, elements=512,
+            ops_per_element=768, ideal_ops_per_cycle=24.0,
+            clock_hz=150e6, fill_latency_cycles=266,
+        )
+        text = result.describe()
+        assert "stall_fraction" in text and "residual" in text

@@ -1,0 +1,90 @@
+"""Comparison-report tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.compare import (
+    ComparisonCell,
+    compare_prediction,
+)
+from repro.errors import ParameterError
+
+
+class TestComparisonCell:
+    def test_rel_error(self):
+        cell = ComparisonCell(key="x", reported=10.0, reproduced=11.0,
+                              tolerance=0.15)
+        assert cell.rel_error == pytest.approx(0.1)
+        assert cell.within_tolerance
+
+    def test_outside_tolerance(self):
+        cell = ComparisonCell(key="x", reported=10.0, reproduced=13.0,
+                              tolerance=0.15)
+        assert not cell.within_tolerance
+
+    def test_zero_reported(self):
+        exact = ComparisonCell(key="x", reported=0.0, reproduced=0.0,
+                               tolerance=0.1)
+        assert exact.rel_error == 0.0
+        off = ComparisonCell(key="x", reported=0.0, reproduced=0.1,
+                             tolerance=0.1)
+        assert off.rel_error == math.inf
+
+
+class TestComparePrediction:
+    def test_intersection_of_keys(self):
+        report = compare_prediction(
+            "t", {"a": 1.0, "b": 2.0}, {"a": 1.0, "c": 3.0}
+        )
+        assert [c.key for c in report.cells] == ["a"]
+
+    def test_explicit_keys_must_exist(self):
+        with pytest.raises(ParameterError, match="missing"):
+            compare_prediction("t", {"a": 1.0}, {"a": 1.0}, keys=["a", "b"])
+
+    def test_no_overlap_rejected(self):
+        with pytest.raises(ParameterError):
+            compare_prediction("t", {"a": 1.0}, {"b": 1.0})
+
+    def test_per_key_tolerances(self):
+        report = compare_prediction(
+            "t",
+            {"tight": 1.0, "loose": 1.0},
+            {"tight": 1.05, "loose": 1.4},
+            tolerance=0.02,
+            tolerances={"loose": 0.5},
+        )
+        cells = {c.key: c for c in report.cells}
+        assert not cells["tight"].within_tolerance
+        assert cells["loose"].within_tolerance
+
+    def test_all_within_and_counts(self):
+        report = compare_prediction(
+            "t", {"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0}
+        )
+        assert report.all_within
+        assert report.n_within == 2
+
+    def test_worst_cell(self):
+        report = compare_prediction(
+            "t", {"a": 1.0, "b": 1.0}, {"a": 1.1, "b": 1.5}, tolerance=1.0
+        )
+        assert report.worst_cell.key == "b"
+
+    def test_reconstructed_flag_in_render(self):
+        report = compare_prediction(
+            "t", {"a": 1.0}, {"a": 1.0}, reconstructed=("a",)
+        )
+        assert "reconstructed" in report.render()
+
+    def test_render_contains_status(self):
+        report = compare_prediction(
+            "t", {"a": 1.0}, {"a": 2.0}, tolerance=0.01
+        )
+        assert "DEVIATES" in report.render()
+        assert "DEVIATES" in report.render_markdown()
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ParameterError):
+            compare_prediction("t", {"a": 1.0}, {"a": 1.0}, tolerance=0)

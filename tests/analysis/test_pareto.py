@@ -1,0 +1,127 @@
+"""Pareto-frontier analysis tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.pareto import (
+    ParetoPoint,
+    evaluate_candidates,
+    pareto_frontier,
+)
+from repro.apps.registry import get_case_study
+from repro.core.methodology import DesignCandidate
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def study():
+    return get_case_study("pdf2d")
+
+
+def candidates_for(study):
+    """Three candidates: conservative, balanced, and over-capacity."""
+    base = study.kernel_design
+    per_pipeline = study.rat.computation.throughput_proc / base.replicas
+    out = []
+    for replicas in (8, 32, 256):
+        out.append(
+            DesignCandidate(
+                rat=study.rat.with_throughput_proc(per_pipeline * replicas),
+                kernel_design=dataclasses.replace(base, replicas=replicas),
+                label=f"{replicas} pipelines",
+            )
+        )
+    return out
+
+
+class TestParetoPoint:
+    def test_domination(self):
+        a = ParetoPoint(candidate=None, speedup=10, cost=0.5, fits=True)
+        b = ParetoPoint(candidate=None, speedup=8, cost=0.6, fits=True)
+        c = ParetoPoint(candidate=None, speedup=12, cost=0.9, fits=True)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c) and not c.dominates(a)  # trade-off
+
+    def test_equal_points_do_not_dominate(self):
+        a = ParetoPoint(candidate=None, speedup=10, cost=0.5, fits=True)
+        b = ParetoPoint(candidate=None, speedup=10, cost=0.5, fits=True)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestEvaluateCandidates:
+    def test_scores_all(self, study):
+        points = evaluate_candidates(candidates_for(study),
+                                     study.platform.device)
+        assert len(points) == 3
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups)  # more pipelines, more speedup
+        costs = [p.cost for p in points]
+        assert costs == sorted(costs)
+
+    def test_over_capacity_flagged(self, study):
+        points = evaluate_candidates(candidates_for(study),
+                                     study.platform.device)
+        assert points[0].fits and points[1].fits
+        assert not points[2].fits
+
+    def test_requires_kernel_design(self, study):
+        bare = DesignCandidate(rat=study.rat)
+        with pytest.raises(ParameterError, match="kernel design"):
+            evaluate_candidates([bare], study.platform.device)
+
+    def test_requires_candidates(self, study):
+        with pytest.raises(ParameterError):
+            evaluate_candidates([], study.platform.device)
+
+
+class TestParetoFrontier:
+    def test_feasible_tradeoffs_all_on_frontier(self, study):
+        """More pipelines = more speedup AND more cost: every fitting
+        candidate is a genuine trade-off point."""
+        points = evaluate_candidates(candidates_for(study),
+                                     study.platform.device)
+        frontier = pareto_frontier(points)
+        assert [p.candidate.label for p in frontier] == [
+            "8 pipelines", "32 pipelines",
+        ]
+
+    def test_dominated_point_removed(self):
+        a = ParetoPoint(candidate=None, speedup=10, cost=0.3, fits=True)
+        dominated = ParetoPoint(candidate=None, speedup=5, cost=0.6, fits=True)
+        c = ParetoPoint(candidate=None, speedup=15, cost=0.8, fits=True)
+        frontier = pareto_frontier([a, dominated, c])
+        assert frontier == [a, c]
+
+    def test_unfit_dropped_when_fits_exist(self):
+        fit = ParetoPoint(candidate=None, speedup=5, cost=0.5, fits=True)
+        fast_but_unfit = ParetoPoint(candidate=None, speedup=50, cost=1.5,
+                                     fits=False)
+        frontier = pareto_frontier([fit, fast_but_unfit])
+        assert frontier == [fit]
+
+    def test_all_unfit_falls_back(self):
+        a = ParetoPoint(candidate=None, speedup=5, cost=1.2, fits=False)
+        b = ParetoPoint(candidate=None, speedup=8, cost=1.5, fits=False)
+        frontier = pareto_frontier([a, b])
+        assert len(frontier) == 2  # least-bad options still shown
+
+    def test_require_fit_false_keeps_everything(self):
+        fit = ParetoPoint(candidate=None, speedup=5, cost=0.5, fits=True)
+        unfit = ParetoPoint(candidate=None, speedup=50, cost=1.5, fits=False)
+        frontier = pareto_frontier([fit, unfit], require_fit=False)
+        assert len(frontier) == 2
+
+    def test_sorted_by_cost(self):
+        points = [
+            ParetoPoint(candidate=None, speedup=s, cost=c, fits=True)
+            for s, c in ((15, 0.8), (5, 0.2), (10, 0.5))
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.cost for p in frontier] == [0.2, 0.5, 0.8]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            pareto_frontier([])

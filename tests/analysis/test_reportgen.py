@@ -1,0 +1,64 @@
+"""Markdown report-generation tests."""
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+from repro.analysis.reportgen import generate_markdown_report
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    """A cheap subset (no heavy simulation) for structural tests."""
+    return [run_experiment(i) for i in ("table1", "fig3", "goalseek-md")]
+
+
+class TestGenerateMarkdownReport:
+    def test_header_counts(self, quick_results):
+        text = generate_markdown_report(quick_results)
+        assert "3 of 3 experiments within tolerance" in text
+
+    def test_summary_table_rows(self, quick_results):
+        text = generate_markdown_report(quick_results)
+        for experiment_id in ("table1", "fig3", "goalseek-md"):
+            assert f"| {experiment_id} |" in text
+
+    def test_sections_present(self, quick_results):
+        text = generate_markdown_report(quick_results)
+        assert "## table1 — RAT input parameter schema" in text
+        assert "```" in text  # experiment text rendered as a code block
+
+    def test_comparison_tables_embedded(self, quick_results):
+        text = generate_markdown_report(quick_results)
+        assert "| quantity | paper | reproduced | rel err | status |" in text
+
+    def test_custom_title(self, quick_results):
+        text = generate_markdown_report(quick_results, title="Custom")
+        assert text.startswith("# Custom")
+
+    def test_deviation_marked(self, quick_results):
+        import dataclasses
+
+        from repro.analysis.compare import compare_prediction
+
+        bad = dataclasses.replace(
+            quick_results[0],
+            comparisons=(
+                compare_prediction(
+                    "forced", {"x": 1.0}, {"x": 2.0}, tolerance=0.01
+                ),
+            ),
+        )
+        text = generate_markdown_report([bad])
+        assert "0 of 1 experiments within tolerance" in text
+        assert "DEVIATES" in text
+
+
+class TestCLIReportCommand:
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "report.md"
+        assert main(["report", "-o", str(output)]) == 0
+        text = output.read_text()
+        assert "15 of 15 experiments within tolerance" in text
+        assert "wrote" in capsys.readouterr().out

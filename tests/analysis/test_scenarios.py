@@ -1,0 +1,130 @@
+"""Scenario-grid tests."""
+
+import pytest
+
+from repro.analysis.scenarios import Axis, ScenarioGrid
+from repro.core.buffering import BufferingMode
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def grid(pdf1d_rat):
+    return ScenarioGrid.evaluate(
+        pdf1d_rat,
+        [
+            Axis.clock_mhz([75, 100, 150]),
+            Axis.throughput_proc([10, 20, 24]),
+        ],
+    )
+
+
+class TestAxis:
+    def test_empty_values_rejected(self):
+        with pytest.raises(ParameterError):
+            Axis(name="x", values=(), edit=lambda r, v: r)
+
+    def test_clock_axis_applies(self, pdf1d_rat):
+        axis = Axis.clock_mhz([75])
+        assert axis.edit(pdf1d_rat, 75).computation.clock_mhz == 75
+
+    def test_alpha_axis_applies(self, pdf1d_rat):
+        axis = Axis.alpha([0.5])
+        edited = axis.edit(pdf1d_rat, 0.5)
+        assert edited.communication.alpha_write == 0.5
+        assert edited.communication.alpha_read == 0.5
+
+    def test_block_axis_conserves_total(self, pdf1d_rat):
+        axis = Axis.block_elements([1024], total_elements=204800)
+        edited = axis.edit(pdf1d_rat, 1024)
+        assert edited.dataset.elements_in == 1024
+        assert edited.software.n_iterations == 200
+
+    def test_block_axis_validation(self):
+        with pytest.raises(ParameterError):
+            Axis.block_elements([128], total_elements=0)
+
+
+class TestScenarioGrid:
+    def test_cartesian_size(self, grid):
+        assert len(grid) == 9
+
+    def test_coordinates_cover_product(self, grid):
+        coords = {
+            (s.coordinates["clock_mhz"], s.coordinates["throughput_proc"])
+            for s in grid.scenarios
+        }
+        assert len(coords) == 9
+
+    def test_each_point_matches_direct_prediction(self, grid, pdf1d_rat):
+        for scenario in grid.scenarios:
+            direct = predict(
+                pdf1d_rat.with_clock_hz(scenario.coordinates["clock_mhz"] * 1e6)
+                .with_throughput_proc(scenario.coordinates["throughput_proc"])
+            )
+            assert scenario.speedup == pytest.approx(direct.speedup)
+
+    def test_best_is_fast_corner(self, grid):
+        best = grid.best()
+        assert best.coordinates == {"clock_mhz": 150.0, "throughput_proc": 24.0}
+
+    def test_meeting_sorted_descending(self, grid):
+        qualifying = grid.meeting(7.0)
+        speedups = [s.speedup for s in qualifying]
+        assert speedups == sorted(speedups, reverse=True)
+        assert all(s >= 7.0 for s in speedups)
+
+    def test_meeting_validation(self, grid):
+        with pytest.raises(ParameterError):
+            grid.meeting(0)
+
+    def test_table_rendering(self, grid):
+        text = grid.table("clock_mhz", "throughput_proc")
+        assert "clock_mhz \\ throughput_proc" in text
+        assert "150" in text
+
+    def test_table_axis_validation(self, grid):
+        with pytest.raises(ParameterError):
+            grid.table("clock_mhz", "clock_mhz")
+        with pytest.raises(ParameterError):
+            grid.table("clock_mhz", "nonexistent")
+
+    def test_three_axis_table_takes_best_over_rest(self, pdf1d_rat):
+        grid = ScenarioGrid.evaluate(
+            pdf1d_rat,
+            [
+                Axis.clock_mhz([100, 150]),
+                Axis.throughput_proc([10, 24]),
+                Axis.alpha([0.1, 0.37]),
+            ],
+        )
+        text = grid.table("clock_mhz", "throughput_proc")
+        # Each cell is the max over the alpha axis: the (150, 24) cell
+        # must equal the global best.
+        assert f"{grid.best().speedup:.1f}" in text
+
+    def test_duplicate_axes_rejected(self, pdf1d_rat):
+        with pytest.raises(ParameterError, match="duplicate"):
+            ScenarioGrid.evaluate(
+                pdf1d_rat, [Axis.clock_mhz([75]), Axis.clock_mhz([100])]
+            )
+
+    def test_grid_size_guard(self, pdf1d_rat):
+        with pytest.raises(ParameterError, match="guard"):
+            ScenarioGrid.evaluate(
+                pdf1d_rat,
+                [Axis.clock_mhz(range(1, 1000)),
+                 Axis.throughput_proc(range(1, 1000))],
+                max_points=1000,
+            )
+
+    def test_no_axes_rejected(self, pdf1d_rat):
+        with pytest.raises(ParameterError):
+            ScenarioGrid.evaluate(pdf1d_rat, [])
+
+    def test_double_buffered_grid(self, pdf1d_rat):
+        sb = ScenarioGrid.evaluate(pdf1d_rat, [Axis.clock_mhz([150])])
+        db = ScenarioGrid.evaluate(
+            pdf1d_rat, [Axis.clock_mhz([150])], mode=BufferingMode.DOUBLE
+        )
+        assert db.best().speedup >= sb.best().speedup

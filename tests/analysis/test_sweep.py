@@ -1,0 +1,118 @@
+"""Sweep and crossover analysis tests."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    crossover_block_size,
+    double_buffer_gain,
+    sweep,
+    sweep_alpha,
+    sweep_clock,
+    sweep_throughput_proc,
+)
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+
+
+class TestSweep:
+    def test_clock_sweep_speedups_increase(self, pdf1d_rat):
+        result = sweep_clock(pdf1d_rat, [75e6, 100e6, 150e6])
+        speedups = result.speedups()
+        assert speedups == sorted(speedups)
+        assert len(result.predictions) == 3
+
+    def test_alpha_sweep(self, pdf2d_rat):
+        result = sweep_alpha(pdf2d_rat, [0.1, 0.5, 1.0])
+        # Higher alpha -> less communication time -> more speedup.
+        assert result.speedups() == sorted(result.speedups())
+
+    def test_throughput_sweep_saturates(self, pdf1d_rat):
+        """Speedup gains flatten once communication dominates."""
+        result = sweep_throughput_proc(pdf1d_rat, [10, 100, 1e4, 1e6])
+        speedups = result.speedups()
+        early_gain = speedups[1] / speedups[0]
+        late_gain = speedups[3] / speedups[2]
+        assert early_gain > 2
+        assert late_gain < 1.05
+
+    def test_best(self, pdf1d_rat):
+        result = sweep_clock(pdf1d_rat, [75e6, 150e6])
+        value, prediction = result.best()
+        assert value == 150e6
+        assert prediction.speedup == max(result.speedups())
+
+    def test_as_series(self, pdf1d_rat):
+        series = sweep_clock(pdf1d_rat, [75e6]).as_series()
+        assert len(series) == 1 and series[0][0] == 75e6
+
+    def test_empty_sweep_rejected(self, pdf1d_rat):
+        with pytest.raises(ParameterError):
+            sweep(pdf1d_rat, "x", [], lambda r, v: r)
+
+
+class TestCrossover:
+    def test_pdf1d_is_compute_bound_at_paper_block(self, pdf1d_rat):
+        crossover = crossover_block_size(pdf1d_rat)
+        assert crossover is not None
+        # The paper's 512-element block is already compute-bound.
+        assert crossover <= 512
+
+    def test_crossover_flips_the_bound(self, pdf2d_rat):
+        crossover = crossover_block_size(pdf2d_rat)
+        assert crossover is not None
+        at = predict(pdf2d_rat.with_block_size(crossover, 400))
+        assert at.t_comp >= at.t_comm
+        if crossover > 1:
+            below = predict(pdf2d_rat.with_block_size(crossover - 1, 400))
+            assert below.t_comp < below.t_comm
+
+    def test_never_compute_bound_returns_none(self):
+        from repro.apps.extra.fir import fir_rat_input
+
+        # FIR: per-element compute never catches the channel.
+        assert crossover_block_size(fir_rat_input()) is None
+
+    def test_invalid_range(self, pdf1d_rat):
+        with pytest.raises(ParameterError):
+            crossover_block_size(pdf1d_rat, min_elements=0)
+        with pytest.raises(ParameterError):
+            crossover_block_size(pdf1d_rat, min_elements=10, max_elements=5)
+
+
+class TestDoubleBufferGain:
+    def test_gain_bounds(self, pdf1d_rat, pdf2d_rat, md_rat):
+        for rat in (pdf1d_rat, pdf2d_rat, md_rat):
+            gain = double_buffer_gain(rat)
+            assert 1.0 <= gain <= 2.0
+
+    def test_gain_peaks_at_balance(self, simple_rat):
+        """t_comm ~ t_comp for simple_rat (1.6e-4 vs 1.0e-4): gain high."""
+        assert double_buffer_gain(simple_rat) == pytest.approx(
+            2.6e-4 / 1.6e-4, rel=1e-9
+        )
+
+    def test_gain_small_when_unbalanced(self, md_rat):
+        # MD: computation dominates overwhelmingly.
+        assert double_buffer_gain(md_rat) == pytest.approx(1.0, abs=0.01)
+
+
+class TestAsciiRendering:
+    def test_bars_scale_to_peak(self, pdf1d_rat):
+        result = sweep_clock(pdf1d_rat, [75e6, 150e6])
+        art = result.render_ascii(width=40)
+        lines = art.splitlines()
+        assert "speedup vs clock_hz" in lines[0]
+        # The fastest clock gets the full-width bar.
+        assert lines[-1].count("#") == 40
+        assert lines[1].count("#") < 40
+
+    def test_labels_and_values_present(self, pdf1d_rat):
+        art = sweep_clock(pdf1d_rat, [75e6]).render_ascii()
+        assert "7.5e+07" in art or "75000000" in art.replace(",", "")
+        assert "x" in art
+
+    def test_width_validation(self, pdf1d_rat):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            sweep_clock(pdf1d_rat, [75e6]).render_ascii(width=2)

@@ -1,0 +1,52 @@
+"""Table-rendering tests."""
+
+import pytest
+
+from repro.analysis.tables import render_markdown_table, render_text_table
+from repro.errors import ParameterError
+
+
+class TestTextTable:
+    def test_basic_layout(self):
+        text = render_text_table(
+            ["name", "value"], [["a", "1"], ["bb", "22"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "bb" in lines[4]
+
+    def test_no_title(self):
+        text = render_text_table(["x"], [["1"]])
+        assert text.splitlines()[0].startswith("x")
+
+    def test_column_alignment(self):
+        text = render_text_table(["h"], [["wide-cell"], ["x"]])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("wide-cell")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ParameterError):
+            render_text_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ParameterError):
+            render_text_table([], [])
+
+    def test_non_string_cells_coerced(self):
+        text = render_text_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = render_markdown_table(["a", "b"], [["1", "2"]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ParameterError):
+            render_markdown_table(["a"], [["1", "2"]])

@@ -1,0 +1,161 @@
+"""Uncertainty-propagation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.uncertainty import (
+    MonteCarloPrediction,
+    Range,
+    UncertainInput,
+    predict_interval,
+    predict_monte_carlo,
+)
+from repro.core.buffering import BufferingMode
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def uncertain(pdf1d_rat):
+    return UncertainInput(
+        base=pdf1d_rat,
+        ranges={
+            "alpha_write": Range(low=0.08, nominal=0.37, high=0.45),
+            "throughput_proc": Range.pct(20.0, 25, 20),
+            "clock_mhz": Range(low=75.0, nominal=150.0, high=200.0),
+        },
+    )
+
+
+class TestRange:
+    def test_ordering_enforced(self):
+        with pytest.raises(ParameterError):
+            Range(low=2.0, nominal=1.0, high=3.0)
+        with pytest.raises(ParameterError):
+            Range(low=1.0, nominal=3.0, high=2.0)
+
+    def test_positive_low(self):
+        with pytest.raises(ParameterError):
+            Range(low=0.0, nominal=1.0, high=2.0)
+
+    def test_exact(self):
+        r = Range.exact(5.0)
+        assert r.low == r.nominal == r.high == 5.0
+        assert r.width == 0.0
+
+    def test_pct(self):
+        r = Range.pct(100.0, 10, 20)
+        assert r.low == pytest.approx(90.0)
+        assert r.high == pytest.approx(120.0)
+        with pytest.raises(ParameterError):
+            Range.pct(100.0, -1, 0)
+
+
+class TestUncertainInput:
+    def test_nominal_must_match_worksheet(self, pdf1d_rat):
+        with pytest.raises(ParameterError, match="does not match"):
+            UncertainInput(
+                base=pdf1d_rat,
+                ranges={"alpha_write": Range(0.1, 0.2, 0.3)},  # worksheet: 0.37
+            )
+
+    def test_unknown_field_rejected(self, pdf1d_rat):
+        with pytest.raises(ParameterError, match="unsupported"):
+            UncertainInput(
+                base=pdf1d_rat,
+                ranges={"t_soft": Range(0.5, 0.578, 0.6)},
+            )
+
+    def test_corners(self, uncertain):
+        optimistic = uncertain.corner(optimistic=True)
+        pessimistic = uncertain.corner(optimistic=False)
+        assert optimistic.communication.alpha_write == 0.45
+        assert pessimistic.communication.alpha_write == 0.08
+        assert optimistic.computation.clock_mhz == 200.0
+        assert pessimistic.computation.clock_mhz == 75.0
+
+    def test_sample_within_ranges(self, uncertain):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            sampled = uncertain.sample(rng)
+            assert 0.08 <= sampled.communication.alpha_write <= 0.45
+            assert 75.0 <= sampled.computation.clock_mhz <= 200.0
+
+
+class TestIntervalPrediction:
+    def test_brackets_nominal(self, uncertain):
+        interval = predict_interval(uncertain)
+        assert interval.low <= interval.nominal <= interval.high
+        assert interval.nominal == pytest.approx(
+            predict(uncertain.base).speedup
+        )
+
+    def test_corners_are_true_extremes(self, uncertain):
+        """Any interior sample must fall inside the corner bracket."""
+        interval = predict_interval(uncertain)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            speedup = predict(uncertain.sample(rng)).speedup
+            assert interval.low - 1e-9 <= speedup <= interval.high + 1e-9
+
+    def test_no_uncertainty_collapses(self, pdf1d_rat):
+        interval = predict_interval(UncertainInput(base=pdf1d_rat))
+        assert interval.low == interval.nominal == interval.high
+
+    def test_describe(self, uncertain):
+        assert "range" in predict_interval(uncertain).describe()
+
+    def test_double_buffered_mode(self, uncertain):
+        sb = predict_interval(uncertain, BufferingMode.SINGLE)
+        db = predict_interval(uncertain, BufferingMode.DOUBLE)
+        assert db.nominal >= sb.nominal
+
+
+class TestMonteCarloPrediction:
+    def test_band_inside_interval(self, uncertain):
+        interval = predict_interval(uncertain)
+        mc = predict_monte_carlo(uncertain, n_samples=300)
+        assert interval.low - 1e-9 <= mc.p5
+        assert mc.p95 <= interval.high + 1e-9
+        assert mc.p5 <= mc.p95
+
+    def test_reproducible(self, uncertain):
+        a = predict_monte_carlo(uncertain, n_samples=50, seed=3)
+        b = predict_monte_carlo(uncertain, n_samples=50, seed=3)
+        assert a.samples == b.samples
+
+    def test_probability_at_least(self, uncertain):
+        mc = predict_monte_carlo(uncertain, n_samples=300)
+        assert mc.probability_at_least(0.001) == 1.0
+        assert mc.probability_at_least(1e9) == 0.0
+        mid = mc.percentile(50)
+        assert 0.4 <= mc.probability_at_least(mid) <= 0.6
+
+    def test_percentile_validation(self, uncertain):
+        mc = predict_monte_carlo(uncertain, n_samples=10)
+        with pytest.raises(ParameterError):
+            mc.percentile(101)
+
+    def test_sample_count_validation(self, uncertain):
+        with pytest.raises(ParameterError):
+            predict_monte_carlo(uncertain, n_samples=0)
+
+    def test_describe(self, uncertain):
+        assert "90% band" in predict_monte_carlo(
+            uncertain, n_samples=20
+        ).describe()
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_mean_within_interval(self, n):
+        from repro.apps.pdf1d.study import rat_input
+
+        uncertain = UncertainInput(
+            base=rat_input(clock_mhz=150.0),
+            ranges={"clock_mhz": Range(100.0, 150.0, 200.0)},
+        )
+        mc = predict_monte_carlo(uncertain, n_samples=n)
+        interval = predict_interval(uncertain)
+        assert interval.low - 1e-9 <= mc.mean <= interval.high + 1e-9

@@ -1,0 +1,119 @@
+"""Hardware-design description tests (Figure 3 and Section 5 designs)."""
+
+import pytest
+
+from repro.apps import md, pdf1d, pdf2d
+from repro.platforms.catalog import STRATIX2_EP2S180, VIRTEX4_LX100
+from repro.platforms.device import ResourceKind
+
+
+class TestPDF1DDesign:
+    def test_figure3_constants(self):
+        assert pdf1d.TOTAL_SAMPLES == 204_800
+        assert pdf1d.BATCH_ELEMENTS == 512
+        assert pdf1d.N_BINS == 256
+        assert pdf1d.N_PIPELINES == 8
+        assert pdf1d.OPS_PER_ELEMENT == 768
+
+    def test_ideal_throughput_24(self):
+        """8 pipelines x 3 ops/cycle — the worksheet derates this to 20."""
+        design = pdf1d.build_kernel_design()
+        assert design.ideal_throughput_proc() == 24
+
+    def test_400_iterations(self):
+        assert pdf1d.TOTAL_SAMPLES // pdf1d.BATCH_ELEMENTS == 400
+
+    def test_one_mac_per_pipeline_at_18_bits(self):
+        """The precision decision: 18-bit fixed point = one 18x18 MAC."""
+        design = pdf1d.build_kernel_design()
+        from repro.core.resources.estimator import estimate_kernel
+
+        demand = estimate_kernel(design, VIRTEX4_LX100)
+        assert demand.dsp == pdf1d.N_PIPELINES  # one DSP per pipeline
+
+    def test_bram_utilization_near_table4(self):
+        """Table 4's only legible cell: BRAMs 15%."""
+        from repro.core.resources.report import utilization_report
+
+        report = utilization_report(pdf1d.build_kernel_design(), VIRTEX4_LX100)
+        assert report.utilization(ResourceKind.BRAM) == pytest.approx(
+            0.15, abs=0.03
+        )
+        assert report.fits
+
+    def test_hw_kernel_derating_region(self):
+        """Effective throughput lands between the paper's measured 18.9
+        and the worksheet's conservative 20."""
+        kernel = pdf1d.build_hw_kernel()
+        effective = kernel.effective_ops_per_cycle(512)
+        assert 18.0 < effective < 20.0
+        assert kernel.ideal_ops_per_cycle == 24
+
+
+class TestPDF2DDesign:
+    def test_constants(self):
+        assert pdf2d.BATCH_ELEMENTS == 1024
+        assert pdf2d.OPS_PER_ELEMENT == 393_216
+        assert pdf2d.N_BINS_PER_DIM == 256
+
+    def test_parallelism_doubled_vs_1d(self):
+        """'the number of parallel operations is only increased by a
+        factor of two': worksheet 20 -> 48 at roughly-double ideal."""
+        design_1d = pdf1d.build_kernel_design()
+        design_2d = pdf2d.build_kernel_design()
+        ratio = design_2d.ideal_throughput_proc() / design_1d.ideal_throughput_proc()
+        assert ratio == pytest.approx(4.0)  # 96 vs 24 ideal; 48 vs 20 worksheet
+
+    def test_fits_lx100_with_headroom(self):
+        """'the hardware usage has increased but still has not nearly
+        exhausted the resources of the FPGA'."""
+        from repro.core.resources.report import utilization_report
+
+        report = utilization_report(pdf2d.build_kernel_design(), VIRTEX4_LX100)
+        assert report.fits
+        report_1d = utilization_report(pdf1d.build_kernel_design(), VIRTEX4_LX100)
+        for kind in ResourceKind:
+            assert report.utilization(kind) >= report_1d.utilization(kind)
+
+    def test_hw_kernel_effective_above_worksheet(self):
+        """The 2-D prediction was conservative: actual effective (~64)
+        exceeded the worksheet's 48."""
+        kernel = pdf2d.build_hw_kernel()
+        effective = kernel.effective_ops_per_cycle(1024)
+        assert 60 < effective < 68
+
+
+class TestMDDesign:
+    def test_constants(self):
+        assert md.N_MOLECULES == 16_384
+        assert md.BYTES_PER_MOLECULE == 36
+        assert md.OPS_PER_ELEMENT == 164_000
+
+    def test_designed_for_50_ops_per_cycle(self):
+        design = md.build_kernel_design()
+        assert design.ideal_throughput_proc() == 50
+
+    def test_dsp_heavy_on_stratix(self):
+        """Table 10's story: DSP elements nearly exhausted; the limiting
+        resource is the multiplier supply."""
+        from repro.core.resources.report import utilization_report
+
+        report = utilization_report(md.build_kernel_design(), STRATIX2_EP2S180)
+        assert report.fits
+        assert report.utilization(ResourceKind.DSP) > 0.7
+        assert report.limiting_resource is ResourceKind.DSP
+
+    def test_measured_interconnect_faster_than_worksheet(self):
+        """The sim spec sustains more than the conservative 500 MB/s
+        worksheet figure at the MD block size."""
+        block = md.N_MOLECULES * md.BYTES_PER_MOLECULE
+        measured = md.XD1000_HT_MEASURED.effective_bandwidth(block)
+        assert measured > 0.9 * 5e8  # worksheet's alpha*ideal
+        assert measured > 8e8
+
+    def test_hw_kernel_effective_throughput(self):
+        """Measured effective ~30.6 ops/cycle vs the 50 designed
+        ('moderate success')."""
+        kernel = md.build_hw_kernel()
+        effective = kernel.effective_ops_per_cycle(md.N_MOLECULES)
+        assert 30 < effective < 31

@@ -1,0 +1,129 @@
+"""Extension case-study tests (matmul, FIR)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.extra.fir import (
+    build_fir_study,
+    fir_filter,
+    fir_ops_per_element,
+    fir_rat_input,
+)
+from repro.apps.extra.matmul import (
+    build_matmul_study,
+    matmul_blocked,
+    matmul_ops_per_element,
+    matmul_rat_input,
+)
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+
+
+class TestMatmulSoftware:
+    def test_matches_numpy(self, rng):
+        a = rng.normal(size=(96, 64))
+        b = rng.normal(size=(64, 80))
+        assert np.allclose(matmul_blocked(a, b, block=32), a @ b)
+
+    def test_non_divisible_block(self, rng):
+        a = rng.normal(size=(37, 41))
+        b = rng.normal(size=(41, 29))
+        assert np.allclose(matmul_blocked(a, b, block=16), a @ b)
+
+    def test_block_one(self, rng):
+        a = rng.normal(size=(5, 5))
+        b = rng.normal(size=(5, 5))
+        assert np.allclose(matmul_blocked(a, b, block=1), a @ b)
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            matmul_blocked(rng.normal(size=(3, 4)), rng.normal(size=(5, 3)))
+        with pytest.raises(ParameterError):
+            matmul_blocked(np.eye(4), np.eye(4), block=0)
+
+
+class TestMatmulWorksheet:
+    def test_ops_per_element_is_n(self):
+        assert matmul_ops_per_element(128) == 128.0
+        with pytest.raises(ParameterError):
+            matmul_ops_per_element(0)
+
+    def test_compute_density_grows_with_tile(self):
+        """Bigger tiles shift the design toward computation-bound —
+        the motivating property of the study."""
+        small = predict(matmul_rat_input(n=16))
+        large = predict(matmul_rat_input(n=512))
+        assert small.t_comm / small.t_comp > large.t_comm / large.t_comp
+
+    def test_study_builds_and_fits(self):
+        study = build_matmul_study()
+        assert study.resource_report().fits
+        result = study.simulate(150.0)
+        assert result.n_iterations == 64
+
+    def test_double_buffered_by_default(self):
+        from repro.core.buffering import BufferingMode
+
+        assert build_matmul_study().mode is BufferingMode.DOUBLE
+
+
+class TestFIRSoftware:
+    def test_matches_manual_convolution(self):
+        samples = np.array([1.0, 0.0, 0.0, 2.0])
+        taps = np.array([0.5, 0.25])
+        out = fir_filter(samples, taps)
+        assert np.allclose(out, [0.5, 0.25, 0.0, 1.0])
+
+    def test_impulse_response_is_taps(self):
+        taps = np.array([3.0, 2.0, 1.0])
+        impulse = np.zeros(8)
+        impulse[0] = 1.0
+        out = fir_filter(impulse, taps)
+        assert np.allclose(out[:3], taps)
+        assert np.allclose(out[3:], 0.0)
+
+    def test_linearity(self, rng):
+        x1 = rng.normal(size=32)
+        x2 = rng.normal(size=32)
+        taps = rng.normal(size=8)
+        combined = fir_filter(2 * x1 + x2, taps)
+        separate = 2 * fir_filter(x1, taps) + fir_filter(x2, taps)
+        assert np.allclose(combined, separate)
+
+    def test_output_length_matches_input(self, rng):
+        out = fir_filter(rng.normal(size=100), rng.normal(size=16))
+        assert out.shape == (100,)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fir_filter([], [1.0])
+        with pytest.raises(ParameterError):
+            fir_filter([1.0], [])
+
+
+class TestFIRWorksheet:
+    def test_ops_per_element(self):
+        assert fir_ops_per_element(64) == 128.0
+        with pytest.raises(ParameterError):
+            fir_ops_per_element(0)
+
+    def test_fully_pipelined_equality(self):
+        """The paper's 'fully pipelined' case: throughput_proc equals
+        ops/element, one element per cycle."""
+        rat = fir_rat_input(n_taps=32)
+        assert rat.computation.throughput_proc == rat.computation.ops_per_element
+
+    def test_communication_bound(self):
+        """FIR over PCI-X is channel-limited, not compute-limited."""
+        prediction = predict(fir_rat_input())
+        assert prediction.bound == "communication"
+
+    def test_study_builds_and_fits(self):
+        study = build_fir_study()
+        assert study.resource_report().fits
+        result = study.simulate(150.0)
+        assert result.output_transfers == result.input_transfers
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fir_rat_input(block_elements=0)

@@ -1,0 +1,201 @@
+"""Molecular-dynamics software-baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.md.software import (
+    MDState,
+    estimate_ops_per_molecule,
+    lennard_jones_forces,
+    make_lattice_state,
+    run_md,
+    total_energy,
+    velocity_verlet_step,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def small_state():
+    # 5^3 molecules at density 0.8 -> box ~5.39, comfortably above the
+    # 2 x 2.5 cutoff the minimum-image convention requires.
+    return make_lattice_state(n_per_side=5, density=0.8, temperature=0.3)
+
+
+class TestForces:
+    def test_newton_third_law_two_particles(self):
+        positions = np.array([[1.0, 1.0, 1.0], [2.2, 1.0, 1.0]])
+        forces, _ = lennard_jones_forces(positions, box=10.0, cutoff=3.0)
+        assert np.allclose(forces[0], -forces[1])
+
+    def test_total_force_is_zero(self, small_state):
+        forces, _ = lennard_jones_forces(
+            small_state.positions, small_state.box, cutoff=2.5
+        )
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_equilibrium_distance(self):
+        """At r = 2^(1/6) sigma the LJ force vanishes."""
+        r_min = 2.0 ** (1.0 / 6.0)
+        positions = np.array([[0.0, 0.0, 0.0], [r_min, 0.0, 0.0]]) + 5.0
+        forces, _ = lennard_jones_forces(positions, box=20.0, cutoff=5.0)
+        assert np.allclose(forces, 0.0, atol=1e-10)
+
+    def test_repulsive_inside_equilibrium(self):
+        positions = np.array([[5.0, 5.0, 5.0], [5.9, 5.0, 5.0]])
+        forces, _ = lennard_jones_forces(positions, box=20.0, cutoff=5.0)
+        assert forces[0, 0] < 0  # pushed away from the neighbour
+        assert forces[1, 0] > 0
+
+    def test_attractive_outside_equilibrium(self):
+        positions = np.array([[5.0, 5.0, 5.0], [6.5, 5.0, 5.0]])
+        forces, _ = lennard_jones_forces(positions, box=20.0, cutoff=5.0)
+        assert forces[0, 0] > 0
+        assert forces[1, 0] < 0
+
+    def test_cutoff_kills_distant_pairs(self):
+        positions = np.array([[1.0, 1.0, 1.0], [5.0, 1.0, 1.0]])
+        forces, potential = lennard_jones_forces(
+            positions, box=20.0, cutoff=2.5
+        )
+        assert np.allclose(forces, 0.0)
+        assert potential == 0.0
+
+    def test_minimum_image_wraps(self):
+        """Particles at opposite box edges are neighbours."""
+        positions = np.array([[0.2, 5.0, 5.0], [9.8, 5.0, 5.0]])
+        forces, _ = lennard_jones_forces(positions, box=10.0, cutoff=2.0)
+        assert not np.allclose(forces, 0.0)
+
+    def test_pair_energy_value(self):
+        """U(r) = 4(s/r^12 - s/r^6) for one pair."""
+        r = 1.5
+        positions = np.array([[0.0, 0.0, 0.0], [r, 0.0, 0.0]]) + 5.0
+        _, potential = lennard_jones_forces(positions, box=20.0, cutoff=5.0)
+        expected = 4.0 * ((1 / r) ** 12 - (1 / r) ** 6)
+        assert potential == pytest.approx(expected)
+
+    def test_cutoff_validation(self, small_state):
+        with pytest.raises(ParameterError):
+            lennard_jones_forces(small_state.positions, small_state.box, 0.0)
+        with pytest.raises(ParameterError, match="half the box"):
+            lennard_jones_forces(
+                small_state.positions, small_state.box, small_state.box
+            )
+
+
+class TestIntegration:
+    def test_energy_conservation(self, small_state):
+        """Velocity Verlet at a sane dt conserves energy to ~1%."""
+        e0 = total_energy(small_state, cutoff=2.5)
+        run_md(small_state, n_steps=50, dt=0.002, cutoff=2.5)
+        e1 = total_energy(small_state, cutoff=2.5)
+        assert abs(e1 - e0) / abs(e0) < 0.01
+
+    def test_momentum_conservation(self, small_state):
+        p0 = small_state.velocities.sum(axis=0)
+        run_md(small_state, n_steps=20, dt=0.002, cutoff=2.5)
+        p1 = small_state.velocities.sum(axis=0)
+        assert np.allclose(p0, p1, atol=1e-9)
+
+    def test_positions_stay_in_box(self, small_state):
+        run_md(small_state, n_steps=30, dt=0.002, cutoff=2.5)
+        assert np.all(small_state.positions >= 0)
+        assert np.all(small_state.positions < small_state.box)
+
+    def test_step_returns_potential(self, small_state):
+        potential = velocity_verlet_step(small_state, 0.002, 2.5)
+        _, reference = lennard_jones_forces(
+            small_state.positions, small_state.box, 2.5
+        )
+        assert potential == pytest.approx(reference)
+
+    def test_run_md_length(self, small_state):
+        energies = run_md(small_state, n_steps=7, dt=0.002, cutoff=2.5)
+        assert len(energies) == 7
+
+    def test_validation(self, small_state):
+        with pytest.raises(ParameterError):
+            velocity_verlet_step(small_state, 0.0, 2.5)
+        with pytest.raises(ParameterError):
+            run_md(small_state, 0, 0.002, 2.5)
+
+
+class TestState:
+    def test_lattice_geometry(self):
+        state = make_lattice_state(n_per_side=3, density=0.5)
+        assert state.n_molecules == 27
+        assert state.box == pytest.approx((27 / 0.5) ** (1 / 3))
+
+    def test_velocities_centered(self):
+        state = make_lattice_state(n_per_side=4, temperature=1.0)
+        assert np.allclose(state.velocities.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_copy_is_deep(self, small_state):
+        clone = small_state.copy()
+        clone.positions += 1.0
+        assert not np.allclose(clone.positions, small_state.positions)
+
+    def test_element_is_36_bytes_in_single_precision(self, small_state):
+        """The paper's element: 9 components x 4 bytes."""
+        components = (
+            small_state.positions.shape[1]
+            + small_state.velocities.shape[1]
+            + small_state.accelerations.shape[1]
+        )
+        assert components * 4 == 36
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MDState(
+                positions=np.zeros((4, 2)),
+                velocities=np.zeros((4, 3)),
+                accelerations=np.zeros((4, 3)),
+                box=10.0,
+            )
+        with pytest.raises(ParameterError):
+            make_lattice_state(0)
+
+
+class TestOpsEstimate:
+    def test_paper_magnitude(self):
+        """~3280 candidate neighbours at ~50 ops/pair lands at the
+        paper's 164 000 ops/element."""
+        assert estimate_ops_per_molecule(3276.0) == pytest.approx(
+            164_000, rel=0.01
+        )
+
+    def test_monotone_in_neighbors(self):
+        assert estimate_ops_per_molecule(200) > estimate_ops_per_molecule(100)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            estimate_ops_per_molecule(-1)
+        with pytest.raises(ParameterError):
+            estimate_ops_per_molecule(10, ops_per_pair=0)
+
+
+class TestNeighborCounting:
+    def test_lattice_neighbor_count(self):
+        from repro.apps.md.software import mean_neighbors_within_cutoff
+
+        state = make_lattice_state(n_per_side=6, density=0.8)
+        neighbors = mean_neighbors_within_cutoff(state, cutoff=2.5)
+        # Ideal-gas estimate: rho * (4/3) pi r^3 ~ 52; the lattice is close.
+        assert 40 < neighbors < 70
+
+    def test_monotone_in_cutoff(self):
+        from repro.apps.md.software import mean_neighbors_within_cutoff
+
+        state = make_lattice_state(n_per_side=6, density=0.8)
+        assert mean_neighbors_within_cutoff(state, 2.5) > (
+            mean_neighbors_within_cutoff(state, 1.5)
+        )
+
+    def test_validation(self, small_state):
+        from repro.apps.md.software import mean_neighbors_within_cutoff
+
+        with pytest.raises(ParameterError):
+            mean_neighbors_within_cutoff(small_state, 0.0)
+        with pytest.raises(ParameterError):
+            mean_neighbors_within_cutoff(small_state, small_state.box)

@@ -1,0 +1,156 @@
+"""1-D Parzen PDF software-baseline tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.pdf1d.software import (
+    hardware_datapath_reference,
+    ops_per_element,
+    parzen_pdf_1d,
+    parzen_pdf_1d_reference,
+    squared_distance_accumulate,
+)
+from repro.core.precision.formats import FixedPointFormat
+from repro.errors import ParameterError
+
+
+class TestParzenEstimate:
+    def test_matches_pure_python_reference(self, rng):
+        samples = rng.normal(size=60)
+        grid = np.linspace(-3, 3, 17)
+        fast = parzen_pdf_1d(samples, grid, bandwidth=0.4)
+        slow = parzen_pdf_1d_reference(samples, grid, bandwidth=0.4)
+        assert np.allclose(fast, slow, rtol=1e-12)
+
+    def test_integrates_to_one(self, rng):
+        samples = rng.normal(size=500)
+        grid = np.linspace(-6, 6, 400)
+        density = parzen_pdf_1d(samples, grid, bandwidth=0.3)
+        mass = np.trapezoid(density, grid)
+        assert mass == pytest.approx(1.0, abs=0.01)
+
+    def test_nonnegative(self, rng):
+        samples = rng.normal(size=100)
+        density = parzen_pdf_1d(samples, np.linspace(-5, 5, 64), 0.2)
+        assert np.all(density >= 0)
+
+    def test_recovers_gaussian_shape(self, rng):
+        """With many samples the estimate approaches the true density."""
+        samples = rng.normal(0.0, 1.0, 20_000)
+        grid = np.linspace(-3, 3, 61)
+        density = parzen_pdf_1d(samples, grid, bandwidth=0.15)
+        true = np.exp(-0.5 * grid**2) / np.sqrt(2 * np.pi)
+        assert np.max(np.abs(density - true)) < 0.03
+
+    def test_peak_at_sample_cluster(self):
+        samples = np.full(50, 2.0)
+        grid = np.linspace(0, 4, 41)
+        density = parzen_pdf_1d(samples, grid, bandwidth=0.25)
+        assert grid[np.argmax(density)] == pytest.approx(2.0)
+
+    def test_single_sample(self):
+        density = parzen_pdf_1d([0.0], np.array([0.0]), bandwidth=1.0)
+        assert density[0] == pytest.approx(1 / np.sqrt(2 * np.pi))
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0])
+    def test_invalid_bandwidth(self, bandwidth):
+        with pytest.raises(ParameterError):
+            parzen_pdf_1d([1.0], [0.0], bandwidth)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ParameterError):
+            parzen_pdf_1d([], [0.0], 1.0)
+        with pytest.raises(ParameterError):
+            parzen_pdf_1d([1.0], [], 1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=25)
+    def test_shift_invariance(self, n_samples, n_bins):
+        """Shifting samples and grid together shifts nothing."""
+        rng = np.random.default_rng(n_samples * 100 + n_bins)
+        samples = rng.normal(size=n_samples)
+        grid = np.linspace(-2, 2, n_bins)
+        base = parzen_pdf_1d(samples, grid, 0.5)
+        shifted = parzen_pdf_1d(samples + 7.5, grid + 7.5, 0.5)
+        assert np.allclose(base, shifted, rtol=1e-9, atol=1e-12)
+
+
+class TestHardwareDatapath:
+    def test_squared_distance_reference_values(self):
+        totals = squared_distance_accumulate([1.0, 3.0], np.array([0.0, 2.0]))
+        # bin 0: (0-1)^2 + (0-3)^2 = 10; bin 2: (2-1)^2 + (2-3)^2 = 2
+        assert totals == pytest.approx([10.0, 2.0])
+
+    def test_fixed_point_converges_to_float(self, rng):
+        samples = rng.uniform(-1, 1, 32)
+        grid = np.linspace(-1, 1, 16)
+        reference = squared_distance_accumulate(samples, grid)
+        wide = hardware_datapath_reference(
+            samples, grid, FixedPointFormat(total_bits=30, frac_bits=20)
+        )
+        assert np.allclose(wide, reference, rtol=1e-3)
+
+    def test_narrow_format_larger_error(self, rng):
+        samples = rng.uniform(-1, 1, 32)
+        grid = np.linspace(-1, 1, 16)
+        reference = squared_distance_accumulate(samples, grid)
+        narrow = hardware_datapath_reference(
+            samples, grid, FixedPointFormat(total_bits=12, frac_bits=4)
+        )
+        wide = hardware_datapath_reference(
+            samples, grid, FixedPointFormat(total_bits=24, frac_bits=14)
+        )
+        err_narrow = np.max(np.abs(narrow - reference))
+        err_wide = np.max(np.abs(wide - reference))
+        assert err_wide < err_narrow
+
+
+class TestOpsPerElement:
+    def test_paper_value(self):
+        """256 bins x 3 ops = 768 (Table 2)."""
+        assert ops_per_element(256) == 768
+
+    def test_scaling(self):
+        assert ops_per_element(128) == 384
+        assert ops_per_element(256, ops_per_bin=4) == 1024
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ops_per_element(0)
+        with pytest.raises(ParameterError):
+            ops_per_element(256, ops_per_bin=0)
+
+
+class TestBatchedEstimation:
+    """The decomposition equivalence RAT's iteration model relies on."""
+
+    def test_batched_equals_whole(self, rng):
+        from repro.apps.pdf1d.software import parzen_pdf_1d_batched
+
+        samples = rng.normal(size=2048)
+        grid = np.linspace(-4, 4, 64)
+        whole = parzen_pdf_1d(samples, grid, 0.3)
+        for batch in (1, 7, 512, 4096):
+            batched = parzen_pdf_1d_batched(samples, grid, 0.3, batch)
+            assert np.allclose(batched, whole, rtol=1e-12), batch
+
+    def test_paper_decomposition(self, rng):
+        """204 800 samples in 512-element batches: 400 iterations."""
+        from repro.apps.pdf1d.software import parzen_pdf_1d_batched
+
+        samples = rng.normal(size=4096)  # scaled-down total
+        grid = np.linspace(-4, 4, 256)
+        batched = parzen_pdf_1d_batched(samples, grid, 0.25, 512)
+        assert np.allclose(batched, parzen_pdf_1d(samples, grid, 0.25))
+
+    def test_validation(self, rng):
+        from repro.apps.pdf1d.software import parzen_pdf_1d_batched
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            parzen_pdf_1d_batched(rng.normal(size=10), np.zeros(4), 0.3, 0)

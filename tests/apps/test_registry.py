@@ -1,0 +1,60 @@
+"""Case-study registry tests."""
+
+import pytest
+
+from repro.apps.base import CaseStudy
+from repro.apps.registry import (
+    get_case_study,
+    list_case_studies,
+    register_case_study,
+)
+from repro.errors import ExperimentError
+
+
+class TestRegistry:
+    def test_paper_studies_registered(self):
+        names = list_case_studies()
+        for name in ("pdf1d", "pdf2d", "md"):
+            assert name in names
+
+    def test_extension_studies_registered(self):
+        names = list_case_studies()
+        assert "matmul" in names and "fir" in names
+
+    def test_returns_case_study(self):
+        study = get_case_study("pdf1d")
+        assert isinstance(study, CaseStudy)
+        assert study.name == "1-D PDF estimation"
+
+    def test_caching(self):
+        assert get_case_study("pdf1d") is get_case_study("pdf1d")
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError, match="known:"):
+            get_case_study("fft")
+
+    def test_register_custom(self):
+        study = get_case_study("pdf1d")
+        register_case_study("custom", lambda: study)
+        try:
+            assert get_case_study("custom") is study
+            assert "custom" in list_case_studies()
+        finally:
+            from repro.apps.registry import _BUILDERS
+
+            del _BUILDERS["custom"]
+            get_case_study.cache_clear()
+
+    def test_all_studies_carry_complete_artifacts(self):
+        for name in list_case_studies():
+            study = get_case_study(name)
+            assert study.rat.dataset.elements_in > 0
+            assert study.kernel_design is not None
+            assert study.hw_kernel is not None
+            assert len(study.clocks_mhz) >= 1
+
+    def test_paper_studies_carry_references(self):
+        for name in ("pdf1d", "pdf2d", "md"):
+            study = get_case_study(name)
+            assert study.paper is not None
+            assert study.paper.predicted

@@ -1,0 +1,118 @@
+"""String-matching extension case-study tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.extra.stringmatch import (
+    build_stringmatch_study,
+    count_matches,
+    count_matches_reference,
+    stringmatch_ops_per_element,
+    stringmatch_rat_input,
+)
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+
+
+class TestCountMatches:
+    def test_known_counts(self):
+        counts = count_matches(b"abababa", [b"aba", b"bab"])
+        assert counts[b"aba"] == 3  # overlaps counted
+        assert counts[b"bab"] == 2
+
+    def test_no_match(self):
+        assert count_matches(b"aaaa", [b"ab"])[b"ab"] == 0
+
+    def test_whole_text_match(self):
+        assert count_matches(b"hello", [b"hello"])[b"hello"] == 1
+
+    def test_single_char_pattern(self):
+        assert count_matches(b"banana", [b"a"])[b"a"] == 3
+
+    def test_matches_pure_python_reference(self, rng):
+        text = bytes(rng.integers(97, 100, size=500, dtype=np.uint8))
+        patterns = [b"ab", b"abc", b"ccb", b"a"]
+        assert count_matches(text, patterns) == count_matches_reference(
+            text, patterns
+        )
+
+    @given(st.binary(min_size=1, max_size=200),
+           st.binary(min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_agrees_with_python_count_for_nonoverlapping_proxy(
+        self, text, pattern
+    ):
+        if len(pattern) > len(text):
+            return
+        ours = count_matches(text, [pattern])[pattern]
+        reference = count_matches_reference(text, [pattern])[pattern]
+        assert ours == reference
+        # bytes.count undercounts overlaps; ours can only be >= it.
+        assert ours >= text.count(pattern)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            count_matches(b"", [b"a"])
+        with pytest.raises(ParameterError):
+            count_matches(b"abc", [])
+        with pytest.raises(ParameterError):
+            count_matches(b"abc", [b""])
+        with pytest.raises(ParameterError):
+            count_matches(b"ab", [b"abc"])
+
+
+class TestWorksheet:
+    def test_ops_per_element(self):
+        assert stringmatch_ops_per_element(64, 16) == 1024.0
+        with pytest.raises(ParameterError):
+            stringmatch_ops_per_element(0, 16)
+
+    def test_element_is_one_byte(self):
+        """The paper's example: one character = one element = one byte."""
+        rat = stringmatch_rat_input()
+        assert rat.dataset.bytes_per_element == 1
+
+    def test_fully_pipelined(self):
+        rat = stringmatch_rat_input()
+        assert rat.computation.throughput_proc == rat.computation.ops_per_element
+
+    def test_prediction_magnitude(self):
+        """A P x L comparator array delivers a large speedup over a
+        byte-at-a-time scanner — the textbook FPGA win."""
+        prediction = predict(stringmatch_rat_input())
+        assert prediction.speedup > 10
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            stringmatch_rat_input(block_bytes=0)
+
+
+class TestStudy:
+    def test_builds_and_fits(self):
+        study = build_stringmatch_study()
+        report = study.resource_report()
+        assert report.fits
+        # No multipliers anywhere in a comparator array.
+        from repro.platforms.device import ResourceKind
+
+        assert report.utilization(ResourceKind.DSP) == 0.0
+
+    def test_registered(self):
+        from repro.apps.registry import get_case_study, list_case_studies
+
+        assert "stringmatch" in list_case_studies()
+        study = get_case_study("stringmatch")
+        result = study.simulate(150.0)
+        assert result.n_iterations == 256
+
+    def test_simulated_close_to_prediction(self):
+        """A fully pipelined deterministic kernel: the simulator should
+        land near the double-buffered closed form."""
+        from repro.core.buffering import BufferingMode
+
+        study = build_stringmatch_study()
+        predicted = predict(study.rat, BufferingMode.DOUBLE)
+        simulated = study.simulate(150.0)
+        assert simulated.t_rc == pytest.approx(predicted.t_rc, rel=0.25)

@@ -1,0 +1,183 @@
+"""Case-study integration tests: simulated actuals vs the paper's tables.
+
+These are the reproduction's headline assertions.  Tolerances follow the
+experiment registry's policy: measured (legible) paper values at 15%,
+prose-reconstructed values loosely (factor-level shape checks).
+"""
+
+import pytest
+
+from repro.apps.registry import get_case_study
+from repro.core.throughput import predict
+from repro.units import MHZ
+
+
+@pytest.fixture(scope="module")
+def pdf1d_study():
+    return get_case_study("pdf1d")
+
+
+@pytest.fixture(scope="module")
+def pdf2d_study():
+    return get_case_study("pdf2d")
+
+
+@pytest.fixture(scope="module")
+def md_study():
+    return get_case_study("md")
+
+
+@pytest.fixture(scope="module")
+def pdf1d_actual(pdf1d_study):
+    result = pdf1d_study.simulate()
+    return result.as_actual_column(pdf1d_study.rat.software.t_soft)
+
+
+@pytest.fixture(scope="module")
+def pdf2d_actual(pdf2d_study):
+    result = pdf2d_study.simulate()
+    return result.as_actual_column(pdf2d_study.rat.software.t_soft)
+
+
+@pytest.fixture(scope="module")
+def md_actual(md_study):
+    result = md_study.simulate()
+    return result.as_actual_column(md_study.rat.software.t_soft)
+
+
+class TestTable3Actual:
+    """1-D PDF at 150 MHz: every cell of the Actual column is legible."""
+
+    def test_t_comm(self, pdf1d_actual):
+        assert pdf1d_actual["t_comm"] == pytest.approx(2.50e-5, rel=0.10)
+
+    def test_t_comp(self, pdf1d_actual):
+        assert pdf1d_actual["t_comp"] == pytest.approx(1.39e-4, rel=0.02)
+
+    def test_util_comm(self, pdf1d_actual):
+        assert pdf1d_actual["util_comm"] == pytest.approx(0.15, abs=0.02)
+
+    def test_t_rc(self, pdf1d_actual):
+        assert pdf1d_actual["t_rc"] == pytest.approx(7.45e-2, rel=0.05)
+
+    def test_speedup(self, pdf1d_actual):
+        assert pdf1d_actual["speedup"] == pytest.approx(7.8, rel=0.05)
+
+    def test_total_exceeds_sum_of_parts(self, pdf1d_actual, pdf1d_study):
+        """The paper's measured total exceeds N*(t_comm+t_comp)."""
+        n = pdf1d_study.rat.software.n_iterations
+        parts = n * (pdf1d_actual["t_comm"] + pdf1d_actual["t_comp"])
+        assert pdf1d_actual["t_rc"] > parts
+
+    def test_shape_prediction_overestimates_speedup(
+        self, pdf1d_actual, pdf1d_study
+    ):
+        """Who wins: the paper's 150 MHz prediction (10.6x) exceeded the
+        measured 7.8x because communication was underestimated."""
+        predicted = predict(pdf1d_study.rat).speedup
+        assert predicted > pdf1d_actual["speedup"]
+        assert predicted / pdf1d_actual["speedup"] == pytest.approx(
+            10.6 / 7.8, rel=0.10
+        )
+
+
+class TestTable6Actual:
+    """2-D PDF: the printed Actual column is illegible; assertions are
+    shape-level against the prose (comm several-fold underestimated,
+    computation overestimated, speedup near prediction)."""
+
+    def test_comm_blowup_factor(self, pdf2d_actual):
+        predicted_comm = 1.65e-3
+        factor = pdf2d_actual["t_comm"] / predicted_comm
+        assert 3.0 < factor < 8.0  # paper prose: ~6x
+
+    def test_util_comm_teens(self, pdf2d_actual):
+        assert 0.10 < pdf2d_actual["util_comm"] < 0.25  # paper prose: 19%
+
+    def test_computation_overestimated(self, pdf2d_actual, pdf2d_study):
+        predicted = predict(pdf2d_study.rat)
+        assert pdf2d_actual["t_comp"] < predicted.t_comp
+
+    def test_speedup_near_prediction(self, pdf2d_actual):
+        """'The predicted speedup at 150 MHz is closer to the
+        experimental value than the one-dimensional case.'"""
+        predicted = 6.9
+        ratio = pdf2d_actual["speedup"] / predicted
+        assert 0.85 < ratio < 1.30
+
+    def test_closer_than_1d(self, pdf1d_actual, pdf2d_actual):
+        gap_1d = abs(pdf1d_actual["speedup"] - 10.6) / 10.6
+        gap_2d = abs(pdf2d_actual["speedup"] - 6.9) / 6.9
+        assert gap_2d < gap_1d
+
+
+class TestTable9Actual:
+    """MD at 100 MHz: Actual column legible."""
+
+    def test_t_comm(self, md_actual):
+        assert md_actual["t_comm"] == pytest.approx(1.39e-3, rel=0.10)
+
+    def test_t_comp(self, md_actual):
+        assert md_actual["t_comp"] == pytest.approx(8.79e-1, rel=0.02)
+
+    def test_t_rc(self, md_actual):
+        assert md_actual["t_rc"] == pytest.approx(8.80e-1, rel=0.02)
+
+    def test_speedup(self, md_actual):
+        assert md_actual["speedup"] == pytest.approx(6.6, rel=0.03)
+
+    def test_shape_comm_prediction_conservative(self, md_actual, md_study):
+        """Unlike the PDF studies, MD's communication prediction was
+        pessimistic (conservative 500 MB/s worksheet figure)."""
+        predicted = predict(md_study.rat)
+        assert md_actual["t_comm"] < predicted.t_comm
+
+    def test_shape_compute_dominates(self, md_actual):
+        assert md_actual["t_comp"] / md_actual["t_comm"] > 100
+
+
+class TestCrossStudyShape:
+    def test_speedup_ordering_matches_paper(
+        self, pdf1d_actual, pdf2d_actual, md_actual
+    ):
+        """Measured ordering in the paper: 1-D (7.8) > 2-D (~7.x) > MD (6.6)."""
+        assert pdf1d_actual["speedup"] > md_actual["speedup"]
+        assert pdf2d_actual["speedup"] > md_actual["speedup"]
+
+    def test_all_studies_deliver_speedup(
+        self, pdf1d_actual, pdf2d_actual, md_actual
+    ):
+        for column in (pdf1d_actual, pdf2d_actual, md_actual):
+            assert column["speedup"] > 1.0
+
+
+class TestStudyAPI:
+    def test_performance_table_renders_with_actual(self, pdf1d_study):
+        text = pdf1d_study.performance_table_with_actual().render()
+        assert "Actual" in text and "Predicted 75" in text
+
+    def test_simulate_default_clock_is_actual(self, pdf1d_study):
+        result = pdf1d_study.simulate()
+        assert result.clock_mhz == 150.0
+
+    def test_simulate_explicit_clock(self, pdf1d_study):
+        result = pdf1d_study.simulate(clock_mhz=75.0)
+        assert result.clock_mhz == 75.0
+        slower = result.t_comp_per_iteration
+        faster = pdf1d_study.simulate(150.0).t_comp_per_iteration
+        assert slower == pytest.approx(2 * faster, rel=0.01)
+
+    def test_resource_reports_fit(self):
+        for name in ("pdf1d", "pdf2d", "md"):
+            assert get_case_study(name).resource_report().fits, name
+
+    def test_with_rat_copy(self, pdf1d_study):
+        edited = pdf1d_study.with_rat(pdf1d_study.rat.with_throughput_proc(24))
+        assert edited.rat.computation.throughput_proc == 24
+        assert pdf1d_study.rat.computation.throughput_proc == 20
+
+    def test_invalid_clock(self, pdf1d_study):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            pdf1d_study.simulator(0.0)

@@ -1,0 +1,120 @@
+"""Error-metric tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.precision.error import (
+    ErrorReport,
+    error_report,
+    max_abs_error,
+    max_rel_error,
+    rms_error,
+    sqnr_db,
+)
+from repro.errors import PrecisionError
+
+signals = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=-1e6, max_value=1e6),
+)
+
+
+class TestMetrics:
+    def test_exact_match_is_zero(self):
+        ref = np.array([1.0, -2.0, 3.0])
+        assert max_abs_error(ref, ref) == 0.0
+        assert max_rel_error(ref, ref) == 0.0
+        assert rms_error(ref, ref) == 0.0
+        assert sqnr_db(ref, ref) == math.inf
+
+    def test_known_values(self):
+        ref = np.array([1.0, 2.0])
+        cand = np.array([1.1, 1.8])
+        assert max_abs_error(ref, cand) == pytest.approx(0.2)
+        assert max_rel_error(ref, cand) == pytest.approx(0.1)
+        assert rms_error(ref, cand) == pytest.approx(
+            math.sqrt((0.01 + 0.04) / 2)
+        )
+
+    def test_sqnr_known(self):
+        ref = np.array([10.0])
+        cand = np.array([9.0])
+        assert sqnr_db(ref, cand) == pytest.approx(20.0)  # 10log10(100/1)
+
+    def test_rel_error_zero_reference_is_inf(self):
+        assert max_rel_error([0.0], [0.1]) == math.inf
+
+    def test_rel_error_floor(self):
+        assert max_rel_error([0.0], [0.1], floor=1.0) == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PrecisionError):
+            max_abs_error([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PrecisionError):
+            max_abs_error([], [])
+
+    def test_sqnr_zero_reference_rejected(self):
+        with pytest.raises(PrecisionError):
+            sqnr_db([0.0, 0.0], [0.1, 0.0])
+
+    @given(signals)
+    def test_rms_bounded_by_max_abs(self, ref):
+        cand = ref + 0.5
+        assert rms_error(ref, cand) <= max_abs_error(ref, cand) + 1e-12
+
+    @given(signals, st.floats(min_value=-10, max_value=10))
+    def test_metrics_nonnegative(self, ref, shift):
+        cand = ref + shift
+        assert max_abs_error(ref, cand) >= 0
+        assert rms_error(ref, cand) >= 0
+
+    @given(signals)
+    def test_metrics_symmetric_in_magnitude(self, ref):
+        up = max_abs_error(ref, ref + 1.0)
+        down = max_abs_error(ref, ref - 1.0)
+        assert up == pytest.approx(down)
+
+
+class TestErrorReport:
+    def test_within_all_tolerances(self):
+        report = ErrorReport(max_abs=0.01, max_rel=0.02, rms=0.005,
+                             sqnr_db=40.0, n_samples=100)
+        assert report.within(max_rel=0.05)
+        assert report.within(max_abs=0.02, min_sqnr_db=30.0)
+        assert not report.within(max_rel=0.01)
+        assert not report.within(min_sqnr_db=50.0)
+        assert not report.within(max_abs=0.001)
+
+    def test_no_tolerance_means_pass(self):
+        report = ErrorReport(max_abs=1e9, max_rel=1e9, rms=1e9,
+                             sqnr_db=-100.0, n_samples=1)
+        assert report.within()
+
+    def test_error_report_builder(self, rng):
+        ref = rng.normal(size=50)
+        cand = ref + rng.normal(scale=0.01, size=50)
+        report = error_report(ref, cand)
+        assert report.n_samples == 50
+        assert report.max_abs == pytest.approx(max_abs_error(ref, cand))
+        assert report.sqnr_db == pytest.approx(sqnr_db(ref, cand))
+
+    def test_zero_reference_exact(self):
+        report = error_report([0.0], [0.0])
+        assert report.sqnr_db == math.inf
+
+    def test_zero_reference_mismatch(self):
+        report = error_report([0.0], [0.5])
+        assert report.sqnr_db == -math.inf
+
+    def test_describe(self):
+        report = error_report([1.0, 2.0], [1.01, 2.0])
+        text = report.describe()
+        assert "max_rel" in text and "SQNR" in text and "n=2" in text

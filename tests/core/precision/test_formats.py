@@ -1,0 +1,133 @@
+"""Fixed- and floating-point format tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.precision.formats import (
+    FixedPointFormat,
+    FloatFormat,
+    float32,
+    float64,
+)
+from repro.errors import PrecisionError
+
+
+class TestFixedPointFormat:
+    def test_q8_8_properties(self):
+        fmt = FixedPointFormat(total_bits=17, frac_bits=8, signed=True)
+        assert fmt.int_bits == 8
+        assert fmt.resolution == pytest.approx(2**-8)
+        assert fmt.max_value == pytest.approx((2**16 - 1) / 256)
+        assert fmt.min_value == pytest.approx(-(2**16) / 256)
+
+    def test_unsigned(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=0, signed=False)
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == 255.0
+
+    def test_paper_18bit(self):
+        """The 1-D PDF's 18-bit fixed point: one 18x18 MAC per multiply."""
+        fmt = FixedPointFormat(total_bits=18, frac_bits=10)
+        assert fmt.multipliers_required(dsp_width_bits=18) == 1
+
+    def test_paper_32bit_two_v4_multipliers(self):
+        """Section 3.3: '32-bit fixed-point multiplications on Xilinx V4
+        FPGAs require two dedicated 18-bit multipliers'."""
+        fmt = FixedPointFormat(total_bits=32, frac_bits=16)
+        assert fmt.multipliers_required(dsp_width_bits=18) == 2
+
+    def test_24bit_on_stratix_9bit_elements(self):
+        """A float-mantissa-sized product on 9-bit elements tiles fully."""
+        fmt = FixedPointFormat(total_bits=24, frac_bits=0, signed=False)
+        assert fmt.multipliers_required(dsp_width_bits=9) == 9
+
+    def test_storage(self):
+        assert FixedPointFormat(18, 10).storage_bytes == 3
+        assert FixedPointFormat(32, 16).storage_bytes == 4
+        assert FixedPointFormat(18, 10).storage_bits == 18
+
+    def test_representable(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+        assert fmt.representable(7.9)
+        assert not fmt.representable(8.1)
+        assert fmt.representable(-8.0)
+        assert not fmt.representable(-8.1)
+
+    def test_describe(self):
+        assert "Q7.10" in FixedPointFormat(18, 10).describe()
+        assert "unsigned" in FixedPointFormat(8, 4, signed=False).describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_bits": 0, "frac_bits": 0},
+            {"total_bits": 8, "frac_bits": 9},
+            {"total_bits": 8, "frac_bits": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(PrecisionError):
+            FixedPointFormat(**kwargs)
+
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.integers(min_value=2, max_value=36),
+    )
+    def test_multiplier_count_monotone_in_width(self, width, dsp):
+        """Wider products never need fewer multipliers."""
+        fmt_small = FixedPointFormat(total_bits=width, frac_bits=0)
+        fmt_large = FixedPointFormat(total_bits=width + 8, frac_bits=0)
+        assert (
+            fmt_large.multipliers_required(dsp)
+            >= fmt_small.multipliers_required(dsp)
+        )
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_range_contains_zero_and_is_ordered(self, width):
+        fmt = FixedPointFormat(total_bits=width, frac_bits=width // 2)
+        assert fmt.min_value <= 0 <= fmt.max_value
+        assert fmt.min_value < fmt.max_value
+
+
+class TestFloatFormat:
+    def test_float32_constants(self):
+        fmt = float32()
+        assert fmt.total_bits == 32
+        assert fmt.bias == 127
+        assert fmt.epsilon == pytest.approx(2**-23)
+        assert fmt.max_value == pytest.approx(3.4028235e38, rel=1e-6)
+        assert fmt.min_normal == pytest.approx(1.1754944e-38, rel=1e-6)
+
+    def test_float64_constants(self):
+        fmt = float64()
+        assert fmt.total_bits == 64
+        assert fmt.bias == 1023
+        assert fmt.epsilon == pytest.approx(2**-52)
+
+    def test_custom_format(self):
+        fmt = FloatFormat(exponent_bits=5, mantissa_bits=10)  # fp16
+        assert fmt.total_bits == 16
+        assert fmt.max_value == pytest.approx(65504.0)
+
+    def test_representable(self):
+        fmt = FloatFormat(exponent_bits=5, mantissa_bits=10)
+        assert fmt.representable(0.0)
+        assert fmt.representable(65504.0)
+        assert not fmt.representable(7e4)
+
+    def test_mantissa_multiplier_demand(self):
+        # float32: 24-bit mantissa product -> 4 tiles on 18-bit DSPs
+        # (ceil(24/18)^2 = 4; 24 > 2*18-2 = 34? no, 24 <= 34 -> 2)
+        assert float32().multipliers_required(18) == 2
+        # on 9-bit Stratix elements: full 3x3 tiling
+        assert float32().multipliers_required(9) == 9
+
+    def test_invalid(self):
+        with pytest.raises(PrecisionError):
+            FloatFormat(exponent_bits=1, mantissa_bits=10)
+        with pytest.raises(PrecisionError):
+            FloatFormat(exponent_bits=8, mantissa_bits=0)
+
+    def test_describe(self):
+        assert float32().describe() == "float(e8, m23) 32-bit"

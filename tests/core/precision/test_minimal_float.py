@@ -1,0 +1,61 @@
+"""minimal_float search tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision.formats import FloatFormat
+from repro.core.precision.quantize import quantize_array
+from repro.core.precision.search import minimal_float
+from repro.errors import PrecisionError
+
+
+@pytest.fixture
+def data(rng):
+    return rng.lognormal(mean=0.0, sigma=2.0, size=512)  # wide dynamic range
+
+
+class TestMinimalFloat:
+    def test_finds_feasible_format(self, data):
+        fmt = minimal_float(data, data, max_rel=1e-3)
+        assert isinstance(fmt, FloatFormat)
+        quantized = quantize_array(data, fmt)
+        rel = np.max(np.abs(quantized - data) / np.abs(data))
+        assert rel <= 1e-3
+
+    def test_result_is_minimal(self, data):
+        fmt = minimal_float(data, data, max_rel=1e-3)
+        narrower = FloatFormat(exponent_bits=8,
+                               mantissa_bits=fmt.mantissa_bits - 1)
+        quantized = quantize_array(data, narrower)
+        rel = np.max(np.abs(quantized - data) / np.abs(data))
+        assert rel > 1e-3
+
+    def test_relative_tolerance_maps_to_mantissa_bits(self, data):
+        """A relative tolerance of 2^-k needs ~k+1 mantissa bits."""
+        fmt = minimal_float(data, data, max_rel=2.0**-10)
+        assert 9 <= fmt.mantissa_bits <= 11
+
+    def test_sqnr_tolerance(self, data):
+        fmt = minimal_float(data, data, min_sqnr_db=60.0)
+        wide = minimal_float(data, data, min_sqnr_db=90.0)
+        assert wide.mantissa_bits > fmt.mantissa_bits
+
+    def test_infeasible_raises(self, data):
+        with pytest.raises(PrecisionError, match="no float mantissa"):
+            minimal_float(data, data, mantissa_widths=[4, 5], max_rel=1e-12)
+
+    def test_requires_tolerance(self, data):
+        with pytest.raises(PrecisionError):
+            minimal_float(data, data)
+
+    def test_requires_widths(self, data):
+        with pytest.raises(PrecisionError):
+            minimal_float(data, data, mantissa_widths=[], max_rel=0.1)
+
+    def test_float32_recovers_itself(self, rng):
+        """Data already on the float32 grid needs <= 23 mantissa bits for
+        an exact match."""
+        data = rng.normal(size=256).astype(np.float32).astype(np.float64)
+        fmt = minimal_float(data, data, max_abs=0.0,
+                            mantissa_widths=range(20, 26))
+        assert fmt.mantissa_bits <= 23

@@ -1,0 +1,162 @@
+"""Quantization behaviour tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.precision.formats import FixedPointFormat, float32
+from repro.core.precision.quantize import (
+    OverflowMode,
+    RoundingMode,
+    quantize,
+    quantize_array,
+)
+from repro.errors import PrecisionError
+
+Q8_4 = FixedPointFormat(total_bits=8, frac_bits=4)
+
+
+class TestFixedPointQuantize:
+    def test_exact_values_pass_through(self):
+        assert quantize(1.25, Q8_4) == 1.25  # 1.25 = 20/16, on the grid
+        assert quantize(-3.5, Q8_4) == -3.5
+
+    def test_round_nearest(self):
+        # grid step 1/16 = 0.0625; 0.07 (1.12 LSB) -> 0.0625,
+        # 0.10 (1.6 LSB) -> 0.125
+        assert quantize(0.07, Q8_4) == pytest.approx(0.0625)
+        assert quantize(0.10, Q8_4) == pytest.approx(0.125)
+
+    def test_truncation_floors(self):
+        assert quantize(0.99, Q8_4, rounding=RoundingMode.TRUNCATE) == pytest.approx(
+            0.9375
+        )
+        # Truncation floors toward -inf, so negatives get more negative.
+        assert quantize(-0.01, Q8_4, rounding=RoundingMode.TRUNCATE) == pytest.approx(
+            -0.0625
+        )
+
+    def test_saturation(self):
+        assert quantize(100.0, Q8_4) == Q8_4.max_value
+        assert quantize(-100.0, Q8_4) == Q8_4.min_value
+
+    def test_wraparound(self):
+        # max_value + 1 LSB wraps to min_value in two's complement.
+        value = Q8_4.max_value + Q8_4.resolution
+        wrapped = quantize(value, Q8_4, overflow=OverflowMode.WRAP)
+        assert wrapped == pytest.approx(Q8_4.min_value)
+
+    def test_array_shape_preserved(self, rng):
+        data = rng.normal(size=(7, 5))
+        out = quantize_array(data, Q8_4)
+        assert out.shape == (7, 5)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(quantize(0.5, Q8_4), float)
+
+    def test_unsupported_format(self):
+        with pytest.raises(PrecisionError):
+            quantize(1.0, "int8")  # type: ignore[arg-type]
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=50),
+            elements=st.floats(min_value=-7.9, max_value=7.9),
+        )
+    )
+    def test_error_within_half_lsb(self, data):
+        """Round-to-nearest error is bounded by half the resolution."""
+        out = quantize_array(data, Q8_4)
+        assert np.all(np.abs(out - data) <= Q8_4.resolution / 2 + 1e-12)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=50),
+            elements=st.floats(min_value=-100, max_value=100),
+        )
+    )
+    def test_idempotence(self, data):
+        """Quantizing twice equals quantizing once."""
+        once = quantize_array(data, Q8_4)
+        twice = quantize_array(once, Q8_4)
+        assert np.array_equal(once, twice)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=50),
+            elements=st.floats(min_value=-1000, max_value=1000),
+        )
+    )
+    def test_saturated_output_in_range(self, data):
+        out = quantize_array(data, Q8_4)
+        assert np.all(out >= Q8_4.min_value)
+        assert np.all(out <= Q8_4.max_value)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=50),
+            elements=st.floats(min_value=-7.9, max_value=7.9),
+        )
+    )
+    def test_monotonicity(self, data):
+        """Quantization preserves ordering (weakly)."""
+        ordered = np.sort(data)
+        out = quantize_array(ordered, Q8_4)
+        assert np.all(np.diff(out) >= -1e-12)
+
+
+class TestFloatQuantize:
+    def test_exact_powers_of_two(self):
+        fmt = float32()
+        for value in (1.0, 2.0, 0.5, -4.0):
+            assert quantize(value, fmt) == value
+
+    def test_rounding_to_mantissa_grid(self):
+        fmt = float32()
+        value = 1.0 + 2**-25  # below half-ulp of float32 at 1.0
+        assert quantize(value, fmt) == 1.0
+
+    def test_known_float32_rounding(self):
+        fmt = float32()
+        assert quantize(0.1, fmt) == pytest.approx(
+            np.float64(np.float32(0.1)), rel=1e-9
+        )
+
+    def test_zero(self):
+        assert quantize(0.0, float32()) == 0.0
+
+    def test_saturation_to_max(self):
+        fmt = float32()
+        assert quantize(1e39, fmt) == fmt.max_value
+        assert quantize(-1e39, fmt) == -fmt.max_value
+
+    def test_overflow_wrap_gives_infinity(self):
+        fmt = float32()
+        assert quantize(1e39, fmt, overflow=OverflowMode.WRAP) == np.inf
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=30),
+            elements=st.floats(min_value=-1e30, max_value=1e30),
+        )
+    )
+    @settings(max_examples=50)
+    def test_matches_numpy_float32_cast(self, data):
+        """Our float32 model agrees with the hardware float32 grid."""
+        ours = quantize_array(data, float32())
+        numpy_cast = data.astype(np.float32).astype(np.float64)
+        assert np.allclose(ours, numpy_cast, rtol=1e-7, atol=0)
+
+    def test_relative_error_bounded_by_epsilon(self, rng):
+        fmt = float32()
+        data = rng.uniform(0.5, 2.0, 100)
+        out = quantize_array(data, fmt)
+        rel = np.abs(out - data) / data
+        assert np.all(rel <= fmt.epsilon / 2 + 1e-12)

@@ -1,0 +1,113 @@
+"""Minimal-bitwidth search tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision.quantize import quantize_array
+from repro.core.precision.search import (
+    minimal_fixed_point,
+    sweep_fixed_point,
+)
+from repro.errors import PrecisionError
+
+
+@pytest.fixture
+def data(rng):
+    return rng.uniform(-1.0, 1.0, 256)
+
+
+class TestSweep:
+    def test_requires_a_tolerance(self, data):
+        with pytest.raises(PrecisionError):
+            sweep_fixed_point(data, data)
+
+    def test_error_decreases_with_width(self, data):
+        candidates = sweep_fixed_point(
+            data, data, widths=range(8, 25, 4), max_abs=1e-9
+        )
+        errors = [c.report.max_abs for c in candidates]
+        assert all(a >= b - 1e-15 for a, b in zip(errors, errors[1:]))
+
+    def test_dsp_cost_steps_at_18_bits(self, data):
+        candidates = sweep_fixed_point(
+            data, data, widths=[18, 19], max_rel=1.0, dsp_width_bits=18
+        )
+        assert candidates[0].dsp_cost_per_multiply == 1
+        assert candidates[1].dsp_cost_per_multiply == 2
+
+    def test_feasibility_flags(self, data):
+        candidates = sweep_fixed_point(
+            data, data, widths=[6, 24], max_abs=1e-4
+        )
+        assert not candidates[0].feasible  # 6-bit: LSB ~ 0.03
+        assert candidates[1].feasible
+
+    def test_describe(self, data):
+        candidate = sweep_fixed_point(data, data, widths=[16], max_rel=1.0)[0]
+        assert "PASS" in candidate.describe()
+        assert "DSPs/mult" in candidate.describe()
+
+
+class TestMinimalFixedPoint:
+    def test_finds_smallest_feasible(self, data):
+        winner = minimal_fixed_point(
+            data, data, widths=range(6, 25), max_abs=1e-3
+        )
+        # LSB/2 <= 1e-3 with 1 integral bit + sign: need frac >= 9 -> 11 bits.
+        narrower = sweep_fixed_point(
+            data, data, widths=[winner.fmt.total_bits - 1], max_abs=1e-3
+        )[0]
+        assert winner.feasible
+        assert not narrower.feasible
+
+    def test_infeasible_raises(self, data):
+        with pytest.raises(PrecisionError, match="no fixed-point width"):
+            minimal_fixed_point(data, data, widths=[4, 6], max_abs=1e-12)
+
+    def test_paper_style_18bit_decision(self, rng):
+        """Reproduce the paper's decision shape: with a few-percent
+        relative tolerance on the PDF datapath, 18 bits suffices and is
+        the last width costing a single 18x18 MAC."""
+        from repro.apps.pdf1d.software import squared_distance_accumulate
+        from repro.apps.pdf1d.software import hardware_datapath_reference
+
+        samples = rng.uniform(-1.0, 1.0, 64)
+        grid = np.linspace(-1.0, 1.0, 32)
+        reference = squared_distance_accumulate(samples, grid)
+
+        def transform(data, fmt):
+            return hardware_datapath_reference(samples, grid, fmt)
+
+        winner = minimal_fixed_point(
+            samples,
+            reference,
+            widths=range(10, 21, 2),
+            transform=transform,
+            max_rel=0.03,
+        )
+        assert winner.fmt.total_bits <= 18
+        at_18 = sweep_fixed_point(
+            samples, reference, widths=[18], transform=transform, max_rel=0.03
+        )[0]
+        assert at_18.feasible
+        assert at_18.dsp_cost_per_multiply == 1
+
+    def test_transform_defaults_to_quantization(self, data):
+        winner = minimal_fixed_point(data, data, widths=[16], max_rel=0.5)
+        quantized = quantize_array(data, winner.fmt)
+        assert np.max(np.abs(quantized - data)) <= winner.fmt.resolution / 2 + 1e-12
+
+
+class TestAutoFracBits:
+    def test_range_fits(self, rng):
+        """The automatic Q-format assignment must cover the data range."""
+        data = rng.uniform(-100.0, 100.0, 64)
+        for candidate in sweep_fixed_point(data, data, widths=[16, 24],
+                                           max_rel=1e9):
+            assert candidate.fmt.representable(float(np.max(np.abs(data)) * -1))
+            assert candidate.fmt.max_value >= np.max(data)
+
+    def test_all_zero_data(self):
+        data = np.zeros(8)
+        candidates = sweep_fixed_point(data, data, widths=[8], max_abs=1e-9)
+        assert candidates[0].feasible

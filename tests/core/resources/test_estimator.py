@@ -1,0 +1,127 @@
+"""Kernel resource-estimation tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.resources.estimator import (
+    BufferSpec,
+    KernelDesign,
+    OperatorInstance,
+    estimate_kernel,
+)
+from repro.core.resources.model import ResourceVector
+from repro.errors import ResourceError
+from repro.platforms.catalog import STRATIX2_EP2S180, VIRTEX4_LX100
+
+
+@pytest.fixture
+def small_design():
+    return KernelDesign(
+        name="test kernel",
+        pipeline_operators=(
+            OperatorInstance(kind="mac", width=18),
+            OperatorInstance(kind="add", width=18, count=2),
+        ),
+        replicas=4,
+        buffers=(BufferSpec(name="in", depth=1024, width_bits=32),),
+        wrapper_overhead=ResourceVector(logic=1000, bram_blocks=10),
+        control_logic_fraction=0.25,
+        ops_per_element_per_replica=3.0,
+    )
+
+
+class TestOperatorInstance:
+    def test_invalid_count(self):
+        with pytest.raises(ResourceError):
+            OperatorInstance(kind="add", width=18, count=0)
+
+    def test_cost_dispatch(self):
+        inst = OperatorInstance(kind="mult", width=32)
+        assert inst.cost(18).resources.dsp == 2
+
+
+class TestBufferSpec:
+    def test_bytes(self):
+        buf = BufferSpec(name="b", depth=1024, width_bits=32)
+        assert buf.bytes_per_buffer == 4096
+
+    def test_double_buffering_doubles_count(self):
+        single = BufferSpec(name="b", depth=64, width_bits=32)
+        double = BufferSpec(name="b", depth=64, width_bits=32,
+                            double_buffered=True)
+        assert double.effective_count == 2 * single.effective_count
+        assert double.bram_blocks(VIRTEX4_LX100) == 2 * single.bram_blocks(
+            VIRTEX4_LX100
+        )
+
+    def test_narrow_buffer_single_tile(self):
+        # 512 x 32 bits = 16384 bits < one 18 kbit BRAM
+        buf = BufferSpec(name="b", depth=512, width_bits=32)
+        assert buf.bram_blocks(VIRTEX4_LX100) == 1
+
+    def test_deep_buffer_multiple_tiles(self):
+        buf = BufferSpec(name="b", depth=65536, width_bits=32)
+        # 65536*32 bits = 2 Mbit over 18 kbit tiles (36-bit wide config)
+        assert buf.bram_blocks(VIRTEX4_LX100) >= 100
+
+    def test_wide_buffer_width_tiles(self):
+        narrow = BufferSpec(name="n", depth=256, width_bits=36)
+        wide = BufferSpec(name="w", depth=256, width_bits=288)
+        assert wide.bram_blocks(VIRTEX4_LX100) == 8 * narrow.bram_blocks(
+            VIRTEX4_LX100
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"depth": 0, "width_bits": 32},
+            {"depth": 10, "width_bits": 0},
+            {"depth": 10, "width_bits": 32, "count": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ResourceError):
+            BufferSpec(name="bad", **kwargs)
+
+
+class TestKernelDesign:
+    def test_ideal_throughput(self, small_design):
+        assert small_design.ideal_throughput_proc() == 12.0
+
+    def test_datapath_scales_with_replicas(self, small_design):
+        single = dataclasses.replace(small_design, replicas=1)
+        assert small_design.datapath_resources(VIRTEX4_LX100).dsp == (
+            4 * single.datapath_resources(VIRTEX4_LX100).dsp
+        )
+
+    def test_invalid_replicas(self, small_design):
+        with pytest.raises(ResourceError):
+            dataclasses.replace(small_design, replicas=0)
+
+    def test_buffer_totals(self, small_design):
+        assert small_design.buffer_bytes() == 4096
+        assert small_design.buffer_blocks(VIRTEX4_LX100) == 2  # 32 kbit over 18 kbit tiles
+
+
+class TestEstimateKernel:
+    def test_composition(self, small_design):
+        total = estimate_kernel(small_design, VIRTEX4_LX100)
+        datapath = small_design.datapath_resources(VIRTEX4_LX100)
+        assert total.dsp == datapath.dsp
+        assert total.logic == pytest.approx(datapath.logic * 1.25 + 1000)
+        assert total.bram_blocks == 2 + 10  # buffer tiles + wrapper
+
+    def test_dsp_width_matters(self, small_design):
+        """The same design costs more DSP elements on a 9-bit device."""
+        v4 = estimate_kernel(small_design, VIRTEX4_LX100)
+        stratix = estimate_kernel(small_design, STRATIX2_EP2S180)
+        assert stratix.dsp > v4.dsp
+
+    def test_control_fraction_zero(self, small_design):
+        bare = dataclasses.replace(small_design, control_logic_fraction=0.0,
+                                   wrapper_overhead=ResourceVector())
+        total = estimate_kernel(bare, VIRTEX4_LX100)
+        assert total.logic == pytest.approx(
+            bare.datapath_resources(VIRTEX4_LX100).logic
+        )

@@ -1,0 +1,101 @@
+"""ResourceVector algebra tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.resources.model import ResourceVector
+from repro.errors import ResourceError
+
+vectors = st.builds(
+    ResourceVector,
+    logic=st.floats(min_value=0, max_value=1e6),
+    dsp=st.floats(min_value=0, max_value=1e4),
+    bram_bytes=st.floats(min_value=0, max_value=1e9),
+    bram_blocks=st.floats(min_value=0, max_value=1e4),
+)
+
+
+class TestConstruction:
+    def test_defaults_to_zero(self):
+        assert ResourceVector().is_zero()
+        assert ResourceVector.zero().is_zero()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceVector(logic=-1)
+        with pytest.raises(ResourceError):
+            ResourceVector(dsp=-1)
+
+
+class TestAlgebra:
+    def test_addition(self):
+        a = ResourceVector(logic=10, dsp=2, bram_bytes=100, bram_blocks=1)
+        b = ResourceVector(logic=5, dsp=1, bram_bytes=50, bram_blocks=2)
+        c = a + b
+        assert (c.logic, c.dsp, c.bram_bytes, c.bram_blocks) == (15, 3, 150, 3)
+
+    def test_scaling(self):
+        v = ResourceVector(logic=10, dsp=2) * 3
+        assert v.logic == 30 and v.dsp == 6
+
+    def test_rmul(self):
+        assert (2 * ResourceVector(logic=4)).logic == 8
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceVector(logic=1) * -1
+
+    def test_non_numeric_operands(self):
+        with pytest.raises(TypeError):
+            ResourceVector() + 5  # type: ignore[operator]
+
+    @given(vectors, vectors)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors, vectors, vectors)
+    def test_addition_associates(self, a, b, c):
+        left = (a + b) + c
+        right = a + (b + c)
+        assert left.logic == pytest.approx(right.logic)
+        assert left.bram_bytes == pytest.approx(right.bram_bytes)
+
+    @given(vectors)
+    def test_zero_is_identity(self, v):
+        assert v + ResourceVector.zero() == v
+
+    @given(vectors, st.floats(min_value=0, max_value=100),
+           st.floats(min_value=0, max_value=100))
+    def test_scaling_distributes(self, v, a, b):
+        combined = v * (a + b)
+        split = v * a + v * b
+        assert combined.logic == pytest.approx(split.logic)
+        assert combined.dsp == pytest.approx(split.dsp)
+
+
+class TestBramConversion:
+    def test_exact_fit(self):
+        v = ResourceVector(bram_bytes=4608).with_bram_blocks_for(2304)
+        assert v.bram_blocks == 2
+
+    def test_rounds_up(self):
+        v = ResourceVector(bram_bytes=4609).with_bram_blocks_for(2304)
+        assert v.bram_blocks == 3
+
+    def test_preserves_explicit_blocks(self):
+        v = ResourceVector(bram_bytes=100, bram_blocks=5).with_bram_blocks_for(1000)
+        assert v.bram_blocks == 6
+
+    def test_zero_bytes_no_blocks(self):
+        assert ResourceVector().with_bram_blocks_for(1000).bram_blocks == 0
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ResourceError):
+            ResourceVector().with_bram_blocks_for(0)
+
+
+class TestDescribe:
+    def test_contains_components(self):
+        text = ResourceVector(logic=10, dsp=2, bram_blocks=3).describe()
+        assert "logic=10" in text and "dsp=2" in text and "3 blocks" in text

@@ -1,0 +1,111 @@
+"""Operator cost-library tests."""
+
+import pytest
+
+from repro.core.resources.operators import (
+    OPERATOR_LIBRARY,
+    OperatorCost,
+    get_operator,
+    operator_cost,
+)
+from repro.errors import ResourceError
+
+
+class TestLibrary:
+    def test_all_operators_constructible(self):
+        for kind in OPERATOR_LIBRARY:
+            cost = operator_cost(kind, 32, 18)
+            assert cost.latency_cycles >= 0
+            assert cost.initiation_interval >= 1
+            assert cost.resources.logic >= 0
+
+    def test_unknown_operator(self):
+        with pytest.raises(ResourceError, match="unknown operator"):
+            get_operator("fft")
+
+    def test_invalid_width(self):
+        with pytest.raises(ResourceError):
+            operator_cost("add", 0)
+
+    def test_invalid_dsp_width(self):
+        with pytest.raises(ResourceError):
+            operator_cost("mult", 18, dsp_width_bits=1)
+
+
+class TestSpecificCosts:
+    def test_add_is_logic_only(self):
+        cost = operator_cost("add", 32)
+        assert cost.resources.dsp == 0
+        assert cost.latency_cycles == 1
+        assert cost.ops_per_cycle == 1.0
+
+    def test_mult18_single_dsp(self):
+        assert operator_cost("mult", 18, 18).resources.dsp == 1
+
+    def test_mult32_two_dsps_on_v4(self):
+        """The paper's vendor-knowledge example."""
+        assert operator_cost("mult", 32, 18).resources.dsp == 2
+
+    def test_mac18_is_single_dsp_plus_adder(self):
+        """The PDF design: 'only one Xilinx 18x18 MAC unit ... per
+        multiplication'."""
+        cost = operator_cost("mac", 18, 18)
+        assert cost.resources.dsp == 1
+        assert cost.initiation_interval == 1
+
+    def test_booth_multiplier_16_cycles(self):
+        """Section 3.1's example: a 32-bit Booth multiplier takes 16
+        cycles and saves DSP resources entirely."""
+        cost = operator_cost("booth_mult", 32, 18)
+        assert cost.latency_cycles == 16
+        assert cost.initiation_interval == 16
+        assert cost.resources.dsp == 0
+        assert cost.ops_per_cycle == pytest.approx(1 / 16)
+
+    def test_booth_vs_dsp_tradeoff(self):
+        """Booth trades 16x throughput for zero DSP blocks — both sides
+        of the trade must show up in the model."""
+        booth = operator_cost("booth_mult", 32, 18)
+        dsp = operator_cost("mult", 32, 18)
+        assert booth.resources.dsp < dsp.resources.dsp
+        assert booth.ops_per_cycle < dsp.ops_per_cycle
+
+    def test_divider_iterative(self):
+        cost = operator_cost("divide", 24)
+        assert cost.initiation_interval == 24
+        assert cost.resources.dsp == 0
+
+    def test_sqrt_half_width_cycles(self):
+        assert operator_cost("sqrt", 32).latency_cycles == 16
+
+    def test_fmul_uses_dsps(self):
+        cost = operator_cost("fmul", 32, 18)
+        assert cost.resources.dsp == 2  # 24-bit mantissa on 18-bit DSPs
+
+    def test_fmul_on_stratix_9bit(self):
+        assert operator_cost("fmul", 32, 9).resources.dsp == 9
+
+    def test_fadd_logic_only(self):
+        cost = operator_cost("fadd", 32)
+        assert cost.resources.dsp == 0
+        assert cost.latency_cycles >= 4
+
+    def test_fdiv_deep_pipeline(self):
+        cost = operator_cost("fdiv", 32)
+        assert cost.latency_cycles > operator_cost("fmul", 32).latency_cycles
+
+
+class TestOperatorCostValidation:
+    def test_negative_latency_rejected(self):
+        from repro.core.resources.model import ResourceVector
+
+        with pytest.raises(ResourceError):
+            OperatorCost(name="x", resources=ResourceVector(),
+                         latency_cycles=-1)
+
+    def test_zero_ii_rejected(self):
+        from repro.core.resources.model import ResourceVector
+
+        with pytest.raises(ResourceError):
+            OperatorCost(name="x", resources=ResourceVector(),
+                         latency_cycles=1, initiation_interval=0)

@@ -1,0 +1,116 @@
+"""Utilization-report tests (paper Tables 4/7/10 machinery)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.resources.estimator import (
+    BufferSpec,
+    KernelDesign,
+    OperatorInstance,
+)
+from repro.core.resources.model import ResourceVector
+from repro.core.resources.report import (
+    ROUTING_RISK_THRESHOLD,
+    UtilizationReport,
+    utilization_report,
+)
+from repro.errors import ResourceError
+from repro.platforms.catalog import GENERIC_SMALL, VIRTEX4_LX100
+from repro.platforms.device import ResourceKind
+
+
+@pytest.fixture
+def design():
+    return KernelDesign(
+        name="probe",
+        pipeline_operators=(OperatorInstance(kind="mac", width=18),),
+        replicas=8,
+        buffers=(BufferSpec(name="in", depth=512, width_bits=32),),
+        wrapper_overhead=ResourceVector(logic=2000, bram_blocks=8),
+        ops_per_element_per_replica=1.0,
+    )
+
+
+class TestUtilization:
+    def test_fits_small_design(self, design):
+        report = utilization_report(design, VIRTEX4_LX100)
+        assert report.fits
+        assert not report.routing_risk
+        assert 0 < report.utilization(ResourceKind.DSP) < 0.2
+
+    def test_overflow_detected(self, design):
+        big = dataclasses.replace(design, replicas=200)
+        report = utilization_report(big, GENERIC_SMALL)
+        assert not report.fits
+        assert report.utilization(ResourceKind.DSP) > 1.0
+
+    def test_limiting_resource(self, design):
+        report = utilization_report(design, VIRTEX4_LX100)
+        limiting = report.limiting_resource
+        assert report.utilization(limiting) == max(
+            report.utilization(kind) for kind in ResourceKind
+        )
+
+    def test_routing_risk_threshold(self, design):
+        report = utilization_report(design, VIRTEX4_LX100,
+                                    routing_risk_threshold=1e-6)
+        assert report.routing_risk  # any logic at all trips a tiny threshold
+
+    def test_invalid_threshold(self, design):
+        with pytest.raises(ResourceError):
+            utilization_report(design, VIRTEX4_LX100, routing_risk_threshold=0)
+
+    def test_zero_capacity_infinite_utilization(self, design):
+        weird = dataclasses.replace(VIRTEX4_LX100, dsp_blocks=0)
+        report = utilization_report(design, weird)
+        assert report.utilization(ResourceKind.DSP) == float("inf")
+        assert not report.fits
+
+
+class TestHeadroom:
+    def test_headroom_replicas(self, design):
+        report = utilization_report(design, VIRTEX4_LX100)
+        per_replica = ResourceVector(logic=20, dsp=1)
+        headroom = report.headroom_replicas(per_replica)
+        # 96 DSPs total, 8 used -> 88 more MACs fit.
+        assert headroom == 88
+
+    def test_headroom_zero_when_full(self, design):
+        big = dataclasses.replace(design, replicas=96)
+        report = utilization_report(big, VIRTEX4_LX100)
+        assert report.headroom_replicas(ResourceVector(dsp=1)) == 0
+
+    def test_headroom_requires_nonzero_demand(self, design):
+        report = utilization_report(design, VIRTEX4_LX100)
+        with pytest.raises(ResourceError):
+            report.headroom_replicas(ResourceVector.zero())
+
+
+class TestRendering:
+    def test_render_contains_vendor_labels(self, design):
+        text = utilization_report(design, VIRTEX4_LX100).render()
+        assert "48-bit DSPs" in text
+        assert "BRAMs" in text
+        assert "Slices" in text
+        assert "Virtex-4 LX100" in text
+
+    def test_render_flags_overflow(self, design):
+        big = dataclasses.replace(design, replicas=200)
+        text = utilization_report(big, GENERIC_SMALL).render()
+        assert "OVER CAPACITY" in text
+
+    def test_render_flags_routing_risk(self, design):
+        # Inflate logic only, to land between threshold and 100%.
+        risky = dataclasses.replace(
+            design,
+            wrapper_overhead=ResourceVector(
+                logic=VIRTEX4_LX100.logic_cells * 0.9
+            ),
+        )
+        text = utilization_report(risky, VIRTEX4_LX100).render()
+        assert "ROUTING RISK" in text
+
+    def test_rows_order_matches_paper(self, design):
+        rows = utilization_report(design, VIRTEX4_LX100).rows()
+        assert [label for label, _ in rows] == ["48-bit DSPs", "BRAMs", "Slices"]

@@ -1,0 +1,179 @@
+"""Overlap-timeline tests (paper Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffering import (
+    BufferingMode,
+    OverlapTimeline,
+    TimelineSegment,
+    build_timeline,
+    double_buffered_timeline,
+    single_buffered_timeline,
+)
+from repro.errors import ParameterError
+
+times = st.floats(min_value=0.0, max_value=100.0)
+positive_times = st.floats(min_value=0.01, max_value=100.0)
+iterations = st.integers(min_value=1, max_value=12)
+
+
+class TestTimelineSegment:
+    def test_duration_and_label(self):
+        s = TimelineSegment("comm", "read", 3, 1.0, 2.5)
+        assert s.duration == pytest.approx(1.5)
+        assert s.label == "R3"
+
+    def test_compute_label(self):
+        assert TimelineSegment("comp", "compute", 1, 0, 1).label == "C1"
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ParameterError):
+            TimelineSegment("comm", "read", 1, 2.0, 1.0)
+
+
+class TestSingleBuffered:
+    def test_figure2_top_structure(self):
+        """SB: R1 C1 W1 R2 C2 W2 ... strictly sequential."""
+        tl = single_buffered_timeline(2.0, 3.0, 1.0, 3)
+        assert tl.makespan() == pytest.approx(3 * (2 + 3 + 1))
+        kinds = [s.kind for s in sorted(tl.segments, key=lambda s: s.start)]
+        assert kinds == ["read", "compute", "write"] * 3
+
+    def test_lane_utilizations(self):
+        tl = single_buffered_timeline(2.0, 3.0, 1.0, 4)
+        assert tl.utilization("comm") == pytest.approx(3 / 6)
+        assert tl.utilization("comp") == pytest.approx(3 / 6)
+
+    @given(positive_times, positive_times, times, iterations)
+    def test_makespan_equals_equation5(self, t_read, t_comp, t_write, n):
+        tl = single_buffered_timeline(t_read, t_comp, t_write, n)
+        assert tl.makespan() == pytest.approx(n * (t_read + t_comp + t_write))
+
+
+class TestDoubleBuffered:
+    def test_computation_bound_steady_state(self):
+        """Figure 2 middle: compute back-to-back once started."""
+        tl = double_buffered_timeline(2.0, 5.0, 1.0, 4)
+        computes = tl.lane("comp")
+        # After C1 starts, computes are gapless (comm hides underneath).
+        for before, after in zip(computes, computes[1:]):
+            assert after.start == pytest.approx(before.end)
+        # Makespan: startup read + N computes + final write.
+        assert tl.makespan() == pytest.approx(2.0 + 4 * 5.0 + 1.0)
+
+    def test_communication_bound_steady_state(self):
+        """Figure 2 bottom: the channel never idles once started."""
+        tl = double_buffered_timeline(4.0, 2.0, 2.0, 4)
+        comm = tl.lane("comm")
+        for before, after in zip(comm, comm[1:]):
+            assert after.start == pytest.approx(before.end)
+        # Channel moves 4 reads + 4 writes = 4*(4+2) = 24 s continuously;
+        # every compute finishes before the channel drains, so the
+        # makespan is exactly the channel-busy time (Equation 6's regime).
+        assert tl.makespan() == pytest.approx(4 * (4.0 + 2.0))
+        assert tl.utilization("comm") == pytest.approx(1.0)
+
+    def test_two_buffer_limit_enforced(self):
+        """R3 must wait for C1 to free its buffer."""
+        tl = double_buffered_timeline(1.0, 10.0, 0.0, 3)
+        reads = {s.iteration: s for s in tl.lane("comm") if s.kind == "read"}
+        computes = {s.iteration: s for s in tl.lane("comp")}
+        assert reads[3].start >= computes[1].end - 1e-12
+
+    @given(positive_times, positive_times, times, iterations)
+    @settings(max_examples=60)
+    def test_db_never_slower_than_sb(self, t_read, t_comp, t_write, n):
+        sb = single_buffered_timeline(t_read, t_comp, t_write, n)
+        db = double_buffered_timeline(t_read, t_comp, t_write, n)
+        assert db.makespan() <= sb.makespan() + 1e-9
+
+    @given(positive_times, positive_times, times, iterations)
+    @settings(max_examples=60)
+    def test_db_lower_bound_equation6(self, t_read, t_comp, t_write, n):
+        """The realised DB schedule can never beat Equation (6)."""
+        db = double_buffered_timeline(t_read, t_comp, t_write, n)
+        t_comm = t_read + t_write
+        assert db.makespan() >= n * max(t_comm, t_comp) - 1e-9
+
+    @given(positive_times, positive_times, times, iterations)
+    @settings(max_examples=60)
+    def test_db_startup_transient_bounded(self, t_read, t_comp, t_write, n):
+        """Equation (6) plus one full startup+drain bounds the schedule.
+
+        The paper: "this startup cost is considered negligible for a
+        sufficiently large number of iterations" — i.e. it is O(1), not
+        O(N)."""
+        db = double_buffered_timeline(t_read, t_comp, t_write, n)
+        t_comm = t_read + t_write
+        analytic = n * max(t_comm, t_comp)
+        slack = 2 * (t_read + t_comp + t_write)
+        assert db.makespan() <= analytic + slack + 1e-9
+
+    @given(positive_times, positive_times, times, iterations)
+    @settings(max_examples=60)
+    def test_all_iterations_present(self, t_read, t_comp, t_write, n):
+        db = double_buffered_timeline(t_read, t_comp, t_write, n)
+        computes = [s.iteration for s in db.lane("comp")]
+        assert sorted(computes) == list(range(1, n + 1))
+        writes = [s for s in db.lane("comm") if s.kind == "write"]
+        expected_writes = n if t_write > 0 else 0
+        assert len(writes) == expected_writes
+
+
+class TestOverlapTimelineInvariants:
+    @given(positive_times, positive_times, times, iterations)
+    @settings(max_examples=60)
+    def test_lanes_never_self_overlap(self, t_read, t_comp, t_write, n):
+        """The constructor enforces this; building is the assertion."""
+        for builder in (single_buffered_timeline, double_buffered_timeline):
+            builder(t_read, t_comp, t_write, n)
+
+    def test_overlapping_lane_rejected(self):
+        with pytest.raises(ParameterError, match="overlaps"):
+            OverlapTimeline(
+                mode=BufferingMode.SINGLE,
+                segments=(
+                    TimelineSegment("comm", "read", 1, 0.0, 2.0),
+                    TimelineSegment("comm", "read", 2, 1.0, 3.0),
+                ),
+            )
+
+    def test_cross_lane_overlap_allowed(self):
+        tl = OverlapTimeline(
+            mode=BufferingMode.DOUBLE,
+            segments=(
+                TimelineSegment("comm", "read", 1, 0.0, 2.0),
+                TimelineSegment("comp", "compute", 1, 0.5, 1.5),
+            ),
+        )
+        assert tl.makespan() == pytest.approx(2.0)
+
+    def test_empty_timeline(self):
+        tl = OverlapTimeline(mode=BufferingMode.SINGLE, segments=())
+        assert tl.makespan() == 0.0
+        assert tl.utilization("comm") == 0.0
+
+    def test_render_ascii_mentions_labels(self):
+        tl = single_buffered_timeline(2.0, 3.0, 1.0, 2)
+        art = tl.render_ascii(width=60)
+        assert "Comm" in art and "Comp" in art
+        for label in ("R1", "C1", "R2", "C2"):
+            assert label in art
+
+
+class TestBuildTimeline:
+    def test_dispatch(self):
+        sb = build_timeline(BufferingMode.SINGLE, 1, 1, 1, 2)
+        db = build_timeline(BufferingMode.DOUBLE, 1, 1, 1, 2)
+        assert sb.mode is BufferingMode.SINGLE
+        assert db.mode is BufferingMode.DOUBLE
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            build_timeline(BufferingMode.SINGLE, -1, 1, 1, 2)
+        with pytest.raises(ParameterError):
+            build_timeline(BufferingMode.SINGLE, 1, 1, 1, 0)
+        with pytest.raises(ParameterError):
+            build_timeline(BufferingMode.SINGLE, 0, 0, 0, 1)

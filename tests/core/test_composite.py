@@ -1,0 +1,110 @@
+"""Composite-application and multi-FPGA analysis tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffering import BufferingMode
+from repro.core.composite import CompositeAnalysis, MultiFPGAAnalysis
+from repro.core.throughput import rc_execution_time
+from repro.errors import ParameterError
+from tests.conftest import rat_inputs
+
+SB = BufferingMode.SINGLE
+DB = BufferingMode.DOUBLE
+
+
+class TestCompositeAnalysis:
+    def test_requires_a_stage(self):
+        with pytest.raises(ParameterError):
+            CompositeAnalysis(stages=())
+
+    def test_single_stage_matches_plain_analysis(self, pdf1d_rat):
+        composite = CompositeAnalysis(stages=(pdf1d_rat,))
+        assert composite.total_rc_time() == pytest.approx(
+            rc_execution_time(pdf1d_rat, SB)
+        )
+        assert composite.speedup() == pytest.approx(
+            pdf1d_rat.software.t_soft / rc_execution_time(pdf1d_rat, SB)
+        )
+
+    def test_times_add(self, pdf1d_rat, pdf2d_rat):
+        composite = CompositeAnalysis(stages=(pdf1d_rat, pdf2d_rat))
+        assert composite.total_rc_time() == pytest.approx(
+            rc_execution_time(pdf1d_rat, SB) + rc_execution_time(pdf2d_rat, SB)
+        )
+        assert composite.total_soft_time() == pytest.approx(0.578 + 158.8)
+
+    def test_stage_fractions_sum_to_one(self, pdf1d_rat, pdf2d_rat, md_rat):
+        composite = CompositeAnalysis(stages=(pdf1d_rat, pdf2d_rat, md_rat))
+        fractions = [s.fraction_of_total_rc for s in composite.stage_results()]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_bottleneck_is_2d_pdf(self, pdf1d_rat, pdf2d_rat):
+        composite = CompositeAnalysis(stages=(pdf1d_rat, pdf2d_rat))
+        assert composite.bottleneck().name == "2-D PDF"
+
+    def test_composite_speedup_between_stage_speedups(
+        self, pdf1d_rat, pdf2d_rat
+    ):
+        composite = CompositeAnalysis(stages=(pdf1d_rat, pdf2d_rat))
+        stage_speedups = [s.speedup for s in composite.stage_results()]
+        assert min(stage_speedups) <= composite.speedup() <= max(stage_speedups)
+
+    def test_unnamed_stage_gets_index(self, simple_rat):
+        composite = CompositeAnalysis(stages=(simple_rat.with_name(""),))
+        assert composite.stage_results()[0].name == "stage 1"
+
+
+class TestMultiFPGAAnalysis:
+    def test_one_device_matches_plain(self, pdf2d_rat):
+        single = MultiFPGAAnalysis(pdf2d_rat, n_fpgas=1)
+        assert single.rc_time() == pytest.approx(rc_execution_time(pdf2d_rat, SB))
+
+    def test_invalid_counts(self, pdf2d_rat):
+        with pytest.raises(ParameterError):
+            MultiFPGAAnalysis(pdf2d_rat, n_fpgas=0)
+
+    def test_compute_bound_scales_nearly_linearly(self, md_rat):
+        """MD at util_comm ~0.5% should scale almost perfectly...
+        except MD has 1 iteration, so parallelism cannot help; use a
+        16-iteration variant."""
+        rat = md_rat.with_block_size(1024, 16)
+        s1 = MultiFPGAAnalysis(rat, 1).speedup()
+        s4 = MultiFPGAAnalysis(rat, 4).speedup()
+        assert s4 / s1 > 3.5
+
+    def test_communication_bound_saturates(self, pdf2d_rat):
+        """2-D PDF is compute-dominated, but with enough devices the
+        shared channel caps scaling."""
+        speedups = [
+            MultiFPGAAnalysis(pdf2d_rat, n).speedup() for n in (1, 8, 64, 256)
+        ]
+        assert speedups[1] > speedups[0]
+        # Efficiency must decay as the channel saturates.
+        eff_8 = MultiFPGAAnalysis(pdf2d_rat, 8).scaling_efficiency()
+        eff_256 = MultiFPGAAnalysis(pdf2d_rat, 256).scaling_efficiency()
+        assert eff_256 < eff_8
+
+    @given(rat_inputs(), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40)
+    def test_speedup_never_negative_and_bounded(self, rat, n):
+        analysis = MultiFPGAAnalysis(rat, n)
+        assert analysis.rc_time() > 0
+        # N devices can never beat N-times the single-device speedup.
+        single = MultiFPGAAnalysis(rat, 1).speedup()
+        assert analysis.speedup() <= n * single * (1 + 1e-9)
+
+    def test_max_useful_devices_monotonic_floor(self, pdf2d_rat):
+        loose = MultiFPGAAnalysis(pdf2d_rat, 1).max_useful_devices(0.3)
+        strict = MultiFPGAAnalysis(pdf2d_rat, 1).max_useful_devices(0.9)
+        assert loose >= strict >= 1
+
+    def test_max_useful_devices_validates(self, pdf2d_rat):
+        with pytest.raises(ParameterError):
+            MultiFPGAAnalysis(pdf2d_rat, 1).max_useful_devices(0.0)
+
+    def test_double_buffered_mode(self, pdf2d_rat):
+        sb = MultiFPGAAnalysis(pdf2d_rat, 4, SB)
+        db = MultiFPGAAnalysis(pdf2d_rat, 4, DB)
+        assert db.rc_time() <= sb.rc_time()

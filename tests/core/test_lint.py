@@ -1,0 +1,92 @@
+"""Worksheet-linter tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.registry import get_case_study
+from repro.core.buffering import BufferingMode
+from repro.core.lint import LintCode, lint_worksheet
+from repro.core.params import SoftwareParams
+
+
+def codes(warnings):
+    return {w.code for w in warnings}
+
+
+@pytest.fixture
+def pdf1d_study():
+    return get_case_study("pdf1d")
+
+
+class TestPaperWorksheets:
+    def test_pdf1d_flags_its_real_problems(self, pdf1d_study):
+        """The linter must catch the 1-D PDF's actual failure mode:
+        repeated 2 KB transfers in the overhead-dominated alpha region."""
+        warnings = lint_worksheet(
+            pdf1d_study.rat, pdf1d_study.platform, pdf1d_study.mode
+        )
+        assert LintCode.SMALL_TRANSFERS in codes(warnings)
+
+    def test_pdf2d_flags_output_dominance(self):
+        study = get_case_study("pdf2d")
+        warnings = lint_worksheet(study.rat, study.platform, study.mode)
+        assert LintCode.OUTPUT_DOMINATES in codes(warnings)
+
+    def test_md_is_clean(self):
+        """MD moves one big block each way at honest alphas: no findings."""
+        study = get_case_study("md")
+        assert lint_worksheet(study.rat, study.platform, study.mode) == []
+
+
+class TestIndividualChecks:
+    def test_throughput_exceeds_ops(self, pdf1d_rat):
+        bad = pdf1d_rat.with_throughput_proc(1000.0)  # ops/element = 768
+        warnings = lint_worksheet(bad)
+        assert LintCode.THROUGHPUT_EXCEEDS_OPS in codes(warnings)
+
+    def test_fully_pipelined_is_legal(self, pdf1d_rat):
+        exact = pdf1d_rat.with_throughput_proc(768.0)
+        assert LintCode.THROUGHPUT_EXCEEDS_OPS not in codes(lint_worksheet(exact))
+
+    def test_few_iterations_db(self, pdf1d_rat):
+        short = dataclasses.replace(
+            pdf1d_rat, software=SoftwareParams(t_soft=0.578, n_iterations=3)
+        )
+        warnings = lint_worksheet(short, mode=BufferingMode.DOUBLE)
+        assert LintCode.FEW_ITERATIONS_DB in codes(warnings)
+        # Single buffered: no steady-state assumption, no warning.
+        assert LintCode.FEW_ITERATIONS_DB not in codes(
+            lint_worksheet(short, mode=BufferingMode.SINGLE)
+        )
+
+    def test_clock_above_device(self, pdf1d_study):
+        hot = pdf1d_study.rat.with_clock_hz(1e9)  # LX100 ceiling: 400 MHz
+        warnings = lint_worksheet(hot, pdf1d_study.platform)
+        assert LintCode.CLOCK_ABOVE_DEVICE in codes(warnings)
+
+    def test_alpha_optimistic(self, pdf1d_study):
+        greedy = pdf1d_study.rat.with_alphas(0.9, 0.9)
+        warnings = lint_worksheet(greedy, pdf1d_study.platform)
+        assert LintCode.ALPHA_OPTIMISTIC in codes(warnings)
+
+    def test_platform_checks_skipped_without_platform(self, pdf1d_study):
+        hot = pdf1d_study.rat.with_clock_hz(1e9).with_alphas(0.99, 0.99)
+        warnings = lint_worksheet(hot, platform=None)
+        assert LintCode.CLOCK_ABOVE_DEVICE not in codes(warnings)
+        assert LintCode.ALPHA_OPTIMISTIC not in codes(warnings)
+
+
+class TestWarningObjects:
+    def test_describe_format(self, pdf1d_study):
+        warning = lint_worksheet(
+            pdf1d_study.rat, pdf1d_study.platform
+        )[0]
+        text = warning.describe()
+        assert text.startswith("[")
+        assert "—" in text
+
+    def test_warnings_carry_suggestions(self, pdf1d_study):
+        for warning in lint_worksheet(pdf1d_study.rat, pdf1d_study.platform):
+            assert warning.suggestion
+            assert warning.message

@@ -1,0 +1,179 @@
+"""Figure-1 methodology flow tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.methodology import (
+    DesignCandidate,
+    MethodologyResult,
+    Requirements,
+    Verdict,
+    evaluate_design,
+    iterate_designs,
+)
+from repro.core.precision.error import ErrorReport
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def study():
+    from repro.apps.registry import get_case_study
+
+    return get_case_study("pdf1d")
+
+
+@pytest.fixture
+def candidate(study):
+    return DesignCandidate(
+        rat=study.rat, kernel_design=study.kernel_design, label="baseline"
+    )
+
+
+def good_precision() -> ErrorReport:
+    return ErrorReport(max_abs=1e-4, max_rel=0.02, rms=1e-5, sqnr_db=60.0,
+                       n_samples=1000)
+
+
+def bad_precision() -> ErrorReport:
+    return ErrorReport(max_abs=0.5, max_rel=0.40, rms=0.2, sqnr_db=8.0,
+                       n_samples=1000)
+
+
+class TestRequirements:
+    def test_invalid_speedup(self):
+        with pytest.raises(ParameterError):
+            Requirements(min_speedup=0)
+
+
+class TestVerdicts:
+    def test_proceed(self, candidate, study):
+        result = evaluate_design(
+            candidate, Requirements(min_speedup=5.0), study.platform.device
+        )
+        assert result.verdict is Verdict.PROCEED
+        assert result.passed
+
+    def test_insufficient_throughput(self, candidate, study):
+        result = evaluate_design(
+            candidate, Requirements(min_speedup=100.0), study.platform.device
+        )
+        assert result.verdict is Verdict.INSUFFICIENT_THROUGHPUT
+        assert not result.passed
+
+    def test_unrealizable_precision(self, study):
+        candidate = DesignCandidate(
+            rat=study.rat,
+            precision_report=bad_precision(),
+            kernel_design=study.kernel_design,
+        )
+        result = evaluate_design(
+            candidate,
+            Requirements(min_speedup=5.0, max_rel_error=0.05),
+            study.platform.device,
+        )
+        assert result.verdict is Verdict.UNREALIZABLE_PRECISION
+
+    def test_precision_passes_with_good_report(self, study):
+        candidate = DesignCandidate(
+            rat=study.rat, precision_report=good_precision()
+        )
+        result = evaluate_design(
+            candidate, Requirements(min_speedup=5.0, max_rel_error=0.05)
+        )
+        assert result.verdict is Verdict.PROCEED
+
+    def test_insufficient_resources(self, study):
+        oversized = dataclasses.replace(study.kernel_design, replicas=2000)
+        candidate = DesignCandidate(rat=study.rat, kernel_design=oversized)
+        result = evaluate_design(
+            candidate, Requirements(min_speedup=5.0), study.platform.device
+        )
+        assert result.verdict is Verdict.INSUFFICIENT_RESOURCES
+
+    def test_throughput_failure_takes_precedence(self, study):
+        """Figure 1 routes back at the first failing test."""
+        oversized = dataclasses.replace(study.kernel_design, replicas=2000)
+        candidate = DesignCandidate(
+            rat=study.rat,
+            precision_report=bad_precision(),
+            kernel_design=oversized,
+        )
+        result = evaluate_design(
+            candidate,
+            Requirements(min_speedup=100.0, max_rel_error=0.05),
+            study.platform.device,
+        )
+        assert result.verdict is Verdict.INSUFFICIENT_THROUGHPUT
+
+    def test_routing_risk_as_failure(self, study):
+        risky = dataclasses.replace(study.kernel_design, replicas=170)
+        candidate = DesignCandidate(rat=study.rat, kernel_design=risky)
+        lenient = evaluate_design(
+            candidate, Requirements(min_speedup=5.0), study.platform.device
+        )
+        strict = evaluate_design(
+            candidate,
+            Requirements(min_speedup=5.0, routing_risk_is_failure=True),
+            study.platform.device,
+        )
+        # With 170 replicas logic passes 80% but stays under 100%.
+        if lenient.utilization is not None and lenient.utilization.routing_risk:
+            assert lenient.verdict is Verdict.PROCEED
+            assert strict.verdict is Verdict.INSUFFICIENT_RESOURCES
+
+    def test_resource_test_requires_device(self, candidate):
+        with pytest.raises(ParameterError, match="device"):
+            evaluate_design(candidate, Requirements(min_speedup=5.0), None)
+
+    def test_skipped_tests_documented(self, study):
+        candidate = DesignCandidate(rat=study.rat)
+        result = evaluate_design(candidate, Requirements(min_speedup=5.0))
+        text = "\n".join(result.details)
+        assert "precision: accepted by designer" in text
+        assert "resources: skipped" in text
+
+    def test_describe_contains_verdict(self, candidate, study):
+        result = evaluate_design(
+            candidate, Requirements(min_speedup=5.0), study.platform.device
+        )
+        assert "PROCEED" in result.describe()
+
+
+class TestIterateDesigns:
+    def test_first_passing_wins(self, study):
+        bad = DesignCandidate(
+            rat=study.rat.with_throughput_proc(0.1), label="too slow"
+        )
+        good = DesignCandidate(rat=study.rat, label="fine")
+        winner, results = iterate_designs(
+            [bad, good], Requirements(min_speedup=5.0)
+        )
+        assert winner is not None
+        assert winner.candidate.label == "fine"
+        assert len(results) == 2
+        assert results[0].verdict is Verdict.INSUFFICIENT_THROUGHPUT
+
+    def test_exhausted_permutations(self, study):
+        bad = DesignCandidate(rat=study.rat.with_throughput_proc(0.1))
+        winner, results = iterate_designs([bad, bad], Requirements(min_speedup=5.0))
+        assert winner is None
+        assert all(not r.passed for r in results)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ParameterError):
+            iterate_designs([], Requirements(min_speedup=5.0))
+
+
+class TestCandidateNaming:
+    def test_label_wins(self, study):
+        c = DesignCandidate(rat=study.rat, label="X")
+        assert c.name == "X"
+
+    def test_falls_back_to_rat_name(self, study):
+        c = DesignCandidate(rat=study.rat)
+        assert c.name == study.rat.name
+
+    def test_unnamed(self, study):
+        c = DesignCandidate(rat=study.rat.with_name(""))
+        assert c.name == "unnamed design"

@@ -1,0 +1,187 @@
+"""Worksheet parameter validation and editing tests."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.params import (
+    CommunicationParams,
+    ComputationParams,
+    DatasetParams,
+    RATInput,
+    SoftwareParams,
+)
+from repro.errors import ParameterError
+from tests.conftest import rat_inputs
+
+
+class TestDatasetParams:
+    def test_bytes_in_out(self):
+        d = DatasetParams(elements_in=512, elements_out=1, bytes_per_element=4)
+        assert d.bytes_in == 2048
+        assert d.bytes_out == 4
+
+    def test_zero_output_allowed(self):
+        d = DatasetParams(elements_in=10, elements_out=0, bytes_per_element=4)
+        assert d.bytes_out == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"elements_in": 0, "elements_out": 1, "bytes_per_element": 4},
+            {"elements_in": -5, "elements_out": 1, "bytes_per_element": 4},
+            {"elements_in": 1, "elements_out": -1, "bytes_per_element": 4},
+            {"elements_in": 1, "elements_out": 1, "bytes_per_element": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            DatasetParams(**kwargs)
+
+
+class TestCommunicationParams:
+    def test_from_worksheet_units(self):
+        c = CommunicationParams.from_worksheet(1000, 0.37, 0.16)
+        assert c.ideal_bandwidth == 1e9
+        assert c.write_bandwidth == pytest.approx(0.37e9)
+        assert c.read_bandwidth == pytest.approx(0.16e9)
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.2, 1.01])
+    def test_alpha_bounds(self, alpha):
+        with pytest.raises(ParameterError):
+            CommunicationParams(ideal_bandwidth=1e9, alpha_write=alpha,
+                                alpha_read=0.5)
+        with pytest.raises(ParameterError):
+            CommunicationParams(ideal_bandwidth=1e9, alpha_write=0.5,
+                                alpha_read=alpha)
+
+    def test_alpha_one_allowed(self):
+        c = CommunicationParams(ideal_bandwidth=1e9, alpha_write=1.0, alpha_read=1.0)
+        assert c.write_bandwidth == 1e9
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ParameterError):
+            CommunicationParams(ideal_bandwidth=0, alpha_write=0.5, alpha_read=0.5)
+
+
+class TestComputationParams:
+    def test_from_worksheet_units(self):
+        c = ComputationParams.from_worksheet(768, 20, 150)
+        assert c.clock_hz == 150e6
+        assert c.clock_mhz == 150
+        assert c.ops_per_second == pytest.approx(3e9)
+
+    def test_with_clock(self):
+        c = ComputationParams.from_worksheet(768, 20, 150)
+        c2 = c.with_clock_hz(75e6)
+        assert c2.clock_mhz == 75
+        assert c.clock_mhz == 150  # original unchanged
+
+    @pytest.mark.parametrize("field,value", [
+        ("ops_per_element", 0), ("throughput_proc", 0), ("clock_hz", 0),
+    ])
+    def test_invalid(self, field, value):
+        kwargs = {"ops_per_element": 1.0, "throughput_proc": 1.0, "clock_hz": 1e6}
+        kwargs[field] = value
+        with pytest.raises(ParameterError):
+            ComputationParams(**kwargs)
+
+
+class TestSoftwareParams:
+    def test_valid(self):
+        s = SoftwareParams(t_soft=0.578, n_iterations=400)
+        assert s.n_iterations == 400
+
+    def test_default_iterations(self):
+        assert SoftwareParams(t_soft=1.0).n_iterations == 1
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            SoftwareParams(t_soft=0)
+        with pytest.raises(ParameterError):
+            SoftwareParams(t_soft=1.0, n_iterations=0)
+
+
+class TestRATInput:
+    def test_totals(self, pdf1d_rat):
+        assert pdf1d_rat.total_elements == 204_800
+        assert pdf1d_rat.total_ops == 204_800 * 768
+
+    def test_with_clock_is_pure(self, pdf1d_rat):
+        edited = pdf1d_rat.with_clock_hz(75e6)
+        assert edited.computation.clock_mhz == 75
+        assert pdf1d_rat.computation.clock_mhz == 150
+
+    def test_with_throughput_proc(self, pdf1d_rat):
+        assert pdf1d_rat.with_throughput_proc(24).computation.throughput_proc == 24
+
+    def test_with_alphas(self, pdf1d_rat):
+        edited = pdf1d_rat.with_alphas(0.5, 0.5)
+        assert edited.communication.alpha_write == 0.5
+        assert edited.communication.alpha_read == 0.5
+
+    def test_with_alphas_validates(self, pdf1d_rat):
+        with pytest.raises(ParameterError):
+            pdf1d_rat.with_alphas(1.5, 0.5)
+
+    def test_with_block_size(self, pdf1d_rat):
+        edited = pdf1d_rat.with_block_size(1024, 200)
+        assert edited.dataset.elements_in == 1024
+        assert edited.software.n_iterations == 200
+        assert edited.total_elements == pdf1d_rat.total_elements
+
+    def test_with_name(self, pdf1d_rat):
+        assert pdf1d_rat.with_name("renamed").name == "renamed"
+
+    def test_dict_roundtrip(self, pdf1d_rat):
+        rebuilt = RATInput.from_dict(pdf1d_rat.to_dict())
+        assert rebuilt.to_dict() == pdf1d_rat.to_dict()
+        assert rebuilt == pdf1d_rat
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ParameterError, match="missing worksheet field"):
+            RATInput.from_dict({"elements_in": 10})
+
+    @given(rat_inputs())
+    def test_roundtrip_property(self, rat):
+        rebuilt = RATInput.from_dict(rat.to_dict())
+        assert rebuilt.dataset == rat.dataset
+        assert rebuilt.software == rat.software
+        # float fields survive to high precision through the MB/MHz scaling
+        assert rebuilt.communication.ideal_bandwidth == pytest.approx(
+            rat.communication.ideal_bandwidth, rel=1e-12
+        )
+        assert rebuilt.computation.clock_hz == pytest.approx(
+            rat.computation.clock_hz, rel=1e-12
+        )
+
+
+class TestNonFiniteRejection:
+    """inf/nan inputs would silently zero out times downstream; the
+    validators must reject them at the door."""
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("nan")])
+    def test_bandwidth(self, bad):
+        with pytest.raises(ParameterError, match="finite"):
+            CommunicationParams(ideal_bandwidth=bad, alpha_write=0.5,
+                                alpha_read=0.5)
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("nan")])
+    def test_computation_fields(self, bad):
+        with pytest.raises(ParameterError):
+            ComputationParams(ops_per_element=bad, throughput_proc=1,
+                              clock_hz=1e6)
+        with pytest.raises(ParameterError):
+            ComputationParams(ops_per_element=1, throughput_proc=bad,
+                              clock_hz=1e6)
+        with pytest.raises(ParameterError):
+            ComputationParams(ops_per_element=1, throughput_proc=1,
+                              clock_hz=bad)
+
+    def test_nan_alpha(self):
+        with pytest.raises(ParameterError):
+            CommunicationParams(ideal_bandwidth=1e9, alpha_write=float("nan"),
+                                alpha_read=0.5)
+
+    def test_nan_t_soft(self):
+        with pytest.raises(ParameterError):
+            SoftwareParams(t_soft=float("nan"))

@@ -1,0 +1,115 @@
+"""Power-estimation extension tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.power import (
+    DEFAULT_POWER_MODEL,
+    PowerEstimate,
+    PowerModel,
+    estimate_power,
+)
+from repro.core.resources.model import ResourceVector
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def demand():
+    return ResourceVector(logic=10_000, dsp=50, bram_blocks=100)
+
+
+class TestPowerModel:
+    def test_static_floor(self, demand):
+        model = PowerModel(static_w=2.0)
+        assert model.total_power(demand, 100e6) > 2.0
+        assert model.total_power(ResourceVector.zero(), 100e6) == 2.0
+
+    def test_dynamic_scales_with_clock(self, demand):
+        model = DEFAULT_POWER_MODEL
+        slow = model.dynamic_power(demand, 75e6)
+        fast = model.dynamic_power(demand, 150e6)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_dynamic_scales_with_demand(self, demand):
+        model = DEFAULT_POWER_MODEL
+        single = model.dynamic_power(demand, 100e6)
+        double = model.dynamic_power(demand * 2, 100e6)
+        assert double == pytest.approx(2 * single)
+
+    def test_magnitude_reasonable(self, demand):
+        """A mid-size 2007 design at 150 MHz draws watts, not kW or mW."""
+        watts = DEFAULT_POWER_MODEL.total_power(demand, 150e6)
+        assert 1.0 < watts < 50.0
+
+    def test_validation(self, demand):
+        with pytest.raises(ParameterError):
+            PowerModel(static_w=-1)
+        with pytest.raises(ParameterError):
+            PowerModel(toggle_rate=0)
+        with pytest.raises(ParameterError):
+            DEFAULT_POWER_MODEL.dynamic_power(demand, 0)
+
+    @given(st.floats(min_value=1e6, max_value=1e9))
+    def test_power_positive(self, clock):
+        assert DEFAULT_POWER_MODEL.total_power(
+            ResourceVector(logic=100), clock
+        ) > 0
+
+
+class TestPowerEstimate:
+    def test_energy_identity(self):
+        estimate = PowerEstimate(
+            fpga_power_w=10.0, t_rc=2.0, host_power_w=100.0, t_soft=10.0
+        )
+        assert estimate.fpga_energy_j == 20.0
+        assert estimate.host_energy_j == 1000.0
+        assert estimate.energy_savings == 50.0
+        assert estimate.speedup == 5.0
+
+    def test_embedded_scenario(self):
+        """The paper's embedded case: speedup 1 can still save energy."""
+        estimate = PowerEstimate(
+            fpga_power_w=8.0, t_rc=1.0, host_power_w=95.0, t_soft=1.0
+        )
+        assert estimate.speedup == 1.0
+        assert estimate.energy_savings > 10.0
+
+    def test_savings_factorisation(self):
+        estimate = PowerEstimate(
+            fpga_power_w=12.5, t_rc=0.4, host_power_w=95.0, t_soft=3.1
+        )
+        assert estimate.energy_savings == pytest.approx(
+            estimate.speedup * 95.0 / 12.5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PowerEstimate(fpga_power_w=0, t_rc=1, host_power_w=1, t_soft=1)
+
+    def test_describe(self):
+        estimate = PowerEstimate(
+            fpga_power_w=10.0, t_rc=2.0, host_power_w=100.0, t_soft=10.0
+        )
+        text = estimate.describe()
+        assert "energy savings" in text and "speedup" in text
+
+
+class TestEstimatePowerForStudies:
+    def test_pdf1d_end_to_end(self):
+        from repro.apps.registry import get_case_study
+        from repro.core.resources.estimator import estimate_kernel
+        from repro.core.throughput import predict
+
+        study = get_case_study("pdf1d")
+        demand = estimate_kernel(study.kernel_design, study.platform.device)
+        prediction = predict(study.rat)
+        estimate = estimate_power(
+            demand,
+            clock_hz=study.rat.computation.clock_hz,
+            t_rc=prediction.t_rc,
+            t_soft=study.rat.software.t_soft,
+        )
+        # A modest design running 10x faster on a few watts saves a lot.
+        assert estimate.energy_savings > estimate.speedup
+        assert estimate.fpga_power_w < 95.0

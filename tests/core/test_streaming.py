@@ -1,0 +1,73 @@
+"""Streaming throughput-model tests."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.buffering import BufferingMode
+from repro.core.params import DatasetParams
+from repro.core.streaming import predict_streaming
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+from tests.conftest import rat_inputs
+
+
+class TestRates:
+    def test_simple_rates(self, simple_rat):
+        stream = predict_streaming(simple_rat)
+        # ingest: 0.5e8 B/s / 4 B = 1.25e7 elem/s
+        assert stream.ingest_rate == pytest.approx(1.25e7)
+        # drain: 0.25e8 / (500*4/1000) = 0.25e8 / 2 B-per-input-elem
+        assert stream.drain_rate == pytest.approx(1.25e7)
+        # compute: 1e9 ops/s / 100 ops/elem = 1e7 elem/s
+        assert stream.compute_rate == pytest.approx(1.0e7)
+        assert stream.bottleneck == "compute"
+        assert stream.element_rate == pytest.approx(1.0e7)
+
+    def test_sink_kernel_never_drain_bound(self, simple_rat):
+        rat = dataclasses.replace(
+            simple_rat,
+            dataset=DatasetParams(elements_in=1000, elements_out=0,
+                                  bytes_per_element=4),
+        )
+        stream = predict_streaming(rat)
+        assert stream.drain_rate == float("inf")
+        assert stream.bottleneck in ("ingest", "compute")
+
+    def test_execution_time_default_total(self, simple_rat):
+        stream = predict_streaming(simple_rat)
+        expected = simple_rat.total_elements / stream.element_rate
+        assert stream.execution_time() == pytest.approx(expected)
+
+    def test_execution_time_validates(self, simple_rat):
+        with pytest.raises(ParameterError):
+            predict_streaming(simple_rat).execution_time(0)
+
+
+class TestAgainstBlockModel:
+    @given(rat_inputs())
+    @settings(max_examples=60)
+    def test_streaming_at_least_as_fast_as_double_buffering(self, rat):
+        """Streaming is the limit of perfect overlap: it can only beat
+        the block-double-buffered estimate (which serialises read and
+        write on one channel *and* quantises work into blocks)."""
+        stream = predict_streaming(rat)
+        block = predict(rat, BufferingMode.DOUBLE)
+        assert stream.execution_time() <= block.t_rc * (1 + 1e-9)
+
+    @given(rat_inputs())
+    @settings(max_examples=60)
+    def test_speedup_consistent_with_time(self, rat):
+        stream = predict_streaming(rat)
+        assert stream.speedup() == pytest.approx(
+            rat.software.t_soft / stream.execution_time(), rel=1e-12
+        )
+
+    def test_fir_study_is_ingest_or_drain_bound(self):
+        from repro.apps.registry import get_case_study
+
+        fir = get_case_study("fir")
+        stream = predict_streaming(fir.rat)
+        # A 64-tap FIR at one elem/cycle computes far faster than PCI-X moves.
+        assert stream.bottleneck in ("ingest", "drain")

@@ -1,0 +1,130 @@
+"""Worksheet and performance-table rendering tests."""
+
+import pytest
+
+from repro.core.buffering import BufferingMode
+from repro.core.worksheet import PerformanceTable, RATWorksheet
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def worksheet(pdf1d_rat):
+    return RATWorksheet(pdf1d_rat, clocks_mhz=(75.0, 100.0, 150.0))
+
+
+class TestRATWorksheet:
+    def test_sweep_produces_one_prediction_per_clock(self, worksheet):
+        predictions = worksheet.predictions()
+        assert [p.clock_mhz for p in predictions] == [75, 100, 150]
+
+    def test_default_clock_from_input(self, pdf1d_rat):
+        ws = RATWorksheet(pdf1d_rat)
+        assert ws.effective_clocks_mhz == (150.0,)
+
+    def test_invalid_clock_rejected(self, pdf1d_rat):
+        with pytest.raises(ParameterError):
+            RATWorksheet(pdf1d_rat, clocks_mhz=(0.0,))
+
+    def test_communication_constant_across_clocks(self, worksheet):
+        t_comms = {round(p.t_comm, 12) for p in worksheet.predictions()}
+        assert len(t_comms) == 1  # clock does not affect the channel
+
+    def test_input_table_contains_all_fields(self, worksheet):
+        sheet = worksheet.input_table()
+        for token in (
+            "512", "0.37", "0.16", "768", "20", "75/100/150", "0.578", "400",
+            "Dataset Parameters", "Communication Parameters",
+            "Computation Parameters", "Software Parameters",
+        ):
+            assert token in sheet, token
+
+
+class TestPerformanceTable:
+    def test_render_layout(self, worksheet):
+        text = worksheet.performance_table().render()
+        assert "Predicted 75 MHz" in text
+        assert "t_comm (sec)" in text
+        assert "5.56E-6" in text
+        assert "speedup" in text
+        assert "Actual" not in text
+
+    def test_render_with_actual_column(self, worksheet):
+        actual = {
+            "clock_mhz": 150, "t_comm": 2.5e-5, "t_comp": 1.39e-4,
+            "t_rc": 7.45e-2, "speedup": 7.8,
+            "util_comm": 0.15, "util_comp": 0.85,
+        }
+        text = worksheet.performance_table(actual=actual).render()
+        assert "Actual" in text
+        assert "2.50E-5" in text
+        assert "15%" in text
+
+    def test_missing_actual_key_renders_dash(self, worksheet):
+        table = worksheet.performance_table(actual={"t_comm": 1e-5})
+        rows = dict(table.rows())
+        assert rows["speedup"][-1] == "-"
+
+    def test_column_for_clock(self, worksheet):
+        table = worksheet.performance_table()
+        assert table.column_for_clock(100).clock_mhz == 100
+        assert table.column_for_clock(140).clock_mhz == 150
+
+    def test_best_speedup_is_fastest_clock(self, worksheet):
+        table = worksheet.performance_table()
+        assert table.best_speedup().clock_mhz == 150
+
+    def test_empty_table_guards(self):
+        table = PerformanceTable(
+            title="", mode=BufferingMode.SINGLE, columns=()
+        )
+        with pytest.raises(ParameterError):
+            table.column_for_clock(100)
+        with pytest.raises(ParameterError):
+            table.best_speedup()
+
+    def test_as_records(self, worksheet):
+        records = worksheet.performance_table().as_records()
+        assert len(records) == 3
+        assert all("speedup" in r for r in records)
+
+    def test_double_buffered_table(self, worksheet):
+        db = worksheet.performance_table(BufferingMode.DOUBLE)
+        sb = worksheet.performance_table(BufferingMode.SINGLE)
+        for db_col, sb_col in zip(db.columns, sb.columns):
+            assert db_col.speedup >= sb_col.speedup
+
+
+class TestCSVExport:
+    def test_csv_structure(self, worksheet):
+        csv = worksheet.performance_table().as_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == (
+            "quantity,predicted_75MHz,predicted_100MHz,predicted_150MHz"
+        )
+        assert len(lines) == 8  # header + 7 quantities
+
+    def test_csv_values_parse(self, worksheet):
+        csv = worksheet.performance_table().as_csv()
+        rows = {
+            line.split(",")[0]: line.split(",")[1:]
+            for line in csv.strip().splitlines()[1:]
+        }
+        t_comm = [float(v) for v in rows["t_comm"]]
+        assert t_comm[0] == pytest.approx(5.56e-6, rel=0.005)
+        speedups = [float(v) for v in rows["speedup"]]
+        assert speedups[-1] == pytest.approx(10.6, rel=0.01)
+
+    def test_csv_with_actual_column(self, worksheet):
+        actual = {"clock_mhz": 150, "t_comm": 2.5e-5, "t_comp": 1.39e-4,
+                  "t_rc": 7.45e-2, "speedup": 7.8,
+                  "util_comm": 0.15, "util_comp": 0.85}
+        csv = worksheet.performance_table(actual=actual).as_csv()
+        header = csv.splitlines()[0]
+        assert header.endswith(",actual")
+        speedup_row = [l for l in csv.splitlines() if l.startswith("speedup")][0]
+        assert speedup_row.endswith("7.8")
+
+    def test_csv_missing_actual_key_empty_cell(self, worksheet):
+        csv = worksheet.performance_table(actual={"t_comm": 1e-5}).as_csv()
+        speedup_row = [l for l in csv.splitlines() if l.startswith("speedup")][0]
+        assert speedup_row.endswith(",")

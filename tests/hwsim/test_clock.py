@@ -1,0 +1,42 @@
+"""Clock-domain tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.hwsim.clock import ClockDomain
+
+
+class TestConversions:
+    def test_from_mhz(self):
+        clock = ClockDomain.from_mhz(150)
+        assert clock.frequency_hz == 150e6
+        assert clock.frequency_mhz == 150
+        assert clock.period_s == pytest.approx(1 / 150e6)
+
+    def test_cycles_to_seconds(self):
+        clock = ClockDomain.from_mhz(100)
+        assert clock.cycles_to_seconds(100e6) == pytest.approx(1.0)
+        assert clock.cycles_to_seconds(0) == 0.0
+
+    def test_seconds_to_cycles_ceils(self):
+        clock = ClockDomain(frequency_hz=1e6)
+        assert clock.seconds_to_cycles(1e-6) == 1
+        assert clock.seconds_to_cycles(1.1e-6) == 2
+        assert clock.seconds_to_cycles(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ClockDomain(frequency_hz=0)
+        clock = ClockDomain.from_mhz(1)
+        with pytest.raises(ParameterError):
+            clock.cycles_to_seconds(-1)
+        with pytest.raises(ParameterError):
+            clock.seconds_to_cycles(-1)
+
+    @given(st.integers(min_value=0, max_value=10**12),
+           st.floats(min_value=1e3, max_value=1e9))
+    def test_roundtrip(self, cycles, freq):
+        clock = ClockDomain(frequency_hz=freq)
+        assert clock.seconds_to_cycles(clock.cycles_to_seconds(cycles)) == cycles

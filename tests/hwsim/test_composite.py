@@ -1,0 +1,86 @@
+"""Composite-simulation tests (reconfiguration modelling)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hwsim.composite import CompositeResult, run_composite
+from tests.hwsim.test_system import make_sim
+
+
+class TestRunComposite:
+    def test_stages_run_sequentially(self):
+        result = run_composite(
+            [("a", make_sim()), ("b", make_sim())], reconfiguration_s=0.0
+        )
+        assert len(result.stages) == 2
+        a, b = result.stages
+        assert a.start == 0.0
+        assert b.start == pytest.approx(a.end)
+        assert result.t_total == pytest.approx(a.result.t_rc + b.result.t_rc)
+
+    def test_reconfiguration_charged_per_stage(self):
+        result = run_composite(
+            [("a", make_sim()), ("b", make_sim())], reconfiguration_s=0.05
+        )
+        assert result.t_reconfiguration == pytest.approx(0.10)
+        assert result.t_total == pytest.approx(
+            0.10 + sum(s.result.t_rc for s in result.stages)
+        )
+
+    def test_reconfigure_first_false(self):
+        result = run_composite(
+            [("a", make_sim()), ("b", make_sim())],
+            reconfiguration_s=0.05,
+            reconfigure_first=False,
+        )
+        assert result.t_reconfiguration == pytest.approx(0.05)
+
+    def test_matches_analytic_composite_when_free(self):
+        """With zero reconfiguration, the simulated composite equals the
+        paper-style sum of stage times (clean sims match Equation 5)."""
+        stage_sims = [make_sim(n_iterations=20), make_sim(n_iterations=5)]
+        composite = run_composite(
+            [("a", stage_sims[0]), ("b", stage_sims[1])],
+            reconfiguration_s=0.0,
+        )
+        expected = sum(
+            make_sim(n_iterations=n).run().t_rc for n in (20, 5)
+        )
+        assert composite.t_total == pytest.approx(expected, rel=1e-9)
+
+    def test_speedup(self):
+        result = run_composite([("a", make_sim())], reconfiguration_s=0.0)
+        assert result.speedup(1.0) == pytest.approx(1.0 / result.t_total)
+        with pytest.raises(SimulationError):
+            result.speedup(0.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_composite([])
+        with pytest.raises(SimulationError):
+            run_composite([("a", make_sim())], reconfiguration_s=-1.0)
+
+
+class TestReconfigurationFraction:
+    def test_negligible_for_long_stages(self):
+        """The paper's simplification is sound when stages run for
+        seconds: 50 ms of reconfiguration disappears."""
+        # ~10 s of compute against 50 ms of reconfiguration.
+        long_stage = make_sim(n_iterations=100, ops_per_element=100_000)
+        result = run_composite(
+            [("long", long_stage)], reconfiguration_s=0.05
+        )
+        assert result.reconfiguration_fraction < 0.006
+
+    def test_dominates_for_short_stages(self):
+        """...and breaks when per-stage work shrinks to milliseconds."""
+        short_stage = make_sim(n_iterations=1)
+        result = run_composite(
+            [("short", short_stage)], reconfiguration_s=0.05
+        )
+        assert result.reconfiguration_fraction > 0.95
+
+    def test_empty_total(self):
+        result = CompositeResult(stages=())
+        assert result.t_total == 0.0
+        assert result.reconfiguration_fraction == 0.0

@@ -1,0 +1,97 @@
+"""DMA-engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hwsim.dma import DMAEngine
+from repro.interconnect.bus import BusModel
+from repro.interconnect.protocols import ProtocolProfile
+from repro.platforms.catalog import HYPERTRANSPORT_XD1000, PCIX_133_NALLATECH
+
+CLEAN = ProtocolProfile(name="clean")
+
+
+@pytest.fixture
+def engine():
+    return DMAEngine(bus=BusModel(spec=PCIX_133_NALLATECH, profile=CLEAN))
+
+
+@pytest.fixture
+def duplex_engine():
+    return DMAEngine(bus=BusModel(spec=HYPERTRANSPORT_XD1000, profile=CLEAN))
+
+
+class TestSerialisation:
+    def test_back_to_back_transfers_queue(self, engine):
+        first = engine.issue(1, "read", 2048, request_time=0.0)
+        second = engine.issue(2, "read", 2048, request_time=0.0)
+        assert second.start_time == pytest.approx(first.end_time)
+        assert second.queue_delay > 0
+
+    def test_idle_channel_starts_immediately(self, engine):
+        first = engine.issue(1, "read", 2048, request_time=0.0)
+        later = first.end_time + 1.0
+        second = engine.issue(2, "read", 2048, request_time=later)
+        assert second.start_time == pytest.approx(later)
+        assert second.queue_delay == 0.0
+
+    def test_half_duplex_mixes_directions_serially(self, engine):
+        read = engine.issue(1, "read", 2048, request_time=0.0)
+        write = engine.issue(1, "write", 2048, request_time=0.0)
+        assert write.start_time == pytest.approx(read.end_time)
+
+    def test_full_duplex_overlaps_directions(self, duplex_engine):
+        read = duplex_engine.issue(1, "read", 65536, request_time=0.0)
+        write = duplex_engine.issue(1, "write", 65536, request_time=0.0)
+        assert write.start_time == 0.0
+        assert read.start_time == 0.0
+
+    def test_full_duplex_serialises_same_direction(self, duplex_engine):
+        first = duplex_engine.issue(1, "read", 65536, request_time=0.0)
+        second = duplex_engine.issue(2, "read", 65536, request_time=0.0)
+        assert second.start_time == pytest.approx(first.end_time)
+
+
+class TestRates:
+    def test_read_uses_host_write_rate(self, engine):
+        """An FPGA 'read' (data in) moves at the host write rate."""
+        transfer = engine.issue(1, "read", 2048, request_time=0.0)
+        assert transfer.duration == pytest.approx(
+            PCIX_133_NALLATECH.transfer_time(2048, read=False)
+        )
+
+    def test_write_uses_host_read_rate(self, engine):
+        transfer = engine.issue(1, "write", 2048, request_time=0.0)
+        assert transfer.duration == pytest.approx(
+            PCIX_133_NALLATECH.transfer_time(2048, read=True)
+        )
+
+
+class TestAccounting:
+    def test_busy_time(self, engine):
+        engine.issue(1, "read", 2048, 0.0)
+        engine.issue(1, "write", 2048, 0.0)
+        assert engine.busy_time() == pytest.approx(
+            engine.busy_time("read") + engine.busy_time("write")
+        )
+
+    def test_mean_duration(self, engine):
+        engine.issue(1, "read", 2048, 0.0)
+        engine.issue(2, "read", 2048, 0.0)
+        assert engine.mean_duration("read") == pytest.approx(
+            engine.busy_time("read") / 2
+        )
+
+    def test_mean_duration_empty_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.mean_duration()
+
+
+class TestValidation:
+    def test_bad_direction(self, engine):
+        with pytest.raises(SimulationError):
+            engine.issue(1, "sideways", 2048, 0.0)
+
+    def test_bad_request_time(self, engine):
+        with pytest.raises(SimulationError):
+            engine.issue(1, "read", 2048, -1.0)

@@ -1,0 +1,91 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hwsim.engine import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda: fired.append("c"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+        assert queue.now == 3.0
+
+    def test_ties_fire_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.schedule(1.0, lambda n=name: fired.append(n))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(n: int) -> None:
+            fired.append(n)
+            if n < 5:
+                queue.schedule(1.0, lambda: chain(n + 1))
+
+        queue.schedule(0.0, lambda: chain(1))
+        queue.run()
+        assert fired == [1, 2, 3, 4, 5]
+        assert queue.now == 4.0
+
+    def test_schedule_at_absolute(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(5.0, lambda: fired.append(queue.now))
+        queue.run()
+        assert fired == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            queue.schedule(-1.0, lambda: None)
+
+    def test_step_on_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().step()
+
+    def test_counters(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.pending == 2
+        queue.step()
+        assert queue.fired == 1
+        assert queue.pending == 1
+
+    def test_event_budget_guard(self):
+        queue = EventQueue()
+
+        def forever() -> None:
+            queue.schedule(1.0, forever)
+
+        queue.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="budget"):
+            queue.run(max_events=100)
+
+    def test_run_until(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(5.0, lambda: fired.append(5))
+        queue.run_until(2.0)
+        assert fired == [1]
+        assert queue.now == 2.0
+        assert queue.pending == 1
+        with pytest.raises(SimulationError):
+            queue.run_until(1.0)

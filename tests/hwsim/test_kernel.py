@@ -1,0 +1,139 @@
+"""Pipelined-kernel timing-model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.hwsim.clock import ClockDomain
+from repro.hwsim.kernel import PipelinedKernel
+
+
+@pytest.fixture
+def ideal_kernel():
+    return PipelinedKernel(
+        name="ideal", ops_per_element=768, replicas=8,
+        ops_per_cycle_per_replica=3,
+    )
+
+
+class TestIdealThroughput:
+    def test_block_cycles_ideal(self, ideal_kernel):
+        # 512 * 768 / 24 = 16384 cycles, no fill/stall.
+        assert ideal_kernel.block_cycles(512) == 16384
+
+    def test_effective_equals_ideal_without_overheads(self, ideal_kernel):
+        assert ideal_kernel.effective_ops_per_cycle(512) == pytest.approx(24.0)
+
+    def test_block_time(self, ideal_kernel):
+        clock = ClockDomain.from_mhz(150)
+        assert ideal_kernel.block_time(512, clock) == pytest.approx(
+            16384 / 150e6
+        )
+
+
+class TestOverheads:
+    def test_fill_latency_additive(self):
+        kernel = PipelinedKernel(
+            name="k", ops_per_element=10, replicas=1,
+            ops_per_cycle_per_replica=1, fill_latency_cycles=100,
+        )
+        assert kernel.block_cycles(10) == 200
+
+    def test_stalls_inflate(self):
+        kernel = PipelinedKernel(
+            name="k", ops_per_element=10, replicas=1,
+            ops_per_cycle_per_replica=1, stall_fraction=0.5,
+        )
+        assert kernel.block_cycles(10) == 150
+
+    def test_pdf1d_calibration(self):
+        """The calibrated 1-D PDF kernel reproduces the paper's measured
+        t_comp of 1.39E-4 s at 150 MHz (effective ~18.9 ops/cycle)."""
+        from repro.apps.pdf1d.design import build_hw_kernel
+
+        kernel = build_hw_kernel()
+        time = kernel.block_time(512, ClockDomain.from_mhz(150))
+        assert time == pytest.approx(1.39e-4, rel=0.01)
+        assert 18 < kernel.effective_ops_per_cycle(512) < 20
+
+    def test_md_calibration(self):
+        """The MD kernel reproduces 8.79E-1 s at 100 MHz (effective
+        ~30.6 ops/cycle against the 50 designed)."""
+        from repro.apps.md.design import build_hw_kernel
+
+        kernel = build_hw_kernel()
+        time = kernel.block_time(16384, ClockDomain.from_mhz(100))
+        assert time == pytest.approx(8.79e-1, rel=0.01)
+        assert 30 < kernel.effective_ops_per_cycle(16384) < 31
+
+
+class TestInvariants:
+    @given(
+        st.integers(min_value=1, max_value=10000),
+        st.floats(min_value=1, max_value=1000),
+        st.integers(min_value=1, max_value=32),
+        st.floats(min_value=0.5, max_value=8),
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=2),
+    )
+    def test_effective_never_exceeds_ideal(
+        self, elements, ops, replicas, per_replica, fill, stall
+    ):
+        kernel = PipelinedKernel(
+            name="k", ops_per_element=ops, replicas=replicas,
+            ops_per_cycle_per_replica=per_replica,
+            fill_latency_cycles=fill, stall_fraction=stall,
+        )
+        assert (
+            kernel.effective_ops_per_cycle(elements)
+            <= kernel.ideal_ops_per_cycle + 1e-9
+        )
+
+    @given(st.integers(min_value=1, max_value=10000))
+    def test_cycles_monotone_in_elements(self, elements):
+        kernel = PipelinedKernel(
+            name="k", ops_per_element=7, replicas=2,
+            ops_per_cycle_per_replica=3, fill_latency_cycles=10,
+            stall_fraction=0.3,
+        )
+        assert kernel.block_cycles(elements + 1) >= kernel.block_cycles(elements)
+
+    def test_fill_amortises(self):
+        """Effective throughput approaches ideal as blocks grow."""
+        kernel = PipelinedKernel(
+            name="k", ops_per_element=10, replicas=4,
+            ops_per_cycle_per_replica=1, fill_latency_cycles=1000,
+        )
+        small = kernel.effective_ops_per_cycle(10)
+        large = kernel.effective_ops_per_cycle(100_000)
+        assert small < large < kernel.ideal_ops_per_cycle + 1e-9
+        assert large > 0.99 * kernel.ideal_ops_per_cycle
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ops_per_element": 0},
+            {"replicas": 0},
+            {"ops_per_cycle_per_replica": 0},
+            {"fill_latency_cycles": -1},
+            {"stall_fraction": -0.1},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        base = {
+            "name": "k", "ops_per_element": 1.0, "replicas": 1,
+            "ops_per_cycle_per_replica": 1.0,
+        }
+        base.update(kwargs)
+        with pytest.raises(ParameterError):
+            PipelinedKernel(**base)
+
+    def test_invalid_block(self, ideal_kernel):
+        with pytest.raises(ParameterError):
+            ideal_kernel.block_cycles(0)
+
+    def test_describe(self, ideal_kernel):
+        assert "8 x 3" in ideal_kernel.describe()

@@ -1,0 +1,72 @@
+"""Buffer-pool tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hwsim.memory import Buffer, BufferPool
+
+
+class TestBuffer:
+    def test_fill_release_cycle(self):
+        buf = Buffer(index=0, capacity_bytes=1024)
+        assert buf.free
+        buf.fill(512, iteration=1)
+        assert not buf.free
+        assert buf.owner_iteration == 1
+        buf.release()
+        assert buf.free
+
+    def test_double_fill_rejected(self):
+        buf = Buffer(index=0, capacity_bytes=1024)
+        buf.fill(512, iteration=1)
+        with pytest.raises(SimulationError, match="still owned"):
+            buf.fill(512, iteration=2)
+
+    def test_overflow_rejected(self):
+        buf = Buffer(index=0, capacity_bytes=1024)
+        with pytest.raises(SimulationError, match="overflow"):
+            buf.fill(2048, iteration=1)
+
+    def test_release_free_rejected(self):
+        with pytest.raises(SimulationError):
+            Buffer(index=0, capacity_bytes=1).release()
+
+
+class TestBufferPool:
+    def test_single_buffer_pool(self):
+        pool = BufferPool(n_buffers=1, capacity_bytes=2048)
+        pool.acquire_free(1, 2048)
+        assert pool.free_count() == 0
+        with pytest.raises(SimulationError, match="no free buffer"):
+            pool.acquire_free(2, 2048)
+        pool.release_iteration(1)
+        assert pool.free_count() == 1
+
+    def test_double_buffer_pool(self):
+        pool = BufferPool(n_buffers=2, capacity_bytes=2048)
+        pool.acquire_free(1, 2048)
+        pool.acquire_free(2, 2048)
+        assert pool.free_count() == 0
+        pool.release_iteration(1)
+        pool.acquire_free(3, 2048)
+        assert pool.free_count() == 0
+
+    def test_release_unknown_iteration(self):
+        pool = BufferPool(n_buffers=1, capacity_bytes=10)
+        with pytest.raises(SimulationError, match="no buffer owned"):
+            pool.release_iteration(7)
+
+    def test_total_bytes(self):
+        pool = BufferPool(n_buffers=2, capacity_bytes=2048)
+        assert pool.total_bytes == 4096
+
+    def test_device_bram_check(self):
+        pool = BufferPool(n_buffers=2, capacity_bytes=2048)
+        assert pool.fits_device_bram(8192)
+        assert not pool.fits_device_bram(4095)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BufferPool(n_buffers=0, capacity_bytes=10)
+        with pytest.raises(SimulationError):
+            BufferPool(n_buffers=1, capacity_bytes=0)

@@ -1,0 +1,147 @@
+"""Property-based cross-validation of the simulator against Equations (5)/(6).
+
+For *any* valid configuration:
+
+* with a clean bus (no setup latency, no protocol overhead, no jitter)
+  and a clean kernel (no fill, no stalls), the single-buffered simulator
+  equals Equation (5) exactly and the double-buffered one is bounded by
+  Equation (6) plus an O(1) startup;
+* with arbitrary non-negative overheads, the simulator can only be
+  *slower* than the clean closed form — overheads never create time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffering import BufferingMode
+from repro.hwsim.clock import ClockDomain
+from repro.hwsim.kernel import PipelinedKernel
+from repro.hwsim.system import RCSystemSim
+from repro.interconnect.bus import BusModel
+from repro.interconnect.protocols import ProtocolProfile
+from repro.platforms.interconnect import InterconnectSpec
+
+configs = st.fixed_dictionaries(
+    {
+        "elements": st.integers(min_value=1, max_value=5000),
+        "bytes_per_element": st.sampled_from([1, 4, 8, 36]),
+        "output_bytes": st.integers(min_value=0, max_value=100_000),
+        "n_iterations": st.integers(min_value=1, max_value=40),
+        "ops_per_element": st.integers(min_value=1, max_value=10_000),
+        "ops_per_cycle": st.floats(min_value=0.5, max_value=64.0),
+        "clock_mhz": st.floats(min_value=10.0, max_value=400.0),
+        "bandwidth": st.floats(min_value=1e7, max_value=1e10),
+    }
+)
+
+overheads = st.fixed_dictionaries(
+    {
+        "setup": st.floats(min_value=0.0, max_value=1e-4),
+        "overhead": st.floats(min_value=0.0, max_value=1e-4),
+        "fill": st.integers(min_value=0, max_value=5000),
+        "stall": st.floats(min_value=0.0, max_value=1.0),
+        "turnaround": st.floats(min_value=0.0, max_value=1e-3),
+    }
+)
+
+
+def build_sim(config, overhead, mode):
+    link = InterconnectSpec(
+        name="prop",
+        ideal_bandwidth=config["bandwidth"],
+        setup_latency_s=overhead["setup"],
+    )
+    profile = ProtocolProfile(
+        name="prop", per_transfer_overhead_s=overhead["overhead"]
+    )
+    return RCSystemSim(
+        kernel=PipelinedKernel(
+            name="prop",
+            ops_per_element=config["ops_per_element"],
+            replicas=1,
+            ops_per_cycle_per_replica=config["ops_per_cycle"],
+            fill_latency_cycles=overhead["fill"],
+            stall_fraction=overhead["stall"],
+        ),
+        clock=ClockDomain.from_mhz(config["clock_mhz"]),
+        bus=BusModel(spec=link, profile=profile, record_transfers=False),
+        elements_per_block=config["elements"],
+        bytes_per_element=config["bytes_per_element"],
+        output_bytes_per_block=config["output_bytes"],
+        n_iterations=config["n_iterations"],
+        mode=mode,
+        host_turnaround_s=overhead["turnaround"],
+    )
+
+
+CLEAN = {"setup": 0.0, "overhead": 0.0, "fill": 0, "stall": 0.0,
+         "turnaround": 0.0}
+
+
+def clean_terms(config):
+    t_in = config["elements"] * config["bytes_per_element"] / config["bandwidth"]
+    t_out = config["output_bytes"] / config["bandwidth"]
+    cycles = ClockDomain.from_mhz(config["clock_mhz"]).seconds_to_cycles(0)
+    kernel = PipelinedKernel(
+        name="ref",
+        ops_per_element=config["ops_per_element"],
+        replicas=1,
+        ops_per_cycle_per_replica=config["ops_per_cycle"],
+    )
+    t_comp = kernel.block_time(
+        config["elements"], ClockDomain.from_mhz(config["clock_mhz"])
+    )
+    return t_in, t_out, t_comp
+
+
+@given(configs)
+@settings(max_examples=50, deadline=None)
+def test_clean_single_buffered_equals_equation5(config):
+    sim = build_sim(config, CLEAN, BufferingMode.SINGLE)
+    result = sim.run()
+    t_in, t_out, t_comp = clean_terms(config)
+    expected = config["n_iterations"] * (t_in + t_out + t_comp)
+    assert result.t_rc == pytest.approx(expected, rel=1e-9)
+
+
+@given(configs)
+@settings(max_examples=50, deadline=None)
+def test_clean_double_buffered_bounded_by_equation6(config):
+    sim = build_sim(config, CLEAN, BufferingMode.DOUBLE)
+    result = sim.run()
+    t_in, t_out, t_comp = clean_terms(config)
+    t_comm = t_in + t_out
+    analytic = config["n_iterations"] * max(t_comm, t_comp)
+    startup_slack = 2 * (t_comm + t_comp)
+    assert analytic - 1e-12 <= result.t_rc <= analytic + startup_slack + 1e-12
+
+
+@given(configs, overheads)
+@settings(max_examples=50, deadline=None)
+def test_overheads_never_create_time(config, overhead):
+    for mode in (BufferingMode.SINGLE, BufferingMode.DOUBLE):
+        dirty = build_sim(config, overhead, mode).run()
+        clean = build_sim(config, CLEAN, mode).run()
+        assert dirty.t_rc >= clean.t_rc - 1e-12
+        assert dirty.t_comm_per_iteration >= clean.t_comm_per_iteration - 1e-12
+        assert dirty.t_comp_per_iteration >= clean.t_comp_per_iteration - 1e-12
+
+
+@given(configs)
+@settings(max_examples=30, deadline=None)
+def test_channel_accounting_consistent(config):
+    """Total channel busy time equals the sum of per-direction times and
+    the simulator moves exactly the configured bytes."""
+    sim = build_sim(config, CLEAN, BufferingMode.SINGLE)
+    sim.bus.record_transfers = True
+    result = sim.run()
+    moved = sim.bus.total_bytes()
+    expected = config["n_iterations"] * (
+        config["elements"] * config["bytes_per_element"]
+        + config["output_bytes"]
+    )
+    assert moved == pytest.approx(expected)
+    assert result.t_comm_total == pytest.approx(
+        sim.bus.total_time(), rel=1e-9
+    )

@@ -1,0 +1,65 @@
+"""Timeline-analysis utility tests."""
+
+import pytest
+
+from repro.core.buffering import (
+    double_buffered_timeline,
+    single_buffered_timeline,
+)
+from repro.errors import SimulationError
+from repro.hwsim.timeline import analytic_gap, steady_state
+
+
+class TestSteadyState:
+    def test_sb_period_is_iteration_time(self):
+        tl = single_buffered_timeline(2.0, 3.0, 1.0, 10)
+        ss = steady_state(tl)
+        assert ss.period == pytest.approx(6.0)
+        assert ss.startup == pytest.approx(5.0)  # first C ends at 2+3
+
+    def test_db_compute_bound_period(self):
+        tl = double_buffered_timeline(2.0, 5.0, 1.0, 10)
+        ss = steady_state(tl)
+        assert ss.period == pytest.approx(5.0)
+
+    def test_db_communication_bound_period(self):
+        # The two-buffer constraint makes completion gaps alternate
+        # (4, 8, 4, 8, ...); their mean converges on t_comm = 6.
+        tl = double_buffered_timeline(4.0, 2.0, 2.0, 12)
+        ss = steady_state(tl)
+        assert 5.5 <= ss.period <= 6.5
+
+    def test_rate(self):
+        tl = single_buffered_timeline(1.0, 1.0, 0.0, 8)
+        assert steady_state(tl).rate == pytest.approx(0.5)
+
+    def test_needs_enough_iterations(self):
+        tl = single_buffered_timeline(1.0, 1.0, 0.0, 2)
+        with pytest.raises(SimulationError):
+            steady_state(tl)
+
+
+class TestAnalyticGap:
+    def test_sb_gap_is_zero(self):
+        tl = single_buffered_timeline(2.0, 3.0, 1.0, 10)
+        assert analytic_gap(tl, t_comm=3.0, t_comp=3.0, n_iterations=10) == (
+            pytest.approx(0.0)
+        )
+
+    def test_db_gap_is_startup_fraction(self):
+        tl = double_buffered_timeline(2.0, 5.0, 1.0, 10)
+        gap = analytic_gap(tl, t_comm=3.0, t_comp=5.0, n_iterations=10)
+        # Makespan = 2 + 50 + 1 = 53 vs analytic 50 -> 6%.
+        assert gap == pytest.approx(0.06)
+
+    def test_gap_shrinks_with_iterations(self):
+        short = double_buffered_timeline(2.0, 5.0, 1.0, 5)
+        long = double_buffered_timeline(2.0, 5.0, 1.0, 100)
+        assert analytic_gap(long, 3.0, 5.0, 100) < analytic_gap(short, 3.0, 5.0, 5)
+
+    def test_validation(self):
+        tl = single_buffered_timeline(1.0, 1.0, 0.0, 4)
+        with pytest.raises(SimulationError):
+            analytic_gap(tl, 1.0, 1.0, 0)
+        with pytest.raises(SimulationError):
+            analytic_gap(tl, 0.0, 0.0, 4)

@@ -1,0 +1,119 @@
+"""Bus-model tests."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.interconnect.bus import BusModel
+from repro.interconnect.protocols import (
+    NALLATECH_PCIX_PROFILE,
+    ProtocolProfile,
+)
+from repro.platforms.catalog import HYPERTRANSPORT_XD1000, PCIX_133_NALLATECH
+
+
+@pytest.fixture
+def bus():
+    return BusModel(spec=PCIX_133_NALLATECH, profile=NALLATECH_PCIX_PROFILE)
+
+
+@pytest.fixture
+def clean_profile():
+    return ProtocolProfile(name="clean")
+
+
+class TestTransferTiming:
+    def test_microbenchmark_excludes_overhead(self, bus):
+        micro = bus.transfer_time(2048, microbenchmark=True)
+        assert micro == pytest.approx(PCIX_133_NALLATECH.transfer_time(2048))
+
+    def test_application_transfer_slower(self, bus):
+        micro = bus.transfer_time(2048, microbenchmark=True)
+        app = bus.transfer_time(2048, microbenchmark=False)
+        assert app > micro
+
+    def test_overhead_magnitude_matches_calibration(self):
+        """An application 2 KB write costs ~2.5E-5/2 s next to the
+        5.5E-6 s microbenchmark time (the 1-D PDF discrepancy)."""
+        bus = BusModel(spec=PCIX_133_NALLATECH, profile=NALLATECH_PCIX_PROFILE)
+        times = [bus.transfer_time(2048) for _ in range(100)]
+        mean = sum(times) / len(times)
+        assert 1.0e-5 < mean < 1.8e-5
+
+    def test_jitter_is_deterministic(self):
+        bus_a = BusModel(spec=PCIX_133_NALLATECH, profile=NALLATECH_PCIX_PROFILE)
+        bus_b = BusModel(spec=PCIX_133_NALLATECH, profile=NALLATECH_PCIX_PROFILE)
+        seq_a = [bus_a.transfer_time(2048) for _ in range(20)]
+        seq_b = [bus_b.transfer_time(2048) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_jitter_varies_across_transfers(self, bus):
+        times = {round(bus.transfer_time(2048), 12) for _ in range(20)}
+        assert len(times) > 5
+
+    def test_large_transfers_not_jittered(self, clean_profile):
+        profile = ProtocolProfile(name="j", jitter_fraction=0.5,
+                                  small_transfer_threshold=1024)
+        bus = BusModel(spec=PCIX_133_NALLATECH, profile=profile)
+        times = {round(bus.transfer_time(1 << 20), 15) for _ in range(10)}
+        assert len(times) == 1
+
+    def test_invalid_size(self, bus):
+        with pytest.raises(ParameterError):
+            bus.transfer_time(0)
+
+
+class TestDuplexPairs:
+    def test_half_duplex_serialises(self, clean_profile):
+        bus = BusModel(spec=PCIX_133_NALLATECH, profile=clean_profile)
+        t_w = bus.transfer_time(65536, microbenchmark=True)
+        t_r = bus.transfer_time(65536, read=True, microbenchmark=True)
+        pair = bus.duplex_transfer_time(65536, 65536, microbenchmark=True)
+        assert pair == pytest.approx(t_w + t_r)
+
+    def test_full_duplex_overlaps(self, clean_profile):
+        bus = BusModel(spec=HYPERTRANSPORT_XD1000, profile=clean_profile)
+        t_w = bus.transfer_time(65536, microbenchmark=True)
+        t_r = bus.transfer_time(65536, read=True, microbenchmark=True)
+        pair = bus.duplex_transfer_time(65536, 65536, microbenchmark=True)
+        assert pair == pytest.approx(max(t_w, t_r))
+
+    def test_one_sided_pair(self, clean_profile):
+        bus = BusModel(spec=PCIX_133_NALLATECH, profile=clean_profile)
+        assert bus.duplex_transfer_time(2048, 0, microbenchmark=True) > 0
+
+    def test_empty_pair_rejected(self, bus):
+        with pytest.raises(ParameterError):
+            bus.duplex_transfer_time(0, 0)
+
+
+class TestAccounting:
+    def test_records(self, bus):
+        bus.transfer_time(2048)
+        bus.transfer_time(4096, read=True)
+        assert bus.transfer_count == 2
+        assert bus.total_bytes() == 6144
+        assert bus.total_bytes("read") == 4096
+        assert bus.total_time() > 0
+        assert len(bus.records) == 2
+        assert bus.records[0].direction == "write"
+
+    def test_record_properties(self, bus):
+        bus.transfer_time(2048)
+        record = bus.records[0]
+        assert record.total_time == record.wire_time + record.overhead
+        assert record.effective_bandwidth == pytest.approx(
+            2048 / record.total_time
+        )
+
+    def test_reset(self, bus):
+        bus.transfer_time(2048)
+        bus.reset()
+        assert bus.transfer_count == 0
+        assert bus.records == []
+
+    def test_recording_disabled(self):
+        bus = BusModel(spec=PCIX_133_NALLATECH, profile=NALLATECH_PCIX_PROFILE,
+                       record_transfers=False)
+        bus.transfer_time(2048)
+        assert bus.records == []
+        assert bus.transfer_count == 1

@@ -1,0 +1,106 @@
+"""Alpha-measurement microbenchmark tests (paper Section 4.2)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.interconnect.microbenchmark import (
+    measure_alpha,
+    run_microbenchmark,
+)
+from repro.interconnect.protocols import (
+    NALLATECH_PCIX_PROFILE,
+    XD1000_HT_PROFILE,
+)
+from repro.platforms.catalog import HYPERTRANSPORT_XD1000, PCIX_133_NALLATECH
+
+
+class TestPaperAnchors:
+    def test_nallatech_2kb_alphas(self):
+        """The paper's Table-2 alphas: 0.37 write / 0.16 read at the 1-D
+        PDF transfer size."""
+        write = measure_alpha(
+            PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE, 2048, read=False
+        )
+        read = measure_alpha(
+            PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE, 2048, read=True
+        )
+        assert write == pytest.approx(0.37, rel=1e-6)
+        assert read == pytest.approx(0.16, rel=1e-6)
+
+    def test_xd1000_md_alpha(self):
+        """Table 8: alpha 0.9 at the MD block size."""
+        alpha = measure_alpha(
+            HYPERTRANSPORT_XD1000, XD1000_HT_PROFILE, 16384 * 36
+        )
+        assert alpha == pytest.approx(0.90, rel=1e-6)
+
+    def test_application_alpha_below_microbenchmark(self):
+        """The paper's trap: repeated application transfers sustain far
+        less than the pinned-buffer microbenchmark at small sizes."""
+        micro = measure_alpha(
+            PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE, 2048
+        )
+        app = measure_alpha(
+            PCIX_133_NALLATECH,
+            NALLATECH_PCIX_PROFILE,
+            2048,
+            include_protocol_overhead=True,
+        )
+        assert app < micro * 0.6
+
+
+class TestSweep:
+    def test_tables_cover_both_directions(self):
+        result = run_microbenchmark(
+            PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE,
+            sizes=[512, 2048, 65536], repetitions=4,
+        )
+        assert len(result.write_table) == 3
+        assert len(result.read_table) == 3
+        assert result.write_table.lookup(2048) == pytest.approx(0.37, rel=1e-6)
+
+    def test_alpha_grows_with_size(self):
+        result = run_microbenchmark(
+            PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE,
+            sizes=[256, 4096, 1 << 20], repetitions=2,
+        )
+        alphas = list(result.write_table.alphas)
+        assert alphas == sorted(alphas)
+
+    def test_render(self):
+        result = run_microbenchmark(
+            PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE,
+            sizes=[2048], repetitions=2,
+        )
+        text = result.render()
+        assert "alpha_write" in text and "2048" in text
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            run_microbenchmark(
+                PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE, sizes=[]
+            )
+        with pytest.raises(ParameterError):
+            measure_alpha(
+                PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE, 2048,
+                repetitions=0,
+            )
+
+    def test_tabulated_for_future_use(self):
+        """'The resulting alpha values can be tabulated and used in
+        future RAT analyses': the tables plug into RCPlatform."""
+        from repro.platforms.platform import RCPlatform
+        from repro.platforms.catalog import VIRTEX4_LX100
+
+        result = run_microbenchmark(
+            PCIX_133_NALLATECH, NALLATECH_PCIX_PROFILE,
+            sizes=[512, 2048, 65536], repetitions=2,
+        )
+        platform = RCPlatform(
+            name="custom",
+            device=VIRTEX4_LX100,
+            interconnect=PCIX_133_NALLATECH,
+            write_alpha=result.write_table,
+            read_alpha=result.read_table,
+        )
+        assert platform.alpha_write(2048) == pytest.approx(0.37, rel=1e-6)

@@ -1,0 +1,67 @@
+"""Protocol-profile tests."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.interconnect.protocols import (
+    NALLATECH_PCIX_PROFILE,
+    ProtocolProfile,
+    XD1000_HT_PROFILE,
+)
+
+
+class TestValidation:
+    def test_negative_overhead(self):
+        with pytest.raises(ParameterError):
+            ProtocolProfile(name="x", per_transfer_overhead_s=-1)
+
+    def test_jitter_bounds(self):
+        with pytest.raises(ParameterError):
+            ProtocolProfile(name="x", jitter_fraction=1.0)
+        with pytest.raises(ParameterError):
+            ProtocolProfile(name="x", jitter_fraction=-0.1)
+
+    def test_negative_threshold(self):
+        with pytest.raises(ParameterError):
+            ProtocolProfile(name="x", small_transfer_threshold=-1)
+
+
+class TestJitter:
+    def test_large_transfers_unjittered(self):
+        profile = ProtocolProfile(name="x", jitter_fraction=0.3,
+                                  small_transfer_threshold=1000)
+        assert profile.jitter_multiplier(5, 2000) == 1.0
+
+    def test_small_transfers_jittered_in_band(self):
+        profile = ProtocolProfile(name="x", jitter_fraction=0.3,
+                                  small_transfer_threshold=4096)
+        values = [profile.jitter_multiplier(i, 100) for i in range(50)]
+        assert all(1.0 <= v <= 1.3 for v in values)
+        assert len(set(values)) > 10  # actually varies
+
+    def test_zero_jitter(self):
+        profile = ProtocolProfile(name="x")
+        assert profile.jitter_multiplier(7, 1) == 1.0
+
+    def test_deterministic(self):
+        profile = ProtocolProfile(name="x", jitter_fraction=0.2)
+        assert profile.jitter_multiplier(3, 10) == profile.jitter_multiplier(3, 10)
+
+
+class TestOverhead:
+    def test_overhead_scales_with_jitter(self):
+        profile = ProtocolProfile(name="x", per_transfer_overhead_s=1e-5,
+                                  jitter_fraction=0.3)
+        values = [profile.overhead(i, 100) for i in range(50)]
+        assert min(values) >= 1e-5
+        assert max(values) <= 1.3e-5
+
+    def test_calibrated_profiles_exist(self):
+        assert NALLATECH_PCIX_PROFILE.per_transfer_overhead_s > 0
+        assert XD1000_HT_PROFILE.per_transfer_overhead_s > 0
+        # The Nallatech stack is by far the heavier one (the paper's
+        # repeated-transfer penalty lives there).
+        assert (
+            NALLATECH_PCIX_PROFILE.per_transfer_overhead_s
+            > XD1000_HT_PROFILE.per_transfer_overhead_s
+        )

@@ -1,0 +1,95 @@
+"""Alpha-table interpolation tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.platforms.alpha import AlphaTable
+
+
+@pytest.fixture
+def table():
+    return AlphaTable.from_pairs(
+        [(1024, 0.2), (4096, 0.4), (65536, 0.7), (1048576, 0.8)],
+        label="test",
+    )
+
+
+class TestConstruction:
+    def test_from_pairs_sorts(self):
+        table = AlphaTable.from_pairs([(100, 0.5), (10, 0.1)])
+        assert table.sizes == (10, 100)
+        assert table.alphas == (0.1, 0.5)
+
+    def test_constant(self):
+        table = AlphaTable.constant(0.37)
+        assert table.lookup(1) == 0.37
+        assert table.lookup(1e9) == 0.37
+        assert len(table) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            AlphaTable(sizes=(1, 2), alphas=(0.5,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            AlphaTable(sizes=(), alphas=())
+
+    def test_nonmonotone_sizes_rejected(self):
+        with pytest.raises(ParameterError):
+            AlphaTable(sizes=(10, 10), alphas=(0.1, 0.2))
+        with pytest.raises(ParameterError):
+            AlphaTable(sizes=(10, 5), alphas=(0.1, 0.2))
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ParameterError):
+            AlphaTable(sizes=(1,), alphas=(0.0,))
+        with pytest.raises(ParameterError):
+            AlphaTable(sizes=(1,), alphas=(1.5,))
+
+
+class TestLookup:
+    def test_exact_samples(self, table):
+        assert table.lookup(4096) == pytest.approx(0.4)
+        assert table.lookup(1024) == pytest.approx(0.2)
+
+    def test_clamping(self, table):
+        assert table.lookup(1) == pytest.approx(0.2)
+        assert table.lookup(1e12) == pytest.approx(0.8)
+
+    def test_log_interpolation_midpoint(self, table):
+        # Geometric mean of 1024 and 4096 is 2048: halfway in log space.
+        assert table.lookup(2048) == pytest.approx(0.3)
+
+    def test_invalid_size(self, table):
+        with pytest.raises(ParameterError):
+            table.lookup(0)
+
+    @given(st.floats(min_value=1, max_value=1e7))
+    def test_lookup_within_range(self, size):
+        table = AlphaTable.from_pairs(
+            [(256, 0.1), (4096, 0.5), (1e6, 0.9)]
+        )
+        value = table.lookup(size)
+        assert 0.1 - 1e-12 <= value <= 0.9 + 1e-12
+
+    @given(st.floats(min_value=1, max_value=1e7),
+           st.floats(min_value=1, max_value=1e7))
+    def test_monotone_table_monotone_lookup(self, a, b):
+        table = AlphaTable.from_pairs(
+            [(256, 0.1), (4096, 0.5), (1e6, 0.9)]
+        )
+        small, large = sorted((a, b))
+        assert table.lookup(small) <= table.lookup(large) + 1e-12
+
+
+class TestStatistics:
+    def test_min_max(self, table):
+        assert table.min_alpha() == 0.2
+        assert table.max_alpha() == 0.8
+
+    def test_as_rows(self, table):
+        rows = table.as_rows()
+        assert rows[0] == (1024, 0.2)
+        assert len(rows) == 4

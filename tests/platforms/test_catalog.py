@@ -1,0 +1,144 @@
+"""Catalog and registry tests."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platforms import (
+    get_device,
+    get_interconnect,
+    get_platform,
+    list_devices,
+    list_interconnects,
+    list_platforms,
+    register_platform,
+)
+from repro.platforms.catalog import (
+    NALLATECH_H101,
+    XTREMEDATA_XD1000,
+    alpha_table_from_spec,
+    PCIX_133_NALLATECH,
+)
+
+
+class TestRegistries:
+    def test_paper_platforms_present(self):
+        names = list_platforms()
+        assert "Nallatech H101-PCIXM" in names
+        assert "XtremeData XD1000" in names
+
+    def test_paper_devices_present(self):
+        names = list_devices()
+        assert "Virtex-4 LX100" in names
+        assert "Stratix-II EP2S180" in names
+        assert "Virtex-4 SX55" in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_platform("nallatech h101-pcixm") is NALLATECH_H101
+        assert get_device("virtex-4 lx100").name == "Virtex-4 LX100"
+        assert get_interconnect("pci-x 133/64 (nallatech h101)")
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(PlatformError, match="known:"):
+            get_platform("Cray XD1")
+
+    def test_register_platform(self):
+        import dataclasses
+
+        custom = dataclasses.replace(NALLATECH_H101, name="Custom Card")
+        register_platform(custom)
+        try:
+            assert get_platform("Custom Card") is custom
+        finally:
+            from repro.platforms.catalog import PLATFORMS
+
+            del PLATFORMS["Custom Card"]
+
+
+class TestPlatformObjects:
+    def test_h101_pairs_lx100_with_pcix(self):
+        assert NALLATECH_H101.device.name == "Virtex-4 LX100"
+        assert NALLATECH_H101.ideal_bandwidth == 1e9
+
+    def test_xd1000_pairs_stratix_with_ht(self):
+        assert XTREMEDATA_XD1000.device.name == "Stratix-II EP2S180"
+        assert XTREMEDATA_XD1000.ideal_bandwidth == 5e8
+
+    def test_platform_alpha_lookup_matches_spec(self):
+        size = 2048.0
+        assert NALLATECH_H101.alpha_write(size) == pytest.approx(
+            PCIX_133_NALLATECH.alpha(size), rel=1e-9
+        )
+        assert NALLATECH_H101.write_bandwidth(size) == pytest.approx(
+            0.37e9, rel=1e-6
+        )
+
+    def test_with_alphas_override(self):
+        custom = NALLATECH_H101.with_alphas(0.5, 0.4)
+        assert custom.alpha_write(123456) == 0.5
+        assert custom.alpha_read(1) == 0.4
+
+    def test_with_alphas_validates(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            NALLATECH_H101.with_alphas(0.0, 0.5)
+
+    def test_describe(self):
+        text = XTREMEDATA_XD1000.describe()
+        assert "Stratix" in text and "Opteron" in text
+
+
+class TestAlphaTableFromSpec:
+    def test_samples_cover_range(self):
+        table = alpha_table_from_spec(PCIX_133_NALLATECH)
+        assert table.sizes[0] == 256.0
+        assert table.sizes[-1] >= 1e7
+
+    def test_read_table_below_write_table(self):
+        write = alpha_table_from_spec(PCIX_133_NALLATECH, read=False)
+        read = alpha_table_from_spec(PCIX_133_NALLATECH, read=True)
+        for size in write.sizes:
+            assert read.lookup(size) <= write.lookup(size) + 1e-12
+
+
+class TestNewerGenerations:
+    def test_devices_registered(self):
+        assert "Virtex-5 LX330" in list_devices()
+        assert "Stratix-III EP3SL340" in list_devices()
+
+    def test_v5_capacities(self):
+        from repro.platforms.device import ResourceKind
+
+        device = get_device("Virtex-5 LX330")
+        assert device.capacity(ResourceKind.DSP) == 192
+        assert device.bram_kbits_per_block == 36.0
+        assert device.resource_label(ResourceKind.DSP) == "DSP48Es"
+
+    def test_retarget_pdf1d_to_v5(self):
+        """The paper's 1-D PDF design fits a newer device even more
+        comfortably — the resource test is device-portable."""
+        from repro.apps.pdf1d.design import build_kernel_design
+        from repro.core.resources.report import utilization_report
+        from repro.platforms.device import ResourceKind
+
+        v4 = utilization_report(build_kernel_design(), get_device("Virtex-4 LX100"))
+        v5 = utilization_report(build_kernel_design(), get_device("Virtex-5 LX330"))
+        assert v5.fits
+        assert v5.utilization(ResourceKind.DSP) < v4.utilization(ResourceKind.DSP)
+        assert v5.utilization(ResourceKind.BRAM) < v4.utilization(ResourceKind.BRAM)
+
+    def test_retarget_md_to_stratix3(self):
+        """The MD design's DSP squeeze relaxes on Stratix-III 18-bit
+        elements (a 24-bit mantissa needs 2 of them, not a 36x36 block)."""
+        from repro.apps.md.design import build_kernel_design
+        from repro.core.resources.report import utilization_report
+        from repro.platforms.device import ResourceKind
+
+        s2 = utilization_report(
+            build_kernel_design(), get_device("Stratix-II EP2S180")
+        )
+        s3 = utilization_report(
+            build_kernel_design(), get_device("Stratix-III EP3SL340")
+        )
+        assert s3.fits
+        assert s3.utilization(ResourceKind.DSP) < s2.utilization(ResourceKind.DSP)

@@ -1,0 +1,59 @@
+"""FPGA device model tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.platforms.catalog import STRATIX2_EP2S180, VIRTEX4_LX100
+from repro.platforms.device import DeviceFamily, FPGADevice, ResourceKind
+
+
+class TestCapacities:
+    def test_lx100(self):
+        assert VIRTEX4_LX100.capacity(ResourceKind.LOGIC) == 49_152
+        assert VIRTEX4_LX100.capacity(ResourceKind.DSP) == 96
+        assert VIRTEX4_LX100.capacity(ResourceKind.BRAM) == 240
+
+    def test_ep2s180(self):
+        assert STRATIX2_EP2S180.capacity(ResourceKind.DSP) == 768
+        assert STRATIX2_EP2S180.dsp_width_bits == 9
+
+    def test_bram_totals(self):
+        # 240 x 18 kbit = 4320 kbit
+        assert VIRTEX4_LX100.bram_total_kbits == pytest.approx(4320)
+        assert VIRTEX4_LX100.bram_total_bytes == pytest.approx(4320 * 128)
+
+
+class TestLabels:
+    def test_vendor_resource_names(self):
+        assert VIRTEX4_LX100.resource_label(ResourceKind.DSP) == "48-bit DSPs"
+        assert VIRTEX4_LX100.resource_label(ResourceKind.LOGIC) == "Slices"
+        assert STRATIX2_EP2S180.resource_label(ResourceKind.DSP) == "9-bit DSPs"
+        assert STRATIX2_EP2S180.resource_label(ResourceKind.LOGIC) == "ALUTs"
+
+    def test_describe(self):
+        text = VIRTEX4_LX100.describe()
+        assert "Virtex-4 LX100" in text
+        assert "96" in text
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            dataclasses.replace(VIRTEX4_LX100, dsp_blocks=-1)
+
+    def test_zero_block_size_rejected(self):
+        with pytest.raises(ParameterError):
+            dataclasses.replace(VIRTEX4_LX100, bram_kbits_per_block=0)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ParameterError):
+            dataclasses.replace(VIRTEX4_LX100, max_clock_hz=0)
+
+    def test_zero_capacity_allowed(self):
+        device = FPGADevice(
+            name="tiny", family=DeviceFamily.GENERIC,
+            logic_cells=100, dsp_blocks=0, bram_blocks=0,
+        )
+        assert device.capacity(ResourceKind.DSP) == 0

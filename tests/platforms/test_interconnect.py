@@ -1,0 +1,102 @@
+"""Interconnect spec tests."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.platforms.catalog import HYPERTRANSPORT_XD1000, PCIX_133_NALLATECH
+from repro.platforms.interconnect import InterconnectSpec
+
+sizes = st.floats(min_value=1.0, max_value=1e9)
+
+
+@pytest.fixture
+def ideal_link():
+    return InterconnectSpec(name="ideal", ideal_bandwidth=1e9)
+
+
+class TestLatencyBandwidthModel:
+    def test_no_overheads_is_ideal(self, ideal_link):
+        assert ideal_link.alpha(1e6) == pytest.approx(1.0)
+        assert ideal_link.transfer_time(1e9) == pytest.approx(1.0)
+
+    def test_setup_dominates_small_transfers(self):
+        spec = InterconnectSpec(name="x", ideal_bandwidth=1e9,
+                                setup_latency_s=1e-5)
+        assert spec.alpha(100) < 0.01
+        assert spec.alpha(1e8) > 0.9
+
+    @given(sizes, sizes)
+    def test_alpha_monotone_in_size(self, a, b):
+        spec = PCIX_133_NALLATECH
+        small, large = sorted((a, b))
+        assert spec.alpha(small) <= spec.alpha(large) + 1e-12
+
+    @given(sizes)
+    def test_alpha_bounded_by_efficiency(self, size):
+        spec = PCIX_133_NALLATECH
+        assert 0 < spec.alpha(size) <= spec.protocol_efficiency + 1e-12
+
+    @given(sizes)
+    def test_read_never_faster_than_write(self, size):
+        spec = PCIX_133_NALLATECH
+        assert spec.alpha(size, read=True) <= spec.alpha(size, read=False) + 1e-12
+
+    def test_transfer_time_consistent_with_alpha(self):
+        spec = HYPERTRANSPORT_XD1000
+        size = 65536.0
+        expected = size / (spec.alpha(size) * spec.ideal_bandwidth)
+        assert spec.transfer_time(size) == pytest.approx(expected)
+
+
+class TestCalibrationAnchors:
+    def test_nallatech_2kb_write_alpha(self):
+        """Calibrated to the paper's microbenchmark: 0.37 at 2 KB."""
+        assert PCIX_133_NALLATECH.alpha(2048) == pytest.approx(0.37, rel=1e-6)
+
+    def test_nallatech_2kb_read_alpha(self):
+        assert PCIX_133_NALLATECH.alpha(2048, read=True) == pytest.approx(
+            0.16, rel=1e-6
+        )
+
+    def test_xd1000_md_block_alpha(self):
+        """Calibrated to alpha 0.9 at the MD block size (589 824 B)."""
+        assert HYPERTRANSPORT_XD1000.alpha(16384 * 36) == pytest.approx(
+            0.90, rel=1e-6
+        )
+
+    def test_duplex_flags(self):
+        assert not PCIX_133_NALLATECH.duplex
+        assert HYPERTRANSPORT_XD1000.duplex
+
+
+class TestValidation:
+    def test_zero_bandwidth(self):
+        with pytest.raises(ParameterError):
+            InterconnectSpec(name="x", ideal_bandwidth=0)
+
+    def test_bad_efficiency(self):
+        with pytest.raises(ParameterError):
+            InterconnectSpec(name="x", ideal_bandwidth=1e9,
+                             protocol_efficiency=0.0)
+        with pytest.raises(ParameterError):
+            InterconnectSpec(name="x", ideal_bandwidth=1e9,
+                             protocol_efficiency=1.5)
+
+    def test_negative_setup(self):
+        with pytest.raises(ParameterError):
+            InterconnectSpec(name="x", ideal_bandwidth=1e9,
+                             setup_latency_s=-1)
+
+    def test_zero_transfer_rejected(self, ideal_link):
+        with pytest.raises(ParameterError):
+            ideal_link.transfer_time(0)
+        with pytest.raises(ParameterError):
+            ideal_link.alpha(-5)
+
+    def test_describe(self):
+        assert "PCI-X" in PCIX_133_NALLATECH.describe()
+        assert "duplex" in HYPERTRANSPORT_XD1000.describe()

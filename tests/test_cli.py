@@ -1,0 +1,178 @@
+"""CLI tests (argument parsing and end-to-end command output)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestWorksheetCommand:
+    def test_from_study(self, capsys):
+        assert main(["worksheet", "--study", "pdf1d"]) == 0
+        out = capsys.readouterr().out
+        assert "Input parameters" in out
+        assert "speedup" in out
+
+    def test_from_json(self, tmp_path, capsys, pdf1d_rat):
+        path = tmp_path / "ws.json"
+        path.write_text(json.dumps(pdf1d_rat.to_dict()))
+        assert main(["worksheet", "--json", str(path),
+                     "--clocks", "75,150"]) == 0
+        out = capsys.readouterr().out
+        assert "Predicted 75 MHz" in out
+        assert "Predicted 150 MHz" in out
+
+    def test_double_buffered_flag(self, capsys):
+        assert main(["worksheet", "--study", "pdf1d",
+                     "--double-buffered"]) == 0
+
+
+class TestStudyCommand:
+    def test_full_report(self, capsys):
+        assert main(["study", "pdf1d"]) == 0
+        out = capsys.readouterr().out
+        assert "Actual" in out
+        assert "Resource usage" in out
+        assert "Nallatech" in out
+
+    def test_unknown_study_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["study", "nonexistent"])
+
+
+class TestExperimentCommand:
+    def test_single(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "1-D PDF architecture" in capsys.readouterr().out
+
+    def test_goalseek_experiment(self, capsys):
+        assert main(["experiment", "goalseek-md"]) == 0
+        assert "ops/cycle" in capsys.readouterr().out
+
+
+class TestGoalseekCommand:
+    def test_throughput_proc(self, capsys):
+        assert main(["goalseek", "--study", "md", "--target", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "ops/cycle required" in out
+
+    def test_clock(self, capsys):
+        assert main(["goalseek", "--study", "pdf1d", "--target", "8",
+                     "--variable", "clock"]) == 0
+        assert "MHz required" in capsys.readouterr().out
+
+    def test_alpha(self, capsys):
+        assert main(["goalseek", "--study", "pdf2d", "--target", "5",
+                     "--variable", "alpha"]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+    def test_infeasible_returns_error_code(self, capsys):
+        code = main(["goalseek", "--study", "pdf1d", "--target", "100000"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPlatformsCommand:
+    def test_lists_catalog(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "Nallatech H101-PCIXM" in out
+        assert "XtremeData XD1000" in out
+        assert "Virtex-4 LX100" in out
+
+
+class TestSampleWorksheets:
+    @pytest.mark.parametrize(
+        "name", ["pdf1d", "pdf2d", "md", "custom"]
+    )
+    def test_bundled_worksheets_load(self, name, capsys):
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "examples" / "worksheets" / f"{name}.json"
+        )
+        assert path.exists(), path
+        assert main(["worksheet", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_custom_worksheet_values(self, capsys):
+        import json
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "examples" / "worksheets" / "custom.json"
+        )
+        data = json.loads(path.read_text())
+        assert data["alpha_write"] == 0.7
+        from repro.core.params import RATInput
+
+        rat = RATInput.from_dict(data)
+        assert rat.dataset.elements_in == 65536
+
+
+class TestLintCommand:
+    def test_study_with_findings_returns_one(self, capsys):
+        assert main(["lint", "--study", "pdf1d"]) == 1
+        out = capsys.readouterr().out
+        assert "small-transfers" in out
+
+    def test_clean_study_returns_zero(self, capsys):
+        assert main(["lint", "--study", "md"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_without_platform_skips_curve_checks(self, tmp_path, capsys,
+                                                      pdf1d_rat):
+        import json as json_module
+
+        path = tmp_path / "ws.json"
+        path.write_text(json_module.dumps(pdf1d_rat.to_dict()))
+        main(["lint", "--json", str(path)])
+        out = capsys.readouterr().out
+        assert "alpha-optimistic" not in out
+
+    def test_json_with_explicit_platform(self, tmp_path, capsys, pdf1d_rat):
+        import json as json_module
+
+        path = tmp_path / "ws.json"
+        path.write_text(json_module.dumps(pdf1d_rat.to_dict()))
+        assert main([
+            "lint", "--json", str(path),
+            "--platform", "Nallatech H101-PCIXM",
+        ]) == 1
+        assert "small-transfers" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_clock_sweep_chart(self, capsys):
+        assert main(["sweep", "--study", "pdf1d", "--variable", "clock",
+                     "--values", "75,150"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs clock_hz" in out
+        assert "#" in out
+        assert "best:" in out
+
+    def test_alpha_sweep(self, capsys):
+        assert main(["sweep", "--study", "pdf2d", "--variable", "alpha",
+                     "--values", "0.1,0.37,0.9"]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+    def test_throughput_sweep_double_buffered(self, capsys):
+        assert main(["sweep", "--study", "md",
+                     "--variable", "throughput_proc",
+                     "--values", "25,50,100", "--double-buffered"]) == 0
+        assert "best:" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Exception-hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    ExperimentError,
+    GoalSeekError,
+    ParameterError,
+    PlatformError,
+    PrecisionError,
+    RATError,
+    ResourceError,
+    SimulationError,
+    UnitError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ParameterError,
+            UnitError,
+            PrecisionError,
+            ResourceError,
+            PlatformError,
+            SimulationError,
+            GoalSeekError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_raterror(self, exc):
+        assert issubclass(exc, RATError)
+
+    def test_value_error_compatibility(self):
+        """Validation errors double as ValueError so numeric call sites
+        using the stdlib idiom still catch them."""
+        for exc in (ParameterError, UnitError, PrecisionError,
+                    ResourceError, GoalSeekError):
+            assert issubclass(exc, ValueError)
+
+    def test_lookup_errors_are_keyerrors(self):
+        assert issubclass(PlatformError, KeyError)
+
+    def test_runtime_errors(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(ExperimentError, RuntimeError)
+
+    def test_single_except_catches_everything(self):
+        """The documented catch-all actually works."""
+        from repro.core.params import DatasetParams
+        from repro.platforms import get_platform
+
+        with pytest.raises(RATError):
+            DatasetParams(elements_in=0, elements_out=0, bytes_per_element=1)
+        with pytest.raises(RATError):
+            get_platform("no-such-platform")

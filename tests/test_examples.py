@@ -1,0 +1,41 @@
+"""Example scripts must run end-to-end (they are executable docs)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+    assert "pdf_estimation.py" in EXAMPLE_SCRIPTS
+    assert "molecular_dynamics.py" in EXAMPLE_SCRIPTS
+    assert len(EXAMPLE_SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_shape(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "ops/cycle required" in out
+    assert "ceiling" in out
+
+
+def test_reproduce_paper_reports_success(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "reproduce_paper.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "All experiments within tolerance" in out

@@ -1,0 +1,183 @@
+"""End-to-end integration scenarios across the whole toolchain.
+
+Each test walks a realistic workflow spanning several subsystems,
+asserting that data flows coherently between them — the seams unit tests
+cannot see.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    BufferingMode,
+    DesignCandidate,
+    RATInput,
+    RATWorksheet,
+    Requirements,
+    Verdict,
+    evaluate_design,
+    predict,
+    required_throughput_proc,
+)
+from repro.analysis.scenarios import Axis, ScenarioGrid
+from repro.analysis.uncertainty import Range, UncertainInput, predict_interval
+from repro.apps import get_case_study
+from repro.core.lint import LintCode, lint_worksheet
+from repro.core.precision import FixedPointFormat, error_report
+from repro.core.resources.report import utilization_report
+
+
+class TestWorksheetToVerdictPipeline:
+    """JSON worksheet -> lint -> predict -> goal-seek -> verdict."""
+
+    def test_full_pipeline(self, tmp_path):
+        study = get_case_study("pdf2d")
+
+        # 1. Serialise and reload the worksheet (the designer's file).
+        path = tmp_path / "worksheet.json"
+        path.write_text(json.dumps(study.rat.to_dict()))
+        rat = RATInput.from_dict(json.loads(path.read_text()))
+        assert rat == study.rat
+
+        # 2. Lint against the platform.
+        warnings = lint_worksheet(rat, study.platform)
+        assert LintCode.OUTPUT_DOMINATES in {w.code for w in warnings}
+
+        # 3. Predict: the worksheet's own numbers.
+        prediction = predict(rat)
+        assert prediction.speedup == pytest.approx(6.9, rel=0.01)
+
+        # 4. The 8x target needs more parallelism; goal-seek quantifies it.
+        needed = required_throughput_proc(rat, 8.0)
+        assert needed > rat.computation.throughput_proc
+
+        # 5. Candidate with the goal-seek parallelism PROCEEDs.
+        candidate = DesignCandidate(
+            rat=rat.with_throughput_proc(needed),
+            kernel_design=dataclasses.replace(
+                study.kernel_design, replicas=32
+            ),
+            label="goal-seek sized",
+        )
+        result = evaluate_design(
+            candidate, Requirements(min_speedup=8.0), study.platform.device
+        )
+        assert result.verdict is Verdict.PROCEED
+        assert result.prediction.speedup == pytest.approx(8.0, rel=1e-6)
+
+
+class TestPrecisionToResourcePipeline:
+    """Precision choice -> resource cost -> methodology verdict."""
+
+    def test_format_choice_drives_dsp_count(self, rng):
+        from repro.apps.pdf1d.software import (
+            hardware_datapath_reference,
+            squared_distance_accumulate,
+        )
+
+        study = get_case_study("pdf1d")
+        samples = rng.uniform(-1, 1, 64)
+        grid = np.linspace(-1, 1, 32)
+        reference = squared_distance_accumulate(samples, grid)
+
+        # 18-bit passes a 3% tolerance...
+        fmt18 = FixedPointFormat(total_bits=18, frac_bits=9)
+        report18 = error_report(
+            reference, hardware_datapath_reference(samples, grid, fmt18)
+        )
+        assert report18.within(max_rel=0.03)
+
+        # ...and its design costs one DSP per pipeline.
+        demand = utilization_report(
+            study.kernel_design, study.platform.device
+        ).demand
+        assert demand.dsp == 8
+
+        # A 32-bit variant doubles the DSP bill.
+        wide_design = dataclasses.replace(
+            study.kernel_design,
+            pipeline_operators=tuple(
+                dataclasses.replace(op, width=32)
+                for op in study.kernel_design.pipeline_operators
+            ),
+        )
+        wide = utilization_report(wide_design, study.platform.device)
+        assert wide.demand.dsp == 16
+
+        # Methodology with a precision report: verdict consumes it.
+        candidate = DesignCandidate(
+            rat=study.rat,
+            precision_report=report18,
+            kernel_design=study.kernel_design,
+        )
+        result = evaluate_design(
+            candidate,
+            Requirements(min_speedup=5.0, max_rel_error=0.03),
+            study.platform.device,
+        )
+        assert result.verdict is Verdict.PROCEED
+
+
+class TestPredictionSimulationAgreement:
+    """Worksheet prediction vs calibrated simulation, per study."""
+
+    @pytest.mark.parametrize("name", ["pdf1d", "md"])
+    def test_simulated_actual_within_2x_of_prediction(self, name):
+        """The paper's own accuracy claim: predictions land within the
+        right order of magnitude of measurements for all studies."""
+        study = get_case_study(name)
+        clock = study.actual_clock_mhz or study.clocks_mhz[-1]
+        prediction = predict(study.rat.with_clock_hz(clock * 1e6), study.mode)
+        simulated = study.simulate()
+        ratio = simulated.t_rc / prediction.t_rc
+        assert 0.5 < ratio < 2.0
+
+    def test_sweep_and_grid_agree(self):
+        """ScenarioGrid and RATWorksheet agree on shared points."""
+        study = get_case_study("pdf1d")
+        worksheet = RATWorksheet(study.rat, clocks_mhz=(75.0, 150.0))
+        grid = ScenarioGrid.evaluate(
+            study.rat, [Axis.clock_mhz([75.0, 150.0])]
+        )
+        ws_speedups = sorted(p.speedup for p in worksheet.predictions())
+        grid_speedups = sorted(s.speedup for s in grid.scenarios)
+        assert ws_speedups == pytest.approx(grid_speedups)
+
+
+class TestUncertaintyBracketsReality:
+    def test_pdf1d_measured_inside_band(self):
+        """The paper's measured 7.8x lies inside the uncertainty band of
+        its own documented input softness."""
+        study = get_case_study("pdf1d")
+        uncertain = UncertainInput(
+            base=study.rat,
+            ranges={
+                "alpha_write": Range(low=0.08, nominal=0.37, high=0.45),
+                "throughput_proc": Range.pct(20.0, 25, 20),
+            },
+        )
+        interval = predict_interval(uncertain)
+        measured = study.simulate().speedup(study.rat.software.t_soft)
+        assert interval.low <= measured <= interval.high
+
+
+class TestBufferingConsistencyAcrossLayers:
+    def test_analytic_timeline_simulator_agree(self):
+        """Equations, analytic timelines and the event simulator give one
+        answer for a clean double-buffered workload."""
+        from repro.core.buffering import double_buffered_timeline
+        from tests.hwsim.test_system import make_sim
+
+        n = 40
+        t_read, t_out, t_comp = 4e-6, 4e-6, 1e-4
+        equation = n * max(t_read + t_out, t_comp)
+        timeline = double_buffered_timeline(t_read, t_comp, t_out, n)
+        simulated = make_sim(mode=BufferingMode.DOUBLE, n_iterations=n).run()
+        # Same steady state; transients differ by at most one iteration.
+        slack = 2 * (t_read + t_out + t_comp)
+        assert abs(timeline.makespan() - equation) <= slack
+        assert abs(simulated.t_rc - equation) <= slack
+        assert abs(simulated.t_rc - timeline.makespan()) <= slack

@@ -1,0 +1,55 @@
+"""Headline reproduction test: every paper artefact within tolerance.
+
+This is the single test a reviewer should run first: it executes the
+complete experiment registry (Tables 1-10, Figures 1-3, and the two
+prose-level experiments) and asserts that every compared cell lands
+within its tolerance band — 2% for closed-form predicted columns, 15%
+for simulator-vs-hardware actual columns, and wide factor-level bands
+for cells that had to be reconstructed from prose (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.analysis.experiments import list_experiments, run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", list_experiments())
+def test_experiment_within_tolerance(experiment_id):
+    result = run_experiment(experiment_id)
+    failing = [
+        (report.label, report.worst_cell)
+        for report in result.comparisons
+        if not report.all_within
+    ]
+    assert not failing, (
+        f"{experiment_id} deviates: "
+        + "; ".join(
+            f"{label}: {cell.key} rel_err={cell.rel_error:.1%} "
+            f"(tol {cell.tolerance:.0%})"
+            for label, cell in failing
+        )
+    )
+
+
+def test_predicted_columns_are_near_exact():
+    """The predicted columns use the paper's own equations; everything
+    except print-rounded utilization cells must agree to 2%."""
+    for experiment_id in ("table3", "table6", "table9"):
+        result = run_experiment(experiment_id)
+        for report in result.comparisons:
+            if "predicted" not in report.label:
+                continue
+            for cell in report.cells:
+                if cell.key.startswith("util"):
+                    continue
+                assert cell.rel_error <= 0.02, (
+                    f"{report.label}: {cell.key} off by {cell.rel_error:.1%}"
+                )
+
+
+def test_reproduction_summary_is_complete():
+    """15 experiments: 10 tables, 3 figures, 2 prose-level analyses."""
+    ids = list_experiments()
+    assert len(ids) == 15
+    assert sum(1 for i in ids if i.startswith("table")) == 10
+    assert sum(1 for i in ids if i.startswith("fig")) == 3

@@ -1,0 +1,121 @@
+"""Unit conversion and formatting tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestScaleFactors:
+    def test_decimal_prefixes(self):
+        assert units.MB == 1e6
+        assert units.GB == 1e9
+        assert units.MHZ == 1e6
+
+    def test_mbps_is_decimal(self):
+        # The paper's "1000 MB/s" PCI-X maximum is 1e9 bytes/s.
+        assert units.mbps(1000) == 1e9
+
+    def test_gbps(self):
+        assert units.gbps(1.0) == 1e9
+
+    def test_mhz_ghz(self):
+        assert units.mhz(150) == 150e6
+        assert units.ghz(3.2) == 3.2e9
+
+    def test_roundtrips(self):
+        assert units.to_mbps(units.mbps(500)) == pytest.approx(500)
+        assert units.to_mhz(units.mhz(75)) == pytest.approx(75)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1000 MB/s", 1e9),
+            ("1 GB/s", 1e9),
+            ("500MB/s", 5e8),
+            ("2.5 kb/s", 2.5e3),
+            ("100 B/s", 100.0),
+        ],
+    )
+    def test_parse_bandwidth(self, text, expected):
+        assert units.parse_bandwidth(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("150 MHz", 150e6), ("3.2 GHz", 3.2e9), ("100 kHz", 1e5), ("50 Hz", 50.0)],
+    )
+    def test_parse_frequency(self, text, expected):
+        assert units.parse_frequency(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text,expected", [("2 KB", 2e3), ("36 B", 36.0), ("1.5 MB", 1.5e6)]
+    )
+    def test_parse_size(self, text, expected):
+        assert units.parse_size(text) == pytest.approx(expected)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitError):
+            units.parse_bandwidth("10 furlongs/fortnight")
+
+    def test_bad_number_raises(self):
+        with pytest.raises(UnitError):
+            units.parse_frequency("fast MHz")
+
+
+class TestEngineeringFormat:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (5.56e-6, "5.56E-6"),
+            (1.31e-4, "1.31E-4"),
+            (1.07e-1, "1.07E-1"),
+            (2.30e1, "2.30E+1"),
+            (1.0, "1.00E+0"),
+        ],
+    )
+    def test_paper_style(self, value, expected):
+        assert units.format_engineering(value) == expected
+
+    def test_negative(self):
+        assert units.format_engineering(-2.5e-3) == "-2.50E-3"
+
+    def test_mantissa_rounds_up_to_ten(self):
+        # 9.999e2 at 3 sig figs must carry into the exponent, not print 10.0E+2.
+        assert units.format_engineering(9.999e2) == "1.00E+3"
+
+    def test_zero(self):
+        assert units.format_engineering(0.0).startswith("0.00")
+
+    def test_nan_inf(self):
+        assert units.format_engineering(float("nan")) == "nan"
+        assert units.format_engineering(float("inf")) == "inf"
+        assert units.format_engineering(float("-inf")) == "-inf"
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_roundtrip_within_rounding(self, value):
+        rendered = units.format_engineering(value, sig_figs=6)
+        assert math.isclose(float(rendered.replace("E", "e")), value, rel_tol=1e-4)
+
+
+class TestDisplayHelpers:
+    def test_format_bytes(self):
+        assert units.format_bytes(2048) == "2.048 KB"
+        assert units.format_bytes(1e9) == "1 GB"
+        assert units.format_bytes(12) == "12 B"
+
+    def test_format_bandwidth(self):
+        assert units.format_bandwidth(1e9) == "1 GB/s"
+
+    def test_format_frequency(self):
+        assert units.format_frequency(150e6) == "150 MHz"
+        assert units.format_frequency(3.2e9) == "3.2 GHz"
+
+    def test_format_percent(self):
+        assert units.format_percent(0.15) == "15%"
+        assert units.format_percent(0.987, decimals=1) == "98.7%"
