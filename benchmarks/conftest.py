@@ -5,11 +5,33 @@ the experiment registry, times the regeneration with pytest-benchmark,
 and prints the reproduced rows (run with ``-s`` to see them beside the
 paper's values).  Correctness is asserted via the registry's tolerance
 machinery so a benchmark run doubles as a reproduction check.
+
+Every benchmark session also writes a machine-readable perf record,
+``BENCH_PR1.json`` at the repo root, through the observability layer's
+metrics registry: per-test wall time and reproduction-tolerance pass/fail
+plus the library's own experiment metrics (``experiment.wall_s``,
+``experiment.rel_error``, ...).  Committed records give future PRs a perf
+trajectory to diff against.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import platform
+import sys
+
 import pytest
+
+from repro.obs import MetricsRegistry
+
+#: Schema/file name for this PR's perf record.  Future PRs bump the
+#: suffix (BENCH_PR2.json, ...) so the trajectory accumulates in-tree.
+BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+#: Session-local registry: isolated from the process-global one so a
+#: benchmark run's record is not polluted by unrelated library use.
+_registry = MetricsRegistry()
 
 
 @pytest.fixture
@@ -22,3 +44,35 @@ def show():
         print("-" * 72)
 
     return _show
+
+
+def pytest_runtest_logreport(report: pytest.TestReport) -> None:
+    """Record each benchmark's wall time and outcome into the registry."""
+    if report.when != "call":
+        return
+    name = report.nodeid.rsplit("/", 1)[-1]  # e.g. bench_fig2_overlap.py::test_x
+    _registry.gauge(f"bench.{name}.wall_s").set(report.duration)
+    _registry.counter("bench.total").inc()
+    _registry.counter("bench.passed" if report.passed else "bench.failed").inc()
+    _registry.histogram("bench.wall_s").observe(report.duration)
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Write the perf record after every benchmark session."""
+    if _registry.counter("bench.total").value == 0:
+        return  # collection-only / filtered run: nothing to record
+    # Fold in the library's own per-experiment metrics (wall times and
+    # prediction-error distribution recorded by Experiment.run).
+    from repro.obs import get_metrics
+
+    record = {
+        "schema": "rat-bench-record/v1",
+        "record": BENCH_RECORD.name,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "metrics": _registry.as_dict(),
+        "library_metrics": get_metrics().as_dict(),
+    }
+    BENCH_RECORD.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote perf record: {BENCH_RECORD}", file=sys.stderr)

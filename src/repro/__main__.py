@@ -1,7 +1,13 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+Guarded so ``import repro.__main__`` (e.g. by documentation tooling or
+``runpy`` introspection) does not execute a CLI run as an import side
+effect — only ``python -m repro`` does.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

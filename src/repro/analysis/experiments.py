@@ -16,10 +16,13 @@ where the paper value itself is a prose reconstruction, which gets 60%
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from ..apps.registry import get_case_study
+from ..obs import get_metrics, get_tracer
 from ..core.buffering import (
     BufferingMode,
     double_buffered_timeline,
@@ -80,8 +83,37 @@ class Experiment:
     runner: Callable[[], ExperimentResult]
 
     def run(self) -> ExperimentResult:
-        """Execute the reproduction."""
-        return self.runner()
+        """Execute the reproduction.
+
+        Each run records per-experiment observability: a
+        ``rat.experiment`` span (id, wall time, in/out-of-tolerance), a
+        wall-time gauge and shared histogram, pass/fail counters, and the
+        relative error of every compared cell into the
+        ``experiment.rel_error`` histogram — the prediction-error
+        distribution across the whole reproduction.
+        """
+        metrics = get_metrics()
+        with get_tracer().span(
+            "rat.experiment", {"id": self.experiment_id}, "experiment"
+        ) as span:
+            start = time.perf_counter()
+            result = self.runner()
+            wall_s = time.perf_counter() - start
+            span.set_attribute("all_within", result.all_within)
+            span.set_attribute("wall_s", wall_s)
+        metrics.gauge(f"experiment.{self.experiment_id}.wall_s").set(wall_s)
+        metrics.histogram("experiment.wall_s").observe(wall_s)
+        metrics.counter("experiment.runs").inc()
+        metrics.counter(
+            "experiment.pass" if result.all_within else "experiment.fail"
+        ).inc()
+        for report in result.comparisons:
+            for cell in report.cells:
+                if math.isfinite(cell.rel_error):
+                    metrics.histogram("experiment.rel_error").observe(
+                        cell.rel_error
+                    )
+        return result
 
 
 # ---------------------------------------------------------------------------

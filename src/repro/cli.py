@@ -5,20 +5,29 @@ Subcommands
 ``rat worksheet --json FILE | --study NAME [--clocks 75,100,150]``
     Render the input sheet and predicted performance table for a
     worksheet (from a JSON file of Table-1 fields or a named study).
-``rat study NAME``
+    ``--format json`` emits the predictions as machine-readable JSON.
+``rat study NAME [--json]``
     Full case-study report: inputs, predicted table with the simulated
-    actual column, and the resource report.
+    actual column, and the resource report (``--json`` for scripting).
 ``rat experiment ID | --all``
     Run one (or every) registered paper reproduction experiment.
 ``rat goalseek --study NAME --target X [--variable throughput_proc]``
     Inverse analysis: the parameter value needed for a target speedup.
+``rat trace --study NAME --out FILE``
+    Run the event-driven simulator and export the realised schedule as a
+    Chrome trace-event file (open in chrome://tracing / Perfetto).
 ``rat platforms``
     List catalogued platforms/devices/interconnects.
+
+Global observability flags (any subcommand): ``--trace FILE`` records
+wall-clock spans of the run itself and writes a Chrome trace; ``--metrics
+FILE`` writes the plain-text metrics summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Sequence
@@ -31,6 +40,17 @@ from .core.goalseek import required_alpha, required_clock, required_throughput_p
 from .core.params import RATInput
 from .core.worksheet import RATWorksheet
 from .errors import RATError
+from .obs import (
+    SimTrace,
+    TRACK_COMPUTE,
+    TRACK_READ,
+    TRACK_WRITE,
+    configure,
+    get_metrics,
+    get_tracer,
+    write_chrome_trace,
+    write_metrics_summary,
+)
 from .platforms import list_devices, list_interconnects, list_platforms, get_platform
 from .units import MHZ
 
@@ -45,6 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
         "prediction (reproduction of Holland et al., HPRCTA'07)",
     )
     parser.add_argument("--version", action="version", version=f"rat {__version__}")
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="record wall-clock spans of this run and write a Chrome "
+        "trace-event JSON file on exit",
+    )
+    parser.add_argument(
+        "--metrics",
+        default="",
+        metavar="FILE",
+        help="write the plain-text metrics summary on exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     ws = sub.add_parser("worksheet", help="render a RAT worksheet")
@@ -57,9 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
     ws.add_argument(
         "--double-buffered", action="store_true", help="use Equation (6)"
     )
+    ws.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format (json emits inputs + predictions for scripting)",
+    )
 
     st = sub.add_parser("study", help="full case-study report")
     st.add_argument("name", choices=list_case_studies())
+    st.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format",
+    )
+    st.add_argument(
+        "--json",
+        action="store_const",
+        const="json",
+        dest="format",
+        help="shorthand for --format json",
+    )
 
     ex = sub.add_parser("experiment", help="run paper reproduction experiments")
     ex_target = ex.add_mutually_exclusive_group(required=True)
@@ -109,6 +161,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", default="", help="write to a file instead of stdout"
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="simulate a study and export its schedule as a Chrome trace",
+    )
+    trace.add_argument("--study", required=True, choices=list_case_studies())
+    trace.add_argument(
+        "--out", required=True, help="output path for the trace-event JSON"
+    )
+    trace.add_argument(
+        "--clock",
+        type=float,
+        default=None,
+        help="fabric clock in MHz (default: the study's measured clock)",
+    )
+    trace.add_argument(
+        "--single-buffered",
+        action="store_true",
+        help="trace the sequential schedule instead of the default "
+        "double-buffered overlap (paper Figure 2)",
+    )
+    trace.add_argument(
+        "--buffers",
+        type=int,
+        default=None,
+        help="explicit buffer-pool depth (overrides the buffering mode)",
+    )
+
     sub.add_parser("platforms", help="list the platform catalog")
 
     return parser
@@ -128,14 +207,55 @@ def _cmd_worksheet(args: argparse.Namespace) -> int:
         rat = get_case_study(args.study).rat
     worksheet = RATWorksheet(rat, clocks_mhz=_parse_clocks(args.clocks))
     mode = BufferingMode.DOUBLE if args.double_buffered else BufferingMode.SINGLE
+    if args.format == "json":
+        table = worksheet.performance_table(mode)
+        print(json.dumps(
+            {
+                "name": rat.name,
+                "mode": mode.value,
+                "inputs": rat.to_dict(),
+                "predictions": table.as_records(),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print(worksheet.input_table())
     print()
     print(worksheet.performance_table(mode).render())
     return 0
 
 
+def _study_json(study) -> dict:
+    """Machine-readable study report (predictions, actual, resources)."""
+    from .platforms.device import ResourceKind
+
+    result = study.simulate()
+    report = study.resource_report()
+    return {
+        "name": study.name,
+        "platform": study.platform.name,
+        "mode": study.mode.value,
+        "inputs": study.rat.to_dict(),
+        "predictions": study.predicted_table().as_records(),
+        "actual": result.as_actual_column(study.rat.software.t_soft),
+        "resources": {
+            "fits": report.fits,
+            "routing_risk": report.routing_risk,
+            "limiting": report.limiting_resource.value,
+            "utilization": {
+                kind.value: report.utilization(kind) for kind in ResourceKind
+            },
+        },
+        "notes": study.notes,
+    }
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     study = get_case_study(args.name)
+    if args.format == "json":
+        print(json.dumps(_study_json(study), indent=2, sort_keys=True))
+        return 0
     print(f"# {study.name}")
     print()
     print(study.platform.describe())
@@ -246,6 +366,44 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    study = get_case_study(args.study)
+    mode = (
+        BufferingMode.SINGLE if args.single_buffered else BufferingMode.DOUBLE
+    )
+    clock = args.clock if args.clock is not None else (
+        study.actual_clock_mhz or study.clocks_mhz[-1]
+    )
+    trace = SimTrace(name=f"{study.name} @ {clock:g} MHz ({mode.value}-buffered)")
+    sim = dataclasses.replace(
+        study.simulator(clock),
+        mode=mode,
+        n_buffers=args.buffers,
+        trace=trace,
+    )
+    result = sim.run()
+    trace.write(args.out)
+    overlapped = trace.tracks_overlap(TRACK_WRITE, TRACK_COMPUTE) or (
+        trace.tracks_overlap(TRACK_READ, TRACK_COMPUTE)
+    )
+    print(
+        f"{study.name}: {result.n_iterations} iterations, "
+        f"{mode.value}-buffered @ {clock:g} MHz"
+    )
+    print(
+        f"  t_rc {result.t_rc:.3e} s, comm {result.t_comm_total:.3e} s, "
+        f"comp {result.t_comp_total:.3e} s"
+    )
+    print(
+        f"  transfer/compute lanes {'overlap' if overlapped else 'do not overlap'}"
+    )
+    print(
+        f"wrote {len(trace.events)} trace events to {args.out} "
+        "(open in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
 def _cmd_platforms(_: argparse.Namespace) -> int:
     print("Platforms:")
     for name in list_platforms():
@@ -256,10 +414,25 @@ def _cmd_platforms(_: argparse.Namespace) -> int:
     return 0
 
 
+def _export_observability(args: argparse.Namespace) -> None:
+    """Honour the global ``--trace`` / ``--metrics`` flags on exit."""
+    if args.trace:
+        write_chrome_trace(args.trace, get_tracer())
+        print(
+            f"wrote trace ({len(get_tracer().spans)} spans) to {args.trace}",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        write_metrics_summary(args.metrics, get_metrics())
+        print(f"wrote metrics summary to {args.metrics}", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.trace:
+        configure(trace=True)
     handlers = {
         "worksheet": _cmd_worksheet,
         "study": _cmd_study,
@@ -268,21 +441,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "lint": _cmd_lint,
         "report": _cmd_report,
+        "trace": _cmd_trace,
         "platforms": _cmd_platforms,
     }
     try:
         return handlers[args.command](args)
-    except RATError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe: exit
-        # quietly with the conventional SIGPIPE status.
+        # quietly with the conventional SIGPIPE status.  Must precede
+        # the OSError handler below — it is a subclass.
         try:
             sys.stdout.close()
         except OSError:  # pragma: no cover - double-close race
             pass
         return 141
+    except (RATError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        try:
+            _export_observability(args)
+        except OSError as exc:  # pragma: no cover - unwritable export path
+            print(f"error: could not export observability: {exc}",
+                  file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

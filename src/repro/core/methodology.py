@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..errors import ParameterError, PrecisionError
+from ..obs import get_metrics, get_tracer
 from ..platforms.device import FPGADevice
 from .buffering import BufferingMode
 from .params import RATInput
@@ -144,63 +145,93 @@ def evaluate_design(
     sends the designer back to the drawing board before precision is even
     considered.  All tests still execute so the result carries complete
     diagnostics.
+
+    When tracing is enabled (``repro.obs.configure(trace=True)``) each
+    call records one ``rat.evaluate_design`` span with a child span per
+    test and the verdict/speedup as attributes — the audit trail of an
+    ``iterate_designs`` session becomes an exportable trace.
     """
+    tracer = get_tracer()
     details: list[str] = []
-
-    # --- Throughput test ----------------------------------------------------
-    prediction = predict(candidate.rat, requirements.buffering)
-    throughput_ok = prediction.speedup >= requirements.min_speedup
-    details.append(
-        f"throughput: predicted {prediction.speedup:.2f}x vs required "
-        f"{requirements.min_speedup:g}x -> {'pass' if throughput_ok else 'FAIL'}"
-    )
-
-    # --- Precision test -----------------------------------------------------
-    precision_ok = True
-    if candidate.precision_report is not None and (
-        requirements.max_rel_error is not None
-        or requirements.min_sqnr_db is not None
-    ):
-        precision_ok = candidate.precision_report.within(
-            max_rel=requirements.max_rel_error,
-            min_sqnr_db=requirements.min_sqnr_db,
-        )
+    with tracer.span(
+        "rat.evaluate_design", {"design": candidate.name}, "methodology"
+    ) as design_span:
+        # --- Throughput test ------------------------------------------------
+        with tracer.span("rat.throughput_test", None, "methodology") as span:
+            prediction = predict(candidate.rat, requirements.buffering)
+            throughput_ok = prediction.speedup >= requirements.min_speedup
+            span.set_attribute("speedup", prediction.speedup)
+            span.set_attribute("required", requirements.min_speedup)
+            span.set_attribute("passed", throughput_ok)
         details.append(
-            f"precision: {candidate.precision_report.describe()} -> "
-            f"{'pass' if precision_ok else 'FAIL'}"
+            f"throughput: predicted {prediction.speedup:.2f}x vs required "
+            f"{requirements.min_speedup:g}x -> "
+            f"{'pass' if throughput_ok else 'FAIL'}"
         )
-    else:
-        details.append("precision: accepted by designer (no report/tolerance)")
 
-    # --- Resource test --------------------------------------------------------
-    utilization: UtilizationReport | None = None
-    resources_ok = True
-    if candidate.kernel_design is not None:
-        if device is None:
-            raise ParameterError(
-                "resource test requires a device when kernel_design is given"
-            )
-        utilization = utilization_report(candidate.kernel_design, device)
-        resources_ok = utilization.fits and not (
-            requirements.routing_risk_is_failure and utilization.routing_risk
-        )
-        limiting = utilization.limiting_resource
-        details.append(
-            f"resources: limiting {limiting.value} at "
-            f"{utilization.utilization(limiting):.0%} -> "
-            f"{'pass' if resources_ok else 'FAIL'}"
-        )
-    else:
-        details.append("resources: skipped (no kernel design supplied)")
+        # --- Precision test -------------------------------------------------
+        precision_ok = True
+        with tracer.span("rat.precision_test", None, "methodology") as span:
+            if candidate.precision_report is not None and (
+                requirements.max_rel_error is not None
+                or requirements.min_sqnr_db is not None
+            ):
+                precision_ok = candidate.precision_report.within(
+                    max_rel=requirements.max_rel_error,
+                    min_sqnr_db=requirements.min_sqnr_db,
+                )
+                details.append(
+                    f"precision: {candidate.precision_report.describe()} -> "
+                    f"{'pass' if precision_ok else 'FAIL'}"
+                )
+            else:
+                details.append(
+                    "precision: accepted by designer (no report/tolerance)"
+                )
+                span.set_attribute("skipped", True)
+            span.set_attribute("passed", precision_ok)
 
-    if not throughput_ok:
-        verdict = Verdict.INSUFFICIENT_THROUGHPUT
-    elif not precision_ok:
-        verdict = Verdict.UNREALIZABLE_PRECISION
-    elif not resources_ok:
-        verdict = Verdict.INSUFFICIENT_RESOURCES
-    else:
-        verdict = Verdict.PROCEED
+        # --- Resource test ----------------------------------------------------
+        utilization: UtilizationReport | None = None
+        resources_ok = True
+        with tracer.span("rat.resource_test", None, "methodology") as span:
+            if candidate.kernel_design is not None:
+                if device is None:
+                    raise ParameterError(
+                        "resource test requires a device when kernel_design "
+                        "is given"
+                    )
+                utilization = utilization_report(candidate.kernel_design, device)
+                resources_ok = utilization.fits and not (
+                    requirements.routing_risk_is_failure
+                    and utilization.routing_risk
+                )
+                limiting = utilization.limiting_resource
+                details.append(
+                    f"resources: limiting {limiting.value} at "
+                    f"{utilization.utilization(limiting):.0%} -> "
+                    f"{'pass' if resources_ok else 'FAIL'}"
+                )
+                span.set_attribute("limiting", limiting.value)
+            else:
+                details.append("resources: skipped (no kernel design supplied)")
+                span.set_attribute("skipped", True)
+            span.set_attribute("passed", resources_ok)
+
+        if not throughput_ok:
+            verdict = Verdict.INSUFFICIENT_THROUGHPUT
+        elif not precision_ok:
+            verdict = Verdict.UNREALIZABLE_PRECISION
+        elif not resources_ok:
+            verdict = Verdict.INSUFFICIENT_RESOURCES
+        else:
+            verdict = Verdict.PROCEED
+        design_span.set_attribute("verdict", verdict.value)
+        design_span.set_attribute("speedup", prediction.speedup)
+
+    metrics = get_metrics()
+    metrics.counter("methodology.evaluations").inc()
+    metrics.counter(f"methodology.verdict.{verdict.name.lower()}").inc()
 
     return MethodologyResult(
         candidate=candidate,
@@ -225,11 +256,14 @@ def iterate_designs(
     """
     results: list[MethodologyResult] = []
     winner: MethodologyResult | None = None
-    for candidate in candidates:
-        result = evaluate_design(candidate, requirements, device)
-        results.append(result)
-        if winner is None and result.passed:
-            winner = result
+    with get_tracer().span("rat.iterate_designs", None, "methodology") as span:
+        for candidate in candidates:
+            result = evaluate_design(candidate, requirements, device)
+            results.append(result)
+            if winner is None and result.passed:
+                winner = result
+        span.set_attribute("n_candidates", len(results))
+        span.set_attribute("winner", winner.candidate.name if winner else None)
     if not results:
         raise ParameterError("iterate_designs requires at least one candidate")
     return winner, results

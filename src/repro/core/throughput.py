@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ParameterError
+from ..obs import get_metrics, get_tracer
 from .buffering import BufferingMode
 from .params import RATInput
 
@@ -208,7 +209,24 @@ def predict(
 
     This is the library's central entry point: everything in the paper's
     Tables 3, 6 and 9 "Predicted" columns derives from this call.
+
+    Every call increments the ``throughput.predictions`` counter and
+    feeds the ``throughput.speedup`` histogram, so a sweep/goal-seek
+    session's coverage of the design space is visible in the metrics
+    summary; with tracing enabled each call is also a ``rat.predict``
+    span.
     """
+    with get_tracer().span(
+        "rat.predict", {"name": rat.name, "mode": mode.value}, "throughput"
+    ):
+        prediction = _predict(rat, mode)
+    metrics = get_metrics()
+    metrics.counter("throughput.predictions").inc()
+    metrics.histogram("throughput.speedup").observe(prediction.speedup)
+    return prediction
+
+
+def _predict(rat: RATInput, mode: BufferingMode) -> ThroughputPrediction:
     t_input = input_transfer_time(rat)
     t_output = output_transfer_time(rat)
     t_comm = t_input + t_output

@@ -17,6 +17,7 @@ __all__ = [
     "SimulationError",
     "GoalSeekError",
     "ExperimentError",
+    "ObservabilityError",
 ]
 
 
@@ -68,3 +69,11 @@ class GoalSeekError(RATError, ValueError):
 
 class ExperimentError(RATError, RuntimeError):
     """An experiment-registry lookup or reproduction run failed."""
+
+
+class ObservabilityError(RATError, RuntimeError):
+    """The tracing/metrics layer was misused.
+
+    Examples: closing a span that is not the innermost open span, or
+    re-registering a metric name under a different instrument type.
+    """

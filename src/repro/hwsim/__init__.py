@@ -28,6 +28,7 @@ from .engine import Event, EventQueue
 from .kernel import PipelinedKernel
 from .memory import BufferPool
 from .system import RCSystemSim, SimulationResult
+from .timeline import SteadyState, analytic_gap, steady_state, trace_timeline
 
 __all__ = [
     "BufferPool",
@@ -40,5 +41,9 @@ __all__ = [
     "RCSystemSim",
     "SimulationResult",
     "StageRun",
+    "SteadyState",
+    "analytic_gap",
     "run_composite",
+    "steady_state",
+    "trace_timeline",
 ]

@@ -18,6 +18,12 @@ from ..errors import SimulationError
 __all__ = ["Event", "EventQueue"]
 
 
+def _describe(event: "Event") -> str:
+    """Human-readable event reference for error messages."""
+    label = repr(event.label) if event.label else "unlabelled"
+    return f"event #{event.sequence} ({label}) at t={event.time:.9g}"
+
+
 @dataclass(frozen=True, order=True)
 class Event:
     """A scheduled callback.
@@ -34,13 +40,24 @@ class Event:
 
 
 class EventQueue:
-    """The simulation clock and pending-event heap."""
+    """The simulation clock and pending-event heap.
 
-    def __init__(self) -> None:
+    ``on_fire`` is an optional per-event observer: when set, it is called
+    with each event immediately before its action runs (the clock already
+    advanced).  The simulator wires this to the observability layer's
+    :class:`~repro.obs.simtrace.SimTrace` so every scheduled callback —
+    labels included — appears in exported traces.  Left as ``None`` the
+    only cost is one attribute check per event.
+    """
+
+    def __init__(
+        self, on_fire: Callable[[Event], None] | None = None
+    ) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._fired = 0
+        self.on_fire = on_fire
 
     @property
     def now(self) -> float:
@@ -83,13 +100,24 @@ class EventQueue:
         return self.schedule(time - self._now, action, label)
 
     def step(self) -> Event:
-        """Fire the next event; returns it.  Raises when empty."""
+        """Fire the next event; returns it.  Raises when empty.
+
+        A :class:`SimulationError` escaping the event's action is
+        re-raised with the event's label and firing time attached, so a
+        failure deep in a callback chain names the schedule entry that
+        triggered it.
+        """
         if not self._heap:
             raise SimulationError("event queue is empty")
         event = heapq.heappop(self._heap)
         self._now = event.time
         self._fired += 1
-        event.action()
+        if self.on_fire is not None:
+            self.on_fire(event)
+        try:
+            event.action()
+        except SimulationError as exc:
+            raise SimulationError(f"{exc} [while firing {_describe(event)}]") from exc
         return event
 
     def run(self, max_events: int = 10_000_000) -> float:
@@ -99,13 +127,15 @@ class EventQueue:
         infinite self-rescheduling loop.
         """
         executed = 0
+        last: Event | None = None
         while self._heap:
-            self.step()
+            last = self.step()
             executed += 1
             if executed > max_events:
                 raise SimulationError(
                     f"event budget exceeded ({max_events}); "
-                    "likely a self-rescheduling loop"
+                    "likely a self-rescheduling loop "
+                    f"[last fired: {_describe(last)}]"
                 )
         return self._now
 
@@ -114,10 +144,14 @@ class EventQueue:
         if time < self._now:
             raise SimulationError(f"cannot run backwards to {time}")
         executed = 0
+        last: Event | None = None
         while self._heap and self._heap[0].time <= time:
-            self.step()
+            last = self.step()
             executed += 1
             if executed > max_events:
-                raise SimulationError(f"event budget exceeded ({max_events})")
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}) "
+                    f"[last fired: {_describe(last)}]"
+                )
         self._now = max(self._now, time)
         return self._now

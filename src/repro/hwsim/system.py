@@ -28,6 +28,7 @@ from typing import Literal
 
 from ..errors import SimulationError
 from ..interconnect.bus import BusModel
+from ..obs.simtrace import TRACK_EVENTS, SimTrace, record_system_run
 from .clock import ClockDomain
 from .dma import DMAEngine, DMATransfer
 from .engine import EventQueue
@@ -145,6 +146,13 @@ class RCSystemSim:
         single, 2 for double).  Values above 2 model deeper prefetch
         queues — beyond the paper, but a natural what-if the simulator
         supports (see the buffer-depth ablation benchmark).
+    trace:
+        Optional :class:`~repro.obs.simtrace.SimTrace` collector.  When
+        set, :meth:`run` records every fired scheduler event as an
+        instant marker and every DMA transfer / compute interval on the
+        Figure-2 write/compute/read tracks, so the run exports as a
+        Chrome trace (``rat trace``).  ``None`` (the default) adds no
+        per-event work.
     """
 
     kernel: PipelinedKernel
@@ -159,6 +167,7 @@ class RCSystemSim:
     output_chunk_bytes: float | None = None
     host_turnaround_s: float = 0.0
     n_buffers: int | None = None
+    trace: SimTrace | None = None
 
     def __post_init__(self) -> None:
         if self.elements_per_block < 1:
@@ -197,6 +206,18 @@ class RCSystemSim:
     def run(self) -> SimulationResult:
         """Execute the full loop and aggregate measurements."""
         queue = EventQueue()
+        if self.trace is not None:
+            trace = self.trace
+
+            def _record_event(event) -> None:
+                trace.instant(
+                    TRACK_EVENTS,
+                    event.label or f"event-{event.sequence}",
+                    event.time,
+                    {"sequence": event.sequence},
+                )
+
+            queue.on_fire = _record_event
         dma = DMAEngine(bus=self.bus)
         n_buffers = self.n_buffers or (
             2 if self.mode is BufferingMode.DOUBLE else 1
@@ -311,6 +332,11 @@ class RCSystemSim:
         timeline = OverlapTimeline(
             mode=self.mode, segments=tuple(comm_segments + compute_segments)
         )
+        if self.trace is not None:
+            # Full-fidelity lanes: every transfer on its directional
+            # track (including duplexed write-backs the two-lane
+            # timeline drops), plus the realised compute schedule.
+            record_system_run(self.trace, dma.transfers, compute_segments)
 
         # Per-iteration communication mean: total channel occupancy over
         # iterations — the paper's per-iteration "actual t_comm".

@@ -14,8 +14,9 @@ from dataclasses import dataclass
 
 from ..core.buffering import BufferingMode, OverlapTimeline
 from ..errors import SimulationError
+from ..obs.simtrace import SimTrace, timeline_to_trace
 
-__all__ = ["SteadyState", "steady_state", "analytic_gap"]
+__all__ = ["SteadyState", "steady_state", "analytic_gap", "trace_timeline"]
 
 
 @dataclass(frozen=True)
@@ -82,3 +83,15 @@ def analytic_gap(
     if analytic <= 0:
         raise SimulationError("analytic time must be positive")
     return (timeline.makespan() - analytic) / analytic
+
+
+def trace_timeline(timeline: OverlapTimeline, name: str = "timeline") -> SimTrace:
+    """Export a schedule as a Chrome-trace collector.
+
+    Bridges any :class:`~repro.core.buffering.OverlapTimeline` — analytic
+    (Figure-2 constructors) or realised (:class:`RCSystemSim`) — to the
+    observability layer, so ``trace_timeline(result.timeline).write(path)``
+    yields a file openable in Perfetto/chrome://tracing with the paper's
+    write/compute/read lanes as named tracks.
+    """
+    return timeline_to_trace(timeline, SimTrace(name=name))

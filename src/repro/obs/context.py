@@ -1,0 +1,60 @@
+"""Process-global tracer and metrics registry.
+
+Library code instruments itself against *defaults* fetched here, so
+callers opt in without plumbing observability objects through every
+signature::
+
+    from repro.obs import get_tracer, get_metrics
+
+    with get_tracer().span("rat.predict"):
+        get_metrics().counter("throughput.predictions").inc()
+
+The default tracer starts **disabled** — instrumented hot paths cost one
+attribute load and one no-op call until someone (the CLI's ``--trace``,
+a test, an embedding service) calls :func:`configure`.  The metrics
+registry is always live: its instruments are O(1) scalars plus a bounded
+histogram buffer, cheap enough to leave on.
+
+:func:`reset` restores a pristine state for tests and for long-lived
+processes that export-and-clear between requests.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = ["get_tracer", "get_metrics", "configure", "reset"]
+
+_tracer = Tracer(enabled=False)
+_metrics = MetricsRegistry()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled until configured)."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry (always recording)."""
+    return _metrics
+
+
+def configure(trace: bool | None = None) -> Tracer:
+    """Adjust the global observability state; returns the tracer.
+
+    ``trace=True`` enables span recording, ``trace=False`` disables it
+    (already-recorded spans are kept either way), ``None`` leaves the
+    flag untouched.
+    """
+    if trace is not None:
+        _tracer.enabled = trace
+    return _tracer
+
+
+def reset() -> None:
+    """Disable tracing, drop all spans and metrics."""
+    _tracer.enabled = False
+    _tracer._stack.clear()
+    _tracer.clear()
+    _metrics.reset()

@@ -1,0 +1,173 @@
+"""Exporters: Chrome trace-event JSON, JSONL span logs, metrics text.
+
+The Chrome format is the `trace-event` JSON consumed by
+``chrome://tracing`` and https://ui.perfetto.dev — an object with a
+``traceEvents`` list whose entries carry ``ph`` (phase), ``ts``
+(microseconds), ``dur`` (microseconds for complete events), ``pid``,
+``tid``, ``name``, ``cat`` and free-form ``args``.  We emit:
+
+* ``ph="X"`` *complete* events for spans/segments (one event per
+  interval — simplest and what both viewers render best);
+* ``ph="i"`` *instant* events for point-in-time markers (simulator event
+  firings);
+* ``ph="M"`` *metadata* events naming processes/threads so lanes show as
+  titled tracks.
+
+Timestamps are shifted so the earliest event sits at ``ts=0`` — the
+viewers cope with large offsets but a zero origin keeps the files tidy
+and the golden tests simple.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Mapping
+
+from .metrics import MetricsRegistry
+from .tracer import Span, Tracer
+
+__all__ = [
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "metrics_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_summary",
+]
+
+_US = 1_000_000  # seconds -> microseconds
+
+
+def spans_to_chrome(
+    spans: Iterable[Span],
+    *,
+    process_name: str = "rat",
+) -> dict:
+    """Convert tracer spans to a Chrome trace-event document.
+
+    Open (unfinished) spans are skipped — a trace is exported after the
+    traced work completes, and a half-open interval would render with a
+    bogus duration.
+    """
+    finished = [s for s in spans if s.finished]
+    origin = min((s.start for s in finished), default=0.0)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in finished:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": (span.start - origin) * _US,
+                "dur": (span.end - span.start) * _US,  # type: ignore[operator]
+                "pid": 1,
+                "tid": 1,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attributes,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line per finished span (start order).
+
+    The JSONL form is the grep/jq-friendly log: absolute clock values are
+    preserved (no origin shift) so lines from separate exports of the
+    same tracer remain comparable.
+    """
+    lines = []
+    for span in spans:
+        if not span.finished:
+            continue
+        lines.append(
+            json.dumps(
+                {
+                    "name": span.name,
+                    "category": span.category,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "depth": span.depth,
+                    "start": span.start,
+                    "end": span.end,
+                    "duration": span.duration,
+                    "attributes": span.attributes,
+                },
+                sort_keys=True,
+                default=str,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_summary(registry: MetricsRegistry) -> str:
+    """Plain-text metrics table (aligned name/type/value columns)."""
+    snapshot = registry.as_dict()
+    if not snapshot:
+        return "(no metrics recorded)\n"
+    rows: list[tuple[str, str, str]] = []
+    for name, record in snapshot.items():
+        kind = str(record["type"])  # type: ignore[index]
+        if kind == "counter":
+            detail = f"{record['value']:g}"  # type: ignore[index]
+        elif kind == "gauge":
+            detail = f"{record['value']:g} ({record['updates']} updates)"  # type: ignore[index]
+        else:
+            detail = (
+                f"count={record['count']} mean={record['mean']:.4g} "  # type: ignore[index]
+                f"min={record['min']:.4g} max={record['max']:.4g} "  # type: ignore[index]
+                f"p50={record['p50']:.4g} p90={record['p90']:.4g} "  # type: ignore[index]
+                f"p99={record['p99']:.4g}"  # type: ignore[index]
+            )
+        rows.append((name, kind, detail))
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    lines = ["metrics summary", "-" * (name_w + kind_w + 20)]
+    for name, kind, detail in rows:
+        lines.append(f"{name.ljust(name_w)}  {kind.ljust(kind_w)}  {detail}")
+    return "\n".join(lines) + "\n"
+
+
+def _write_text(path_or_file: str | IO[str], text: str) -> None:
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)  # type: ignore[union-attr]
+        return
+    with open(path_or_file, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+        handle.write(text)
+
+
+def write_chrome_trace(
+    path_or_file: str | IO[str], source: Tracer | Iterable[Span] | Mapping
+) -> None:
+    """Serialise a tracer, span list, or pre-built document to a file."""
+    if isinstance(source, Tracer):
+        document = spans_to_chrome(source.spans)
+    elif isinstance(source, Mapping):
+        document = dict(source)
+    else:
+        document = spans_to_chrome(source)
+    _write_text(path_or_file, json.dumps(document, indent=1, default=str))
+
+
+def write_jsonl(path_or_file: str | IO[str], source: Tracer | Iterable[Span]) -> None:
+    """Serialise spans as JSONL to a file."""
+    spans = source.spans if isinstance(source, Tracer) else source
+    _write_text(path_or_file, spans_to_jsonl(spans))
+
+
+def write_metrics_summary(
+    path_or_file: str | IO[str], registry: MetricsRegistry
+) -> None:
+    """Write the plain-text metrics table to a file."""
+    _write_text(path_or_file, metrics_summary(registry))

@@ -1,0 +1,271 @@
+"""Simulated-time traces: the Figure-2 overlap as a Chrome trace.
+
+Wall-clock spans (``tracer.py``) answer "where did *our* program spend
+its time"; this module answers "where did the *simulated hardware* spend
+its time".  A :class:`SimTrace` collects intervals and instants stamped
+in simulation seconds and exports them as a Chrome trace-event document
+whose threads are the paper's Figure-2 lanes, so opening a double-buffered
+run in Perfetto/chrome://tracing visually reproduces the overlap diagram.
+
+Track naming follows the *host's* perspective, as the paper's Equations
+(2)/(3) do: the host **writes** input data to the FPGA, the fabric
+**computes**, the host **reads** results back.  The simulator's
+:class:`~repro.core.buffering.TimelineSegment` kinds are named from the
+FPGA's perspective (Figure 2's ``R`` = data arriving), so the mapping is
+
+    segment kind ``read``    -> track ``write (host->fpga)``
+    segment kind ``compute`` -> track ``compute (fabric)``
+    segment kind ``write``   -> track ``read (fpga->host)``
+
+Everything here is duck-typed (segments need ``kind``/``iteration``/
+``start``/``end``; transfers need ``direction``/``iteration``/
+``start_time``/``end_time``/``nbytes``) so this module imports nothing
+from ``core``/``hwsim`` and stays cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Mapping
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "SimTrace",
+    "TRACK_WRITE",
+    "TRACK_COMPUTE",
+    "TRACK_READ",
+    "TRACK_EVENTS",
+    "timeline_to_trace",
+    "record_system_run",
+]
+
+_US = 1_000_000  # seconds -> microseconds
+
+TRACK_WRITE = "write (host->fpga)"
+TRACK_COMPUTE = "compute (fabric)"
+TRACK_READ = "read (fpga->host)"
+TRACK_EVENTS = "events"
+
+#: Display order of the standard lanes (top to bottom in the viewer).
+_TRACK_ORDER = (TRACK_WRITE, TRACK_COMPUTE, TRACK_READ, TRACK_EVENTS)
+
+#: TimelineSegment/DMATransfer kind -> lane, per the module docstring.
+_KIND_TO_TRACK = {
+    "read": TRACK_WRITE,    # input data arriving at the FPGA
+    "compute": TRACK_COMPUTE,
+    "write": TRACK_READ,    # results returning to the host
+}
+
+
+class SimTrace:
+    """Accumulates simulated-time trace events, exports Chrome JSON.
+
+    Tracks are created lazily on first use and assigned stable ``tid``
+    values: the standard lanes get fixed slots so the viewer always shows
+    write/compute/read top-to-bottom; ad-hoc tracks follow in first-use
+    order.
+    """
+
+    def __init__(self, name: str = "rc-system") -> None:
+        self.name = name
+        self.events: list[dict] = []
+        self._tids: dict[str, int] = {}
+
+    def _tid(self, track: str) -> int:
+        tid = self._tids.get(track)
+        if tid is None:
+            if track in _TRACK_ORDER:
+                tid = _TRACK_ORDER.index(track)
+            else:
+                tid = len(_TRACK_ORDER) + sum(
+                    1 for t in self._tids if t not in _TRACK_ORDER
+                )
+            self._tids[track] = tid
+        return tid
+
+    def complete(
+        self,
+        track: str,
+        name: str,
+        start_s: float,
+        end_s: float,
+        args: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record one interval (Chrome ``ph="X"`` complete event)."""
+        if end_s < start_s:
+            raise ObservabilityError(
+                f"interval {name!r} ends at {end_s} before start {start_s}"
+            )
+        self.events.append(
+            {
+                "name": name,
+                "cat": "sim",
+                "ph": "X",
+                "ts": start_s * _US,
+                "dur": (end_s - start_s) * _US,
+                "pid": 1,
+                "tid": self._tid(track),
+                "args": dict(args) if args else {},
+            }
+        )
+
+    def instant(
+        self,
+        track: str,
+        name: str,
+        ts_s: float,
+        args: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record one point marker (Chrome ``ph="i"`` instant event)."""
+        self.events.append(
+            {
+                "name": name,
+                "cat": "sim",
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": ts_s * _US,
+                "pid": 1,
+                "tid": self._tid(track),
+                "args": dict(args) if args else {},
+            }
+        )
+
+    def intervals(self, track: str) -> list[tuple[float, float]]:
+        """(start, end) pairs in seconds for one track's complete events."""
+        tid = self._tids.get(track)
+        if tid is None:
+            return []
+        return sorted(
+            (e["ts"] / _US, (e["ts"] + e["dur"]) / _US)
+            for e in self.events
+            if e["ph"] == "X" and e["tid"] == tid
+        )
+
+    def tracks_overlap(self, track_a: str, track_b: str) -> bool:
+        """True when any interval on ``track_a`` overlaps one on ``track_b``.
+
+        This is the machine check behind the paper's Figure-2 claim:
+        under double buffering the transfer lanes and the compute lane
+        must run concurrently.  Back-to-back segments whose shared
+        boundary differs only by accumulated float rounding (the
+        simulator sums per-iteration durations, the timeline multiplies)
+        must not read as concurrent, so the overlap has to exceed an
+        ulp-scale tolerance relative to the trace's extent.
+        """
+        a_intervals = self.intervals(track_a)
+        b_intervals = self.intervals(track_b)
+        if not a_intervals or not b_intervals:
+            return False
+        extent = max(end for _, end in a_intervals + b_intervals)
+        epsilon = max(extent, 1.0) * 1e-12
+        for a_start, a_end in a_intervals:
+            for b_start, b_end in b_intervals:
+                if (
+                    min(a_end, b_end) - max(a_start, b_start) > epsilon
+                ):
+                    return True
+        return False
+
+    def to_chrome(self) -> dict:
+        """Build the full trace-event document (with lane metadata)."""
+        metadata: list[dict] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": self.name},
+            }
+        ]
+        for track, tid in sorted(self._tids.items(), key=lambda kv: kv[1]):
+            metadata.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+            metadata.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        return {"traceEvents": metadata + self.events, "displayTimeUnit": "ms"}
+
+    def write(self, path_or_file: str | IO[str]) -> None:
+        """Serialise the Chrome document to a file or handle."""
+        text = json.dumps(self.to_chrome(), indent=1)
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(text)  # type: ignore[union-attr]
+            return
+        with open(path_or_file, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            handle.write(text)
+
+
+def timeline_to_trace(timeline, trace: SimTrace | None = None) -> SimTrace:
+    """Convert an ``OverlapTimeline``-shaped object into a :class:`SimTrace`.
+
+    Works for both the analytic Figure-2 constructors and the simulator's
+    realised schedules — anything exposing ``segments`` of objects with
+    ``kind``/``iteration``/``start``/``end``.
+    """
+    trace = trace if trace is not None else SimTrace()
+    for segment in timeline.segments:
+        track = _KIND_TO_TRACK.get(segment.kind)
+        if track is None:
+            raise ObservabilityError(f"unknown segment kind {segment.kind!r}")
+        trace.complete(
+            track,
+            f"{segment.kind[0].upper()}{segment.iteration}",
+            segment.start,
+            segment.end,
+            {"iteration": segment.iteration, "kind": segment.kind},
+        )
+    return trace
+
+
+def record_system_run(
+    trace: SimTrace,
+    transfers: Iterable,
+    compute_segments: Iterable,
+) -> SimTrace:
+    """Record a simulator run's DMA transfers and compute intervals.
+
+    Unlike the two-lane :class:`~repro.core.buffering.OverlapTimeline`
+    (which collapses the channel into one serial lane and drops duplexed
+    write-backs), this records *every* transfer on its own directional
+    track — the full-fidelity view the Chrome trace is for.
+    """
+    for transfer in transfers:
+        track = _KIND_TO_TRACK.get(transfer.direction)
+        if track is None:
+            raise ObservabilityError(
+                f"unknown transfer direction {transfer.direction!r}"
+            )
+        trace.complete(
+            track,
+            f"{transfer.direction[0].upper()}{transfer.iteration}",
+            transfer.start_time,
+            transfer.end_time,
+            {
+                "iteration": transfer.iteration,
+                "nbytes": transfer.nbytes,
+                "queue_delay_s": transfer.start_time - transfer.request_time,
+            },
+        )
+    for segment in compute_segments:
+        trace.complete(
+            TRACK_COMPUTE,
+            f"C{segment.iteration}",
+            segment.start,
+            segment.end,
+            {"iteration": segment.iteration},
+        )
+    return trace

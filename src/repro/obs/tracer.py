@@ -1,0 +1,214 @@
+"""Span-based tracing with a context-manager API.
+
+A :class:`Span` is one named, timed interval with attributes; spans nest
+via a stack the :class:`Tracer` maintains, so instrumented call sites
+compose without threading a context object through every signature:
+
+    tracer = Tracer()
+    with tracer.span("evaluate_design", {"design": "pdf1d"}) as outer:
+        with tracer.span("throughput_test"):
+            ...
+        outer.set_attribute("verdict", "proceed")
+
+Design constraints, in priority order:
+
+1. **Disabled must cost nothing.**  Instrumentation stays in library hot
+   paths permanently, so ``Tracer(enabled=False).span(...)`` returns a
+   module-level no-op singleton — no ``Span`` object, no dict, zero
+   allocations (pinned by ``tests/obs/test_tracer.py`` with tracemalloc).
+   That is also why ``span()`` takes an *optional attribute dict* rather
+   than ``**kwargs``: CPython allocates a fresh dict for ``**kwargs`` on
+   every call even when empty.
+2. **Deterministic ordering.**  Finished spans are kept in *start* order
+   with monotonically increasing ids, so exports are reproducible given a
+   deterministic clock (tests inject a fake one).
+3. **No external dependencies.**  The subsystem must not import from the
+   rest of the library (other than the shared error hierarchy) so any
+   layer — core, hwsim, analysis, CLI — can instrument itself freely
+   without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping
+
+from ..errors import ObservabilityError
+
+__all__ = ["Span", "Tracer", "NOOP_SPAN"]
+
+
+class _NoopSpan:
+    """Inert stand-in returned by a disabled tracer.
+
+    A single module-level instance serves every disabled ``span()`` call;
+    all methods discard their arguments, so the disabled hot path touches
+    no allocator and no clock.
+    """
+
+    __slots__ = ()
+
+    is_recording = False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discard an attribute (no-op)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<noop span>"
+
+
+#: The singleton no-op span (identity-comparable in tests).
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One named, timed, attributed interval.
+
+    Timing starts on ``__enter__`` and stops on ``__exit__``; use only as
+    a context manager (the tracer assigns ids and nesting on entry).  An
+    exception propagating through the block is recorded as ``error`` /
+    ``error_type`` attributes before re-raising.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "attributes",
+        "start",
+        "end",
+        "span_id",
+        "parent_id",
+        "depth",
+        "_tracer",
+    )
+
+    is_recording = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attributes: Mapping[str, Any] | None,
+        category: str,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
+        self.start = 0.0
+        self.end: float | None = None
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self.depth = 0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to now if the span is still open)."""
+        end = self.end if self.end is not None else self._tracer._clock()
+        return end - self.start
+
+    @property
+    def finished(self) -> bool:
+        """True once ``__exit__`` has run."""
+        return self.end is not None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._begin(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self.attributes.setdefault("error", str(exc))
+            self.attributes.setdefault("error_type", exc_type.__name__)
+        self._tracer._end(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"{self.duration:.6f}s" if self.finished else "open"
+        return f"<Span {self.name!r} id={self.span_id} {state}>"
+
+
+class Tracer:
+    """Collects spans with nesting tracked via an explicit stack.
+
+    Parameters
+    ----------
+    enabled:
+        When False every ``span()`` call returns :data:`NOOP_SPAN`.  The
+        flag may be flipped at runtime (the CLI's ``--trace`` does).
+    clock:
+        Monotonic-seconds source; ``time.perf_counter`` by default, a
+        fake in tests for deterministic timings.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._next_id = 0
+        #: Finished and in-flight spans in start order.
+        self.spans: list[Span] = []
+
+    def span(
+        self,
+        name: str,
+        attributes: Mapping[str, Any] | None = None,
+        category: str = "",
+    ):
+        """Create a context-managed span (or the no-op when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attributes, category)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (number of open spans)."""
+        return len(self._stack)
+
+    def clear(self) -> None:
+        """Drop all recorded spans; open spans must be closed first."""
+        if self._stack:
+            raise ObservabilityError(
+                f"cannot clear with {len(self._stack)} span(s) still open"
+            )
+        self.spans.clear()
+        self._next_id = 0
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) -----------------
+
+    def _begin(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.depth = len(self._stack)
+        self._stack.append(span)
+        self.spans.append(span)
+        span.start = self._clock()
+
+    def _end(self, span: Span) -> None:
+        span.end = self._clock()
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} closed out of order "
+                f"(open stack: {[s.name for s in self._stack]})"
+            )
+        self._stack.pop()

@@ -78,6 +78,51 @@ class TestScheduling:
         with pytest.raises(SimulationError, match="budget"):
             queue.run(max_events=100)
 
+    def test_budget_error_names_last_fired_event(self):
+        queue = EventQueue()
+
+        def forever() -> None:
+            queue.schedule(1.0, forever, label="spin")
+
+        queue.schedule(0.0, forever, "spin")
+        with pytest.raises(
+            SimulationError, match=r"last fired: event #\d+ \('spin'\)"
+        ):
+            queue.run(max_events=10)
+
+    def test_action_error_names_firing_event(self):
+        queue = EventQueue()
+
+        def boom() -> None:
+            raise SimulationError("buffer underrun")
+
+        queue.schedule(1.0, boom, "drain-buffer")
+        with pytest.raises(
+            SimulationError,
+            match=r"buffer underrun \[while firing event #0 \('drain-buffer'\)",
+        ):
+            queue.run()
+
+    def test_unlabeled_event_described_by_sequence(self):
+        queue = EventQueue()
+
+        def boom() -> None:
+            raise SimulationError("oops")
+
+        queue.schedule(1.0, boom)
+        with pytest.raises(
+            SimulationError, match=r"event #0 \(unlabelled\) at t=1"
+        ):
+            queue.run()
+
+    def test_on_fire_hook_runs_before_action(self):
+        queue = EventQueue()
+        order = []
+        queue.on_fire = lambda event: order.append(("fire", event.label))
+        queue.schedule(1.0, lambda: order.append(("act", "x")), "x")
+        queue.run()
+        assert order == [("fire", "x"), ("act", "x")]
+
     def test_run_until(self):
         queue = EventQueue()
         fired = []

@@ -1,0 +1,118 @@
+"""Exporter tests: Chrome trace round-trip, JSONL, metrics summary."""
+
+import io
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    metrics_summary,
+    spans_to_chrome,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_summary,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def _traced():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer", {"design": "pdf1d"}):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+class TestChromeExport:
+    def test_round_trips_through_json(self, tmp_path):
+        tracer = _traced()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer)
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2
+
+    def test_valid_ph_ts_dur_fields(self):
+        document = spans_to_chrome(_traced().spans)
+        for event in document["traceEvents"]:
+            assert event["ph"] in ("X", "M")
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], (int, float))
+                assert isinstance(event["dur"], (int, float))
+                assert event["ts"] >= 0
+                assert event["dur"] >= 0
+
+    def test_origin_shifted_to_zero(self):
+        document = spans_to_chrome(_traced().spans)
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert min(s["ts"] for s in spans) == 0
+
+    def test_nesting_preserved_in_args(self):
+        document = spans_to_chrome(_traced().spans)
+        outer, inner = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert outer["args"]["parent_id"] is None
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["design"] == "pdf1d"
+
+    def test_open_spans_skipped(self):
+        tracer = Tracer(clock=FakeClock())
+        open_span = tracer.span("open")
+        open_span.__enter__()
+        with tracer.span("closed"):
+            pass
+        document = spans_to_chrome(tracer.spans)
+        names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert names == ["closed"]
+        open_span.__exit__(None, None, None)
+
+    def test_write_accepts_file_object(self):
+        buffer = io.StringIO()
+        write_chrome_trace(buffer, _traced())
+        assert json.loads(buffer.getvalue())["traceEvents"]
+
+
+class TestJsonlExport:
+    def test_one_valid_json_object_per_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(str(path), _traced())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["name"] == "outer"
+        assert records[1]["parent_id"] == records[0]["span_id"]
+        assert records[1]["depth"] == 1
+
+    def test_empty_tracer_yields_empty_string(self):
+        assert spans_to_jsonl([]) == ""
+
+
+class TestMetricsSummary:
+    def test_lists_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(4)
+        registry.gauge("level").set(2.0)
+        registry.histogram("wall_s").observe(0.5)
+        text = metrics_summary(registry)
+        for fragment in ("runs", "level", "wall_s", "counter", "gauge",
+                         "histogram", "p99"):
+            assert fragment in text
+
+    def test_empty_registry(self):
+        assert "no metrics" in metrics_summary(MetricsRegistry())
+
+    def test_write_to_path(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = tmp_path / "metrics.txt"
+        write_metrics_summary(str(path), registry)
+        assert "c" in path.read_text()

@@ -1,0 +1,96 @@
+"""Integration tests: the library's built-in instrumentation."""
+
+import pytest
+
+from repro.core.methodology import DesignCandidate, Requirements, evaluate_design
+from repro.core.throughput import predict
+from repro.analysis.experiments import run_experiment
+from repro.obs import configure, get_metrics, get_tracer, reset
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Isolate each test from the process-global tracer/registry."""
+    reset()
+    yield
+    reset()
+
+
+class TestMethodologySpans:
+    def test_evaluate_design_records_span_tree(self, pdf1d_rat):
+        configure(trace=True)
+        result = evaluate_design(
+            DesignCandidate(rat=pdf1d_rat), Requirements(min_speedup=5.0)
+        )
+        spans = get_tracer().spans
+        names = [s.name for s in spans]
+        assert names == [
+            "rat.evaluate_design",
+            "rat.throughput_test",
+            "rat.predict",
+            "rat.precision_test",
+            "rat.resource_test",
+        ]
+        design_span = spans[0]
+        assert design_span.attributes["verdict"] == result.verdict.value
+        assert design_span.attributes["speedup"] == result.prediction.speedup
+        # Children nest under the design span.
+        for child in spans[1:]:
+            assert child.depth >= 1
+
+    def test_verdict_counters(self, pdf1d_rat):
+        candidate = DesignCandidate(rat=pdf1d_rat)
+        evaluate_design(candidate, Requirements(min_speedup=5.0))
+        evaluate_design(candidate, Requirements(min_speedup=50000.0))
+        metrics = get_metrics()
+        assert metrics.counter("methodology.evaluations").value == 2
+        assert metrics.counter("methodology.verdict.proceed").value == 1
+        assert (
+            metrics.counter(
+                "methodology.verdict.insufficient_throughput"
+            ).value
+            == 1
+        )
+
+    def test_disabled_tracer_records_nothing(self, pdf1d_rat):
+        evaluate_design(
+            DesignCandidate(rat=pdf1d_rat), Requirements(min_speedup=5.0)
+        )
+        assert get_tracer().spans == []
+
+
+class TestThroughputMetrics:
+    def test_predict_counts_and_observes(self, pdf1d_rat):
+        before = get_metrics().counter("throughput.predictions").value
+        prediction = predict(pdf1d_rat)
+        metrics = get_metrics()
+        assert metrics.counter("throughput.predictions").value == before + 1
+        histogram = metrics.histogram("throughput.speedup")
+        assert histogram.count >= 1
+        assert histogram.max >= prediction.speedup
+
+
+class TestExperimentMetrics:
+    def test_run_records_wall_time_and_outcome(self):
+        result = run_experiment("fig3")
+        metrics = get_metrics()
+        assert metrics.counter("experiment.runs").value == 1
+        assert metrics.counter("experiment.pass").value == 1
+        assert metrics.gauge("experiment.fig3.wall_s").value > 0
+        assert metrics.histogram("experiment.wall_s").count == 1
+        assert result.experiment_id == "fig3"
+
+    def test_rel_error_distribution_recorded(self):
+        run_experiment("goalseek-md")
+        histogram = get_metrics().histogram("experiment.rel_error")
+        assert histogram.count >= 1
+        assert histogram.max < 0.10  # within the experiment's tolerance
+
+    def test_experiment_span_when_tracing(self):
+        configure(trace=True)
+        run_experiment("fig3")
+        spans = get_tracer().spans
+        assert spans[0].name == "rat.experiment"
+        assert spans[0].attributes["id"] == "fig3"
+        assert spans[0].attributes["all_within"] is True
+        assert spans[0].attributes["wall_s"] > 0

@@ -1,0 +1,112 @@
+"""Metrics registry tests: instruments, percentiles, bounded memory."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ObservabilityError, match="decrease"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        assert math.isnan(gauge.value)
+        gauge.set(1.0)
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+        assert gauge.updates == 2
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == 15.0
+        assert histogram.min == 1.0
+        assert histogram.max == 5.0
+        assert histogram.mean == 3.0
+        assert histogram.percentile(50) == 3.0
+        assert histogram.percentile(100) == 5.0
+        assert histogram.percentile(0) == 1.0
+
+    def test_percentile_bounds_checked(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ObservabilityError):
+            histogram.percentile(101)
+
+    def test_empty_summary_is_nan(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["mean"])
+        assert math.isnan(summary["p50"])
+
+    def test_sample_cap_bounds_memory_keeps_exact_aggregates(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", max_samples=64)
+        n = 10_000
+        for i in range(n):
+            histogram.observe(float(i))
+        assert histogram.count == n
+        assert histogram.sum == sum(range(n))
+        assert histogram.min == 0.0
+        assert histogram.max == float(n - 1)
+        assert len(histogram._samples) < 64
+        # Decimated percentiles stay in the right region.
+        assert histogram.percentile(50) == pytest.approx(n / 2, rel=0.25)
+
+    def test_decimation_is_deterministic(self):
+        def run():
+            histogram = MetricsRegistry().histogram("h", max_samples=32)
+            for i in range(1000):
+                histogram.observe(float(i % 97))
+            return histogram.summary()
+
+        assert run() == run()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_name_cannot_change_type(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.gauge("x")
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(3)
+        registry.gauge("b.level").set(1.5)
+        registry.histogram("c.dist").observe(2.0)
+        snapshot = registry.as_dict()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a.count"] == {"type": "counter", "value": 3.0}
+        assert snapshot["b.level"]["value"] == 1.5
+        assert snapshot["c.dist"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.names() == []
+        assert registry.counter("a").value == 0

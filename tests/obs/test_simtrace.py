@@ -1,0 +1,147 @@
+"""Simulated-time trace tests, including the Figure-2 overlap golden."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.buffering import (
+    BufferingMode,
+    double_buffered_timeline,
+    single_buffered_timeline,
+)
+from repro.errors import ObservabilityError
+from repro.hwsim import EventQueue, trace_timeline
+from repro.obs import (
+    SimTrace,
+    TRACK_COMPUTE,
+    TRACK_EVENTS,
+    TRACK_READ,
+    TRACK_WRITE,
+    timeline_to_trace,
+)
+
+
+class TestSimTrace:
+    def test_complete_and_instant_events(self):
+        trace = SimTrace("t")
+        trace.complete(TRACK_COMPUTE, "C1", 0.0, 2.0, {"iteration": 1})
+        trace.instant(TRACK_EVENTS, "fire", 1.0)
+        phases = sorted(e["ph"] for e in trace.events)
+        assert phases == ["X", "i"]
+        assert trace.intervals(TRACK_COMPUTE) == [(0.0, 2.0)]
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ObservabilityError, match="before start"):
+            SimTrace().complete(TRACK_COMPUTE, "C1", 2.0, 1.0)
+
+    def test_standard_lanes_have_stable_tids(self):
+        trace = SimTrace()
+        trace.complete(TRACK_READ, "W1", 0.0, 1.0)   # out of visual order
+        trace.complete(TRACK_WRITE, "R1", 0.0, 1.0)
+        trace.complete(TRACK_COMPUTE, "C1", 0.0, 1.0)
+        document = trace.to_chrome()
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[TRACK_WRITE] < names[TRACK_COMPUTE] < names[TRACK_READ]
+
+    def test_overlap_detection(self):
+        trace = SimTrace()
+        trace.complete(TRACK_WRITE, "R2", 1.0, 3.0)
+        trace.complete(TRACK_COMPUTE, "C1", 2.0, 4.0)
+        assert trace.tracks_overlap(TRACK_WRITE, TRACK_COMPUTE)
+        assert not trace.tracks_overlap(TRACK_WRITE, TRACK_READ)
+
+    def test_back_to_back_is_not_overlap(self):
+        trace = SimTrace()
+        trace.complete(TRACK_WRITE, "R2", 0.0, 1.0)
+        trace.complete(TRACK_COMPUTE, "C1", 1.0, 2.0)
+        assert not trace.tracks_overlap(TRACK_WRITE, TRACK_COMPUTE)
+
+
+class TestTimelineBridge:
+    def test_single_buffered_never_overlaps(self):
+        timeline = single_buffered_timeline(2.0, 3.0, 1.0, 3)
+        trace = timeline_to_trace(timeline)
+        assert not trace.tracks_overlap(TRACK_WRITE, TRACK_COMPUTE)
+        assert not trace.tracks_overlap(TRACK_READ, TRACK_COMPUTE)
+
+    def test_double_buffered_overlaps(self):
+        timeline = double_buffered_timeline(2.0, 5.0, 1.0, 4)
+        trace = timeline_to_trace(timeline)
+        assert trace.tracks_overlap(TRACK_WRITE, TRACK_COMPUTE)
+
+    def test_trace_timeline_helper_round_trips_json(self, tmp_path):
+        timeline = double_buffered_timeline(2.0, 5.0, 1.0, 4)
+        path = tmp_path / "fig2.json"
+        trace_timeline(timeline, name="fig2").write(str(path))
+        document = json.loads(path.read_text())
+        x_events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        # 4 iterations x (read + compute + write)
+        assert len(x_events) == 12
+        assert {"R1", "C1", "W1"} <= {e["name"] for e in x_events}
+
+
+class TestEventQueueEmission:
+    def test_on_fire_sees_every_event_with_labels(self):
+        queue = EventQueue()
+        trace = SimTrace()
+        queue.on_fire = lambda event: trace.instant(
+            TRACK_EVENTS, event.label or "anon", event.time
+        )
+        queue.schedule(1.0, lambda: None, "first")
+        queue.schedule(2.0, lambda: None, "second")
+        queue.run()
+        names = [e["name"] for e in trace.events]
+        assert names == ["first", "second"]
+
+
+class TestGoldenPdf1dTrace:
+    """Acceptance golden: the double-buffered 1-D PDF run's Chrome trace
+    must show the paper's Figure-2 overlap — transfer lanes concurrent
+    with the compute lane."""
+
+    @pytest.fixture(scope="class")
+    def trace_document(self, tmp_path_factory):
+        from repro.apps.registry import get_case_study
+
+        study = get_case_study("pdf1d")
+        trace = SimTrace("pdf1d-db")
+        simulator = dataclasses.replace(
+            study.simulator(150.0), mode=BufferingMode.DOUBLE, trace=trace
+        )
+        simulator.run()
+        path = tmp_path_factory.mktemp("trace") / "pdf1d.json"
+        trace.write(str(path))
+        return trace, json.loads(path.read_text())
+
+    def test_valid_chrome_trace(self, trace_document):
+        _, document = trace_document
+        assert isinstance(document["traceEvents"], list)
+        for event in document["traceEvents"]:
+            assert event["ph"] in ("X", "i", "M")
+            if event["ph"] == "X":
+                assert event["ts"] >= 0
+                assert event["dur"] >= 0
+
+    def test_write_and_compute_lanes_overlap(self, trace_document):
+        trace, _ = trace_document
+        assert trace.tracks_overlap(TRACK_WRITE, TRACK_COMPUTE)
+
+    def test_all_iterations_present(self, trace_document):
+        trace, _ = trace_document
+        # 400 input transfers, 400 computes, 400 result write-backs.
+        assert len(trace.intervals(TRACK_WRITE)) == 400
+        assert len(trace.intervals(TRACK_COMPUTE)) == 400
+        assert len(trace.intervals(TRACK_READ)) == 400
+
+    def test_event_instants_carry_simulator_labels(self, trace_document):
+        trace, document = trace_document
+        instants = {
+            e["name"] for e in document["traceEvents"] if e["ph"] == "i"
+        }
+        assert "R1" in instants
+        assert "C400" in instants

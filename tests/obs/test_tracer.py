@@ -1,0 +1,153 @@
+"""Tracer tests: nesting, determinism, and the zero-cost no-op path."""
+
+import tracemalloc
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NOOP_SPAN, Tracer
+from repro.obs.tracer import _NoopSpan
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == 1
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert outer.parent_id is None
+
+    def test_spans_recorded_in_start_order(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.name for s in tracer.spans] == ["a", "b", "c"]
+        assert [s.span_id for s in tracer.spans] == [0, 1, 2]
+
+    def test_deterministic_timing_with_fake_clock(self):
+        tracer = Tracer(clock=FakeClock(step=0.5))
+        with tracer.span("a"):
+            pass
+        span = tracer.spans[0]
+        assert span.start == 0.5
+        assert span.end == 1.0
+        assert span.duration == pytest.approx(0.5)
+
+    def test_sibling_runs_are_reproducible(self):
+        def run():
+            tracer = Tracer(clock=FakeClock())
+            for name in ("x", "y"):
+                with tracer.span(name):
+                    with tracer.span(name + ".child"):
+                        pass
+            return [(s.name, s.span_id, s.parent_id, s.start, s.end)
+                    for s in tracer.spans]
+
+        assert run() == run()
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        span = tracer.spans[0]
+        assert span.finished
+        assert span.attributes["error"] == "boom"
+        assert span.attributes["error_type"] == "ValueError"
+
+    def test_attributes(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", {"design": "pdf1d"}) as span:
+            span.set_attribute("verdict", "proceed")
+        assert tracer.spans[0].attributes == {
+            "design": "pdf1d",
+            "verdict": "proceed",
+        }
+
+    def test_clear_requires_closed_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("open")
+        span.__enter__()
+        with pytest.raises(ObservabilityError, match="open"):
+            tracer.clear()
+        span.__exit__(None, None, None)
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestNoopPath:
+    def test_disabled_returns_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NOOP_SPAN
+        assert tracer.span("other") is NOOP_SPAN
+        assert isinstance(NOOP_SPAN, _NoopSpan)
+
+    def test_noop_span_is_inert(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            span.set_attribute("k", "v")
+        assert tracer.spans == []
+        assert not NOOP_SPAN.is_recording
+
+    def test_noop_path_allocates_nothing(self):
+        """The disabled hot path must be zero-allocation.
+
+        Instrumentation stays in ``predict``/``evaluate_design``
+        permanently; with tracing off it must not touch the allocator.
+        tracemalloc reports every allocation (even freelist reuse), so a
+        zero delta here is the strongest no-overhead guarantee available
+        from pure Python.
+        """
+        tracer = Tracer(enabled=False)
+
+        def hot_path() -> None:
+            with tracer.span("hot"):
+                pass
+
+        hot_path()  # warm up (bytecode caches, method binding)
+        hot_path()
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            for _ in range(100):
+                hot_path()
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0
+
+    def test_reenable_at_runtime(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored"):
+            pass
+        tracer.enabled = True
+        with tracer.span("recorded"):
+            pass
+        assert [s.name for s in tracer.spans] == ["recorded"]

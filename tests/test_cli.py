@@ -157,6 +157,117 @@ class TestLintCommand:
         assert "small-transfers" in capsys.readouterr().out
 
 
+class TestJsonOutput:
+    def test_worksheet_format_json(self, capsys):
+        assert main(["worksheet", "--study", "pdf1d", "--format", "json",
+                     "--clocks", "75,150"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "1-D PDF"
+        assert data["mode"] == "single"
+        assert len(data["predictions"]) == 2
+        assert {"clock_mhz", "t_comm", "t_comp", "t_rc", "speedup"} <= set(
+            data["predictions"][0]
+        )
+        assert data["inputs"]["elements_in"] == 512
+
+    def test_study_json_flag(self, capsys):
+        assert main(["study", "pdf1d", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["actual"]["speedup"] > 0
+        assert data["resources"]["fits"] is True
+        assert 0 < data["resources"]["utilization"]["bram"] < 1
+        assert len(data["predictions"]) == 3
+
+    def test_study_format_json_equivalent(self, capsys):
+        assert main(["study", "md", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "Molecular dynamics"
+
+
+class TestTraceCommand:
+    def test_pdf1d_trace_is_valid_and_overlapped(self, tmp_path, capsys):
+        from repro.obs import SimTrace, TRACK_COMPUTE, TRACK_WRITE
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--study", "pdf1d", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "lanes overlap" in stdout
+        document = json.loads(out.read_text())
+        x_events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(x_events) == 1200  # 400 x (write + compute + read)
+        for event in x_events:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        # Rebuild intervals per track to verify the Figure-2 overlap.
+        tids = {
+            e["args"]["name"]: e["tid"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        write_iv = sorted(
+            (e["ts"], e["ts"] + e["dur"])
+            for e in x_events if e["tid"] == tids[TRACK_WRITE]
+        )
+        comp_iv = sorted(
+            (e["ts"], e["ts"] + e["dur"])
+            for e in x_events if e["tid"] == tids[TRACK_COMPUTE]
+        )
+        assert any(
+            ws < ce and cs < we
+            for ws, we in write_iv for cs, ce in comp_iv
+        )
+
+    def test_single_buffered_trace_has_no_overlap(self, tmp_path, capsys):
+        out = tmp_path / "sb.json"
+        assert main(["trace", "--study", "pdf1d", "--out", str(out),
+                     "--single-buffered"]) == 0
+        assert "do not overlap" in capsys.readouterr().out
+
+    def test_clock_override(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "--study", "pdf1d", "--out", str(out),
+                     "--clock", "75"]) == 0
+        assert "75 MHz" in capsys.readouterr().out
+
+    def test_unwritable_out_is_clean_error(self, tmp_path, capsys):
+        out = tmp_path / "no-such-dir" / "trace.json"
+        assert main(["trace", "--study", "pdf1d", "--out", str(out)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def clean_observability(self):
+        from repro.obs import reset
+
+        reset()
+        yield
+        reset()
+
+    def test_trace_flag_writes_chrome_file(self, tmp_path, capsys):
+        trace_path = tmp_path / "wall.json"
+        assert main(["--trace", str(trace_path),
+                     "worksheet", "--study", "pdf1d"]) == 0
+        document = json.loads(trace_path.read_text())
+        names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert "rat.predict" in names
+        assert "wrote trace" in capsys.readouterr().err
+
+    def test_metrics_flag_writes_summary(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.txt"
+        assert main(["--metrics", str(metrics_path),
+                     "experiment", "fig3"]) == 0
+        text = metrics_path.read_text()
+        assert "experiment.fig3.wall_s" in text
+        assert "experiment.pass" in text
+
+    def test_flags_exported_even_on_command_failure(self, tmp_path):
+        metrics_path = tmp_path / "metrics.txt"
+        code = main(["--metrics", str(metrics_path),
+                     "goalseek", "--study", "pdf1d", "--target", "100000"])
+        assert code == 2
+        assert metrics_path.exists()
+
+
 class TestSweepCommand:
     def test_clock_sweep_chart(self, capsys):
         assert main(["sweep", "--study", "pdf1d", "--variable", "clock",
