@@ -1,0 +1,115 @@
+"""Batch prediction engine throughput vs the scalar evaluator.
+
+Times :func:`repro.core.batch.batch_predict` over design spaces of 1e2,
+1e4 and 1e6 points and compares against a scalar ``predict`` loop.  The
+scalar side is timed over a capped subsample (its per-point cost is
+size-independent) so the 1e6 case does not take minutes; the batch side
+always evaluates the full space, with one warm-up call and best-of-3
+timing so the reported number is steady-state throughput rather than
+first-touch page-fault cost (a one-off per process, ~4x).  Asserts the
+batch engine wins at every size and by >= 50x at a million points, and
+records the measured points/sec and speedup ratios as gauges so
+``BENCH_PR2.json`` captures the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps import get_case_study
+from repro.core.batch import batch_predict
+from repro.core.buffering import BufferingMode
+from repro.core.throughput import predict
+from repro.explore import DesignSpace
+
+from .conftest import record_gauge
+
+#: Benchmark sizes: small (dispatch-dominated), medium, large (the
+#: ISSUE's 1e6-point target where the >= 50x floor applies).
+SIZES = (100, 10_000, 1_000_000)
+
+#: Scalar predictions are timed over at most this many points; the
+#: per-point cost is extrapolated to the full space.
+SCALAR_CAP = 2_000
+
+
+def _timed(fn, *args):
+    started = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - started
+
+
+def _space(n: int) -> DesignSpace:
+    base = get_case_study("pdf1d").rat
+    return DesignSpace.random(
+        base, n, seed=42, clock_mhz=(50, 300), alpha=(0.1, 0.95)
+    )
+
+
+def _scalar_points_per_sec(space: DesignSpace, mode: BufferingMode) -> float:
+    n = min(len(space), SCALAR_CAP)
+    designs = [space.design(i) for i in range(n)]
+    started = time.perf_counter()
+    for rat in designs:
+        predict(rat, mode)
+    elapsed = time.perf_counter() - started
+    return n / elapsed
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_batch_vs_scalar(n, show):
+    space = _space(n)
+    mode = BufferingMode.SINGLE
+    batch = space.to_batch()
+
+    prediction = batch_predict(batch, mode)  # warm-up (page-faults pages)
+    batch_elapsed = min(
+        _timed(batch_predict, batch, mode) for _ in range(3)
+    )
+    batch_pps = n / batch_elapsed
+
+    scalar_pps = _scalar_points_per_sec(space, mode)
+    ratio = batch_pps / scalar_pps
+
+    record_gauge(f"bench.batch_predict.{n}.batch_points_per_sec", batch_pps)
+    record_gauge(f"bench.batch_predict.{n}.scalar_points_per_sec", scalar_pps)
+    record_gauge(f"bench.batch_predict.{n}.speedup_ratio", ratio)
+
+    show(
+        f"batch_predict @ {n:,} points: "
+        f"batch {batch_pps:,.0f} pts/s vs scalar {scalar_pps:,.0f} pts/s "
+        f"-> {ratio:.1f}x"
+    )
+
+    # Spot-check correctness on the timed result.
+    i = prediction.argbest()
+    assert float(prediction.speedup[i]) == pytest.approx(
+        predict(space.design(i), mode).speedup, rel=1e-12
+    )
+
+    assert ratio > 1.0, f"batch slower than scalar at {n} points"
+    if n >= 1_000_000:
+        assert ratio >= 50.0, (
+            f"batch engine only {ratio:.1f}x scalar at {n} points "
+            "(target >= 50x)"
+        )
+
+
+def test_explore_pipeline_throughput(show):
+    """End-to-end explore() (space -> batch -> chunks) at 1e6 points."""
+    from repro.explore import explore
+
+    space = _space(1_000_000)
+    result = explore(space)
+    record_gauge(
+        "bench.explore.1000000.points_per_sec", result.points_per_sec
+    )
+    show(
+        f"explore @ 1,000,000 points: {result.points_per_sec:,.0f} pts/s "
+        f"({result.elapsed_s:.3f} s end-to-end)"
+    )
+    assert len(result) == 1_000_000
+    scalar_pps = _scalar_points_per_sec(space, BufferingMode.SINGLE)
+    assert result.points_per_sec > scalar_pps

@@ -26,12 +26,22 @@ import pytest
 from repro.obs import MetricsRegistry
 
 #: Schema/file name for this PR's perf record.  Future PRs bump the
-#: suffix (BENCH_PR2.json, ...) so the trajectory accumulates in-tree.
-BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+#: suffix (BENCH_PR3.json, ...) so the trajectory accumulates in-tree.
+BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 
 #: Session-local registry: isolated from the process-global one so a
 #: benchmark run's record is not polluted by unrelated library use.
 _registry = MetricsRegistry()
+
+
+def record_gauge(name: str, value: float) -> None:
+    """Record a benchmark-computed measurement into the perf record.
+
+    For numbers the harness cannot see from wall time alone — throughput
+    ratios, points/sec — so they land in ``BENCH_PR2.json`` next to the
+    per-test timings.
+    """
+    _registry.gauge(name).set(value)
 
 
 @pytest.fixture

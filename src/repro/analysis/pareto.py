@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..core.batch import BatchInput, batch_predict
 from ..core.buffering import BufferingMode
 from ..core.methodology import DesignCandidate
 from ..core.resources.report import utilization_report
-from ..core.throughput import predict
 from ..errors import ParameterError
 from ..platforms.device import FPGADevice
 
@@ -49,25 +49,32 @@ def evaluate_candidates(
 
     Candidates without a kernel design cannot be costed and are rejected
     — a Pareto comparison with an unknown cost axis is meaningless.
+    Speedups for the whole slate come from one ``batch_predict`` call;
+    resource costing remains per-candidate (it walks operator trees).
     """
-    points: list[ParetoPoint] = []
-    for candidate in candidates:
+    candidate_list = list(candidates)
+    if not candidate_list:
+        raise ParameterError("at least one candidate is required")
+    for candidate in candidate_list:
         if candidate.kernel_design is None:
             raise ParameterError(
                 f"candidate {candidate.name!r} has no kernel design; "
                 "cost axis undefined"
             )
+    speedups = batch_predict(
+        BatchInput.from_inputs([c.rat for c in candidate_list]), mode
+    ).speedup
+    points: list[ParetoPoint] = []
+    for i, candidate in enumerate(candidate_list):
         report = utilization_report(candidate.kernel_design, device)
         points.append(
             ParetoPoint(
                 candidate=candidate,
-                speedup=predict(candidate.rat, mode).speedup,
+                speedup=float(speedups[i]),
                 cost=report.utilization(report.limiting_resource),
                 fits=report.fits,
             )
         )
-    if not points:
-        raise ParameterError("at least one candidate is required")
     return points
 
 

@@ -16,6 +16,12 @@ Subcommands
 ``rat trace --study NAME --out FILE``
     Run the event-driven simulator and export the realised schedule as a
     Chrome trace-event file (open in chrome://tracing / Perfetto).
+``rat explore --study NAME --axis clock_mhz=75,100,150 --axis alpha=0.1:0.5:9``
+    Grid design-space exploration on the vectorized batch engine:
+    every combination of the axis values is predicted in bulk
+    (``--workers``/``--chunk`` control parallelism and chunking;
+    ``--format json`` emits machine-readable records, ``--top K`` keeps
+    the K best by speedup).
 ``rat platforms``
     List catalogued platforms/devices/interconnects.
 
@@ -186,6 +192,49 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="explicit buffer-pool depth (overrides the buffering mode)",
+    )
+
+    explore_cmd = sub.add_parser(
+        "explore",
+        help="grid design-space exploration on the batch engine",
+    )
+    explore_cmd.add_argument(
+        "--study", required=True, choices=list_case_studies()
+    )
+    explore_cmd.add_argument(
+        "--axis",
+        action="append",
+        required=True,
+        metavar="NAME=SPEC",
+        help="axis values: NAME=v1,v2,... or NAME=lo:hi:count (linspace); "
+        "repeat for a multi-axis grid",
+    )
+    explore_cmd.add_argument("--double-buffered", action="store_true")
+    explore_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for chunk evaluation (default serial)",
+    )
+    explore_cmd.add_argument(
+        "--chunk",
+        type=int,
+        default=0,
+        metavar="N",
+        help="design points per batch chunk (default: engine default)",
+    )
+    explore_cmd.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print only the K highest-speedup points",
+    )
+    explore_cmd.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "json"],
+        help="output format",
     )
 
     sub.add_parser("platforms", help="list the platform catalog")
@@ -404,6 +453,100 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis_spec(text: str) -> tuple[str, list[float]]:
+    """Parse one ``--axis NAME=v1,v2,...`` / ``NAME=lo:hi:count`` flag."""
+    from .errors import ParameterError
+
+    name, separator, spec = text.partition("=")
+    name, spec = name.strip(), spec.strip()
+    if not separator or not name or not spec:
+        raise ParameterError(
+            f"malformed axis {text!r}; expected NAME=v1,v2,... or "
+            "NAME=lo:hi:count"
+        )
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ParameterError(
+                f"malformed axis range {spec!r}; expected lo:hi:count"
+            )
+        low, high, count = float(parts[0]), float(parts[1]), int(parts[2])
+        if count < 1:
+            raise ParameterError(f"axis {name!r} count must be >= 1")
+        if count == 1:
+            return name, [low]
+        step = (high - low) / (count - 1)
+        return name, [low + step * i for i in range(count)]
+    return name, [float(part) for part in spec.split(",") if part.strip()]
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import DEFAULT_CHUNK_SIZE, DesignSpace, explore
+
+    study = get_case_study(args.study)
+    mode = BufferingMode.DOUBLE if args.double_buffered else BufferingMode.SINGLE
+    axes: dict[str, list[float]] = {}
+    for flag in args.axis:
+        name, values = _parse_axis_spec(flag)
+        axes[name] = values
+    space = DesignSpace.grid(study.rat, **axes)
+    result = explore(
+        space,
+        mode,
+        chunk_size=args.chunk if args.chunk > 0 else DEFAULT_CHUNK_SIZE,
+        workers=args.workers,
+    )
+    records = result.as_records()
+    order = sorted(
+        range(len(records)), key=lambda i: -records[i]["speedup"]
+    )
+    if args.top > 0:
+        order = order[: args.top]
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "name": study.rat.name,
+                "mode": mode.value,
+                "axes": {name: values for name, values in axes.items()},
+                "points": len(result),
+                "elapsed_s": result.elapsed_s,
+                "points_per_sec": result.points_per_sec,
+                "predictions": [records[i] for i in order],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    axis_headers = list(space.axes)
+    headers = axis_headers + ["speedup", "t_rc", "util_comm", "bound"]
+    rows = []
+    for i in order:
+        record = records[i]
+        bound = "comp" if record["t_comp"] >= record["t_comm"] else "comm"
+        rows.append(
+            [f"{record[name]:g}" for name in axis_headers]
+            + [
+                f"{record['speedup']:.2f}x",
+                f"{record['t_rc']:.3e}",
+                f"{record['util_comm']:.2f}",
+                bound,
+            ]
+        )
+    widths = [
+        max(len(header), *(len(row[j]) for row in rows))
+        for j, header in enumerate(headers)
+    ]
+    print("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    print(
+        f"{len(result)} point(s) in {result.elapsed_s:.3f} s "
+        f"({result.points_per_sec:,.0f} predictions/s, "
+        f"{mode.value}-buffered)"
+    )
+    return 0
+
+
 def _cmd_platforms(_: argparse.Namespace) -> int:
     print("Platforms:")
     for name in list_platforms():
@@ -442,6 +585,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lint": _cmd_lint,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "explore": _cmd_explore,
         "platforms": _cmd_platforms,
     }
     try:

@@ -7,6 +7,9 @@ Submodules
 ``throughput``
     Equations (1)-(11): communication/computation times, RC execution
     time under single/double buffering, speedup, utilizations.
+``batch``
+    Struct-of-arrays evaluation of the same equations over thousands to
+    millions of design points per call (the exploration fast path).
 ``buffering``
     Overlap scenarios of Figure 2 and analytic timeline construction.
 ``worksheet``
@@ -27,6 +30,7 @@ Submodules
     applications, multi-FPGA scaling, and streaming designs.
 """
 
+from .batch import BatchInput, BatchPrediction, batch_predict
 from .buffering import BufferingMode, OverlapTimeline, TimelineSegment
 from .goalseek import (
     required_alpha,
@@ -47,7 +51,10 @@ from .throughput import ThroughputPrediction, predict
 from .worksheet import PerformanceTable, RATWorksheet
 
 __all__ = [
+    "BatchInput",
+    "BatchPrediction",
     "BufferingMode",
+    "batch_predict",
     "DEFAULT_POWER_MODEL",
     "PowerEstimate",
     "PowerModel",

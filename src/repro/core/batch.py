@@ -1,0 +1,454 @@
+"""Vectorized batch evaluation of the RAT equations (1)-(11).
+
+:func:`repro.core.throughput.predict` evaluates one worksheet at a time;
+profiling shows dataclass construction and attribute chasing dominate its
+cost, capping what-if exploration at roughly 10k-100k design points per
+second.  This module is the struct-of-arrays counterpart: a
+:class:`BatchInput` holds one numpy column per worksheet field, and
+:func:`batch_predict` applies the paper's equations to every row at once.
+
+Two invariants make the batch path a drop-in backend for the analysis
+layer:
+
+* **Bitwise agreement.**  Every formula is written with the exact same
+  operation order as the scalar functions in
+  :mod:`repro.core.throughput`, so each row of a batch result is the
+  IEEE-754-identical value the scalar path would produce (pinned to
+  ~1e-12 by ``tests/core/test_batch.py``, and exactly relied upon by
+  ``crossover_block_size``'s lattice search).
+* **Round-tripping.**  :meth:`BatchInput.from_inputs` /
+  :meth:`BatchInput.row` convert losslessly to and from the scalar
+  :class:`~repro.core.params.RATInput`, and
+  :meth:`BatchPrediction.row` rehydrates a scalar
+  :class:`~repro.core.throughput.ThroughputPrediction`, so callers can
+  keep their scalar result types while computing in bulk.
+
+Validation mirrors the scalar dataclasses' ``__post_init__`` checks but
+runs vectorized; the first offending row is named in the error message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..obs import get_metrics, get_tracer
+from .buffering import BufferingMode
+from .params import (
+    CommunicationParams,
+    ComputationParams,
+    DatasetParams,
+    RATInput,
+    SoftwareParams,
+)
+from .throughput import ThroughputPrediction
+
+__all__ = ["BatchInput", "BatchPrediction", "batch_predict"]
+
+#: BatchInput array-column names, in worksheet order.  All values are SI
+#: (bytes, bytes/s, Hz, seconds) — the same convention as the scalar
+#: parameter dataclasses, *not* the worksheet's MB/s / MHz display units.
+_COLUMNS = (
+    "elements_in",
+    "elements_out",
+    "bytes_per_element",
+    "ideal_bandwidth",
+    "alpha_write",
+    "alpha_read",
+    "ops_per_element",
+    "throughput_proc",
+    "clock_hz",
+    "t_soft",
+    "n_iterations",
+)
+
+
+def _as_column(name: str, values: object, n: int) -> np.ndarray:
+    """Coerce one field to a float64 column of length ``n``."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim == 0:
+        array = np.full(n, float(array))
+    if array.ndim != 1:
+        raise ParameterError(
+            f"{name} must be scalar or 1-D, got shape {array.shape}"
+        )
+    if array.shape[0] != n:
+        raise ParameterError(
+            f"{name} has {array.shape[0]} rows, expected {n}"
+        )
+    return array
+
+
+def _first_bad(mask: np.ndarray) -> int:
+    """Index of the first row violating a validation mask."""
+    return int(np.argmax(mask))
+
+
+@dataclass(frozen=True, eq=False)
+class BatchInput:
+    """A struct-of-arrays bundle of ``n`` RAT worksheet inputs.
+
+    Each field is a float64 column of equal length; rows correspond to
+    independent design points.  ``names`` optionally labels rows for
+    reports (empty tuple means unnamed).  Instances are immutable;
+    slicing with ``batch[a:b]`` returns a new view-backed batch, which is
+    what the exploration executor chunks on.
+    """
+
+    elements_in: np.ndarray
+    elements_out: np.ndarray
+    bytes_per_element: np.ndarray
+    ideal_bandwidth: np.ndarray
+    alpha_write: np.ndarray
+    alpha_read: np.ndarray
+    ops_per_element: np.ndarray
+    throughput_proc: np.ndarray
+    clock_hz: np.ndarray
+    t_soft: np.ndarray
+    n_iterations: np.ndarray
+    names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        first = np.asarray(self.elements_in, dtype=np.float64).ravel()
+        n = first.shape[0]
+        for name in _COLUMNS:
+            column = _as_column(name, getattr(self, name), n)
+            object.__setattr__(self, name, column)
+        if self.names and len(self.names) != n:
+            raise ParameterError(
+                f"names has {len(self.names)} entries, expected {n}"
+            )
+        self._validate()
+
+    def _validate(self) -> None:
+        """Vectorized mirror of the scalar dataclasses' validation."""
+        positive = (
+            "elements_in",
+            "bytes_per_element",
+            "ideal_bandwidth",
+            "ops_per_element",
+            "throughput_proc",
+            "clock_hz",
+            "t_soft",
+        )
+        for name in positive:
+            column = getattr(self, name)
+            bad = ~(np.isfinite(column) & (column > 0))
+            if bad.any():
+                i = _first_bad(bad)
+                raise ParameterError(
+                    f"{name} must be positive and finite, got "
+                    f"{column[i]} at row {i}"
+                )
+        bad = ~(np.isfinite(self.elements_out) & (self.elements_out >= 0))
+        if bad.any():
+            i = _first_bad(bad)
+            raise ParameterError(
+                f"elements_out must be >= 0 and finite, got "
+                f"{self.elements_out[i]} at row {i}"
+            )
+        for name in ("alpha_write", "alpha_read"):
+            column = getattr(self, name)
+            bad = ~(np.isfinite(column) & (column > 0) & (column <= 1))
+            if bad.any():
+                i = _first_bad(bad)
+                raise ParameterError(
+                    f"{name} must be in (0, 1], got {column[i]} at row {i}"
+                )
+        bad = ~(np.isfinite(self.n_iterations) & (self.n_iterations >= 1))
+        if bad.any():
+            i = _first_bad(bad)
+            raise ParameterError(
+                f"n_iterations must be >= 1, got "
+                f"{self.n_iterations[i]} at row {i}"
+            )
+
+    # ---- construction ------------------------------------------------------
+
+    @classmethod
+    def from_inputs(cls, inputs: Sequence[RATInput]) -> "BatchInput":
+        """Transpose a sequence of scalar worksheets into columns."""
+        inputs = list(inputs)
+        if not inputs:
+            raise ParameterError("from_inputs requires at least one input")
+        return cls(
+            elements_in=np.array(
+                [r.dataset.elements_in for r in inputs], dtype=np.float64
+            ),
+            elements_out=np.array(
+                [r.dataset.elements_out for r in inputs], dtype=np.float64
+            ),
+            bytes_per_element=np.array(
+                [r.dataset.bytes_per_element for r in inputs], dtype=np.float64
+            ),
+            ideal_bandwidth=np.array(
+                [r.communication.ideal_bandwidth for r in inputs],
+                dtype=np.float64,
+            ),
+            alpha_write=np.array(
+                [r.communication.alpha_write for r in inputs], dtype=np.float64
+            ),
+            alpha_read=np.array(
+                [r.communication.alpha_read for r in inputs], dtype=np.float64
+            ),
+            ops_per_element=np.array(
+                [r.computation.ops_per_element for r in inputs],
+                dtype=np.float64,
+            ),
+            throughput_proc=np.array(
+                [r.computation.throughput_proc for r in inputs],
+                dtype=np.float64,
+            ),
+            clock_hz=np.array(
+                [r.computation.clock_hz for r in inputs], dtype=np.float64
+            ),
+            t_soft=np.array(
+                [r.software.t_soft for r in inputs], dtype=np.float64
+            ),
+            n_iterations=np.array(
+                [r.software.n_iterations for r in inputs], dtype=np.float64
+            ),
+            names=tuple(r.name for r in inputs),
+        )
+
+    @classmethod
+    def from_base(
+        cls,
+        base: RATInput,
+        n: int,
+        overrides: Mapping[str, object] | None = None,
+        names: tuple[str, ...] = (),
+    ) -> "BatchInput":
+        """``n`` copies of ``base`` with selected columns overridden.
+
+        ``overrides`` maps column names (see the class fields; SI units)
+        to scalars or length-``n`` arrays.  This is the fast constructor
+        the exploration layer uses: no per-row ``RATInput`` objects are
+        ever materialised.
+        """
+        if n < 1:
+            raise ParameterError(f"batch size must be >= 1, got {n}")
+        columns: dict[str, object] = {
+            "elements_in": float(base.dataset.elements_in),
+            "elements_out": float(base.dataset.elements_out),
+            "bytes_per_element": float(base.dataset.bytes_per_element),
+            "ideal_bandwidth": float(base.communication.ideal_bandwidth),
+            "alpha_write": float(base.communication.alpha_write),
+            "alpha_read": float(base.communication.alpha_read),
+            "ops_per_element": float(base.computation.ops_per_element),
+            "throughput_proc": float(base.computation.throughput_proc),
+            "clock_hz": float(base.computation.clock_hz),
+            "t_soft": float(base.software.t_soft),
+            "n_iterations": float(base.software.n_iterations),
+        }
+        for name, values in (overrides or {}).items():
+            if name not in columns:
+                raise ParameterError(
+                    f"unknown batch column {name!r}; known: {sorted(columns)}"
+                )
+            columns[name] = values
+        built = {
+            name: _as_column(name, values, n)
+            for name, values in columns.items()
+        }
+        return cls(names=names, **built)
+
+    # ---- conversion --------------------------------------------------------
+
+    def row(self, i: int) -> RATInput:
+        """Rehydrate row ``i`` as a scalar :class:`RATInput`."""
+        return RATInput(
+            name=self.names[i] if self.names else "",
+            dataset=DatasetParams(
+                elements_in=int(self.elements_in[i]),
+                elements_out=int(self.elements_out[i]),
+                bytes_per_element=float(self.bytes_per_element[i]),
+            ),
+            communication=CommunicationParams(
+                ideal_bandwidth=float(self.ideal_bandwidth[i]),
+                alpha_write=float(self.alpha_write[i]),
+                alpha_read=float(self.alpha_read[i]),
+            ),
+            computation=ComputationParams(
+                ops_per_element=float(self.ops_per_element[i]),
+                throughput_proc=float(self.throughput_proc[i]),
+                clock_hz=float(self.clock_hz[i]),
+            ),
+            software=SoftwareParams(
+                t_soft=float(self.t_soft[i]),
+                n_iterations=int(self.n_iterations[i]),
+            ),
+        )
+
+    def to_inputs(self) -> list[RATInput]:
+        """Rehydrate every row (the slow path; prefer staying in arrays)."""
+        return [self.row(i) for i in range(len(self))]
+
+    # ---- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.elements_in.shape[0])
+
+    def __getitem__(self, key: slice) -> "BatchInput":
+        """Slice into a smaller batch (used by the chunked executor)."""
+        if not isinstance(key, slice):
+            raise ParameterError(
+                "BatchInput supports slice indexing only; use row(i) for "
+                "scalar access"
+            )
+        kwargs = {name: getattr(self, name)[key] for name in _COLUMNS}
+        names = self.names[key] if self.names else ()
+        return BatchInput(names=names, **kwargs)
+
+
+@dataclass(frozen=True, eq=False)
+class BatchPrediction:
+    """Struct-of-arrays result of one :func:`batch_predict` call.
+
+    Field semantics match :class:`~repro.core.throughput
+    .ThroughputPrediction` row-wise: ``t_input``/``t_output`` are per
+    iteration, ``t_rc`` covers all iterations, and the utilizations
+    follow Equations (8)-(11) for the evaluated buffering mode.
+    """
+
+    batch: BatchInput
+    mode: BufferingMode
+    t_input: np.ndarray
+    t_output: np.ndarray
+    t_comm: np.ndarray
+    t_comp: np.ndarray
+    t_rc: np.ndarray
+    speedup: np.ndarray
+    util_comp: np.ndarray
+    util_comm: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.t_rc.shape[0])
+
+    def row(self, i: int, rat: RATInput | None = None) -> ThroughputPrediction:
+        """Scalar prediction for row ``i``.
+
+        ``rat`` short-circuits the worksheet rehydration when the caller
+        still holds the original input object (the sweep backend does).
+        """
+        return ThroughputPrediction(
+            rat=rat if rat is not None else self.batch.row(i),
+            mode=self.mode,
+            t_input=float(self.t_input[i]),
+            t_output=float(self.t_output[i]),
+            t_comm=float(self.t_comm[i]),
+            t_comp=float(self.t_comp[i]),
+            t_rc=float(self.t_rc[i]),
+            speedup=float(self.speedup[i]),
+            util_comp=float(self.util_comp[i]),
+            util_comm=float(self.util_comm[i]),
+        )
+
+    def rows(
+        self, inputs: Sequence[RATInput] | None = None
+    ) -> Iterator[ThroughputPrediction]:
+        """Iterate scalar predictions (optionally reusing caller inputs)."""
+        if inputs is not None and len(inputs) != len(self):
+            raise ParameterError(
+                f"got {len(inputs)} inputs for {len(self)} predictions"
+            )
+        for i in range(len(self)):
+            yield self.row(i, inputs[i] if inputs is not None else None)
+
+    @property
+    def computation_bound(self) -> np.ndarray:
+        """Boolean column: True where computation dominates (row-wise
+        analogue of ``ThroughputPrediction.bound``)."""
+        return self.t_comp >= self.t_comm
+
+    def argbest(self) -> int:
+        """Row index of the highest predicted speedup."""
+        return int(np.argmax(self.speedup))
+
+    def as_records(self) -> list[dict[str, float]]:
+        """Flat per-row dicts mirroring ``ThroughputPrediction.as_dict``."""
+        clock_mhz = self.batch.clock_hz / 1e6
+        records = []
+        for i in range(len(self)):
+            record = {
+                "clock_mhz": float(clock_mhz[i]),
+                "t_input": float(self.t_input[i]),
+                "t_output": float(self.t_output[i]),
+                "t_comm": float(self.t_comm[i]),
+                "t_comp": float(self.t_comp[i]),
+                "t_rc": float(self.t_rc[i]),
+                "speedup": float(self.speedup[i]),
+                "util_comp": float(self.util_comp[i]),
+                "util_comm": float(self.util_comm[i]),
+            }
+            if self.batch.names:
+                record["name"] = self.batch.names[i]
+            records.append(record)
+        return records
+
+
+def batch_predict(
+    batch: BatchInput, mode: BufferingMode = BufferingMode.SINGLE
+) -> BatchPrediction:
+    """Equations (1)-(11) over every row of ``batch`` at once.
+
+    Each row is computed with the same operation order as the scalar
+    :func:`repro.core.throughput.predict`, so results agree bitwise.
+    The call increments ``throughput.predictions`` by the batch size and
+    feeds the ``throughput.speedup`` histogram in bulk, keeping metric
+    semantics consistent with the scalar path.
+    """
+    if mode not in (BufferingMode.SINGLE, BufferingMode.DOUBLE):
+        raise ParameterError(f"unknown buffering mode {mode!r}")
+    n = len(batch)
+    with get_tracer().span(
+        "rat.batch_predict", {"points": n, "mode": mode.value}, "throughput"
+    ):
+        # Buffers are reused via ``out=`` once an intermediate is dead:
+        # at a million rows each float64 column is 8 MB, and letting
+        # every intermediate allocate fresh pages made first-touch page
+        # faults — not arithmetic — the dominant cost.  Values are
+        # unchanged (same ufuncs, same operation order as scalar).
+        # Equation (2): bytes_in / write_bandwidth, same op order as scalar.
+        bytes_in = batch.elements_in * batch.bytes_per_element
+        write_bandwidth = batch.alpha_write * batch.ideal_bandwidth
+        t_input = np.divide(bytes_in, write_bandwidth, out=bytes_in)
+        # Equation (3), with the scalar path's zero-output short-circuit.
+        bytes_out = np.multiply(
+            batch.elements_out, batch.bytes_per_element, out=write_bandwidth
+        )
+        read_bandwidth = batch.alpha_read * batch.ideal_bandwidth
+        t_output = np.divide(bytes_out, read_bandwidth, out=bytes_out)
+        np.copyto(t_output, 0.0, where=batch.elements_out == 0)
+        # Equations (1), (4).
+        t_comm = t_input + t_output
+        total_ops = np.multiply(
+            batch.elements_in, batch.ops_per_element, out=read_bandwidth
+        )
+        ops_per_second = batch.clock_hz * batch.throughput_proc
+        t_comp = np.divide(total_ops, ops_per_second, out=total_ops)
+        # Equations (5)-(11).
+        if mode is BufferingMode.SINGLE:
+            t_iteration = np.add(t_comm, t_comp, out=ops_per_second)
+        else:
+            t_iteration = np.maximum(t_comm, t_comp, out=ops_per_second)
+        t_rc = batch.n_iterations * t_iteration
+        prediction = BatchPrediction(
+            batch=batch,
+            mode=mode,
+            t_input=t_input,
+            t_output=t_output,
+            t_comm=t_comm,
+            t_comp=t_comp,
+            t_rc=t_rc,
+            speedup=batch.t_soft / t_rc,
+            util_comp=t_comp / t_iteration,
+            util_comm=t_comm / t_iteration,
+        )
+    metrics = get_metrics()
+    metrics.counter("throughput.predictions").inc(n)
+    metrics.histogram("throughput.speedup").observe_many(prediction.speedup)
+    return prediction

@@ -1,0 +1,43 @@
+"""Design-space exploration on the vectorized batch engine.
+
+RAT's value to a designer is what-if exploration — sweeps, crossover
+bisection, Monte Carlo uncertainty bands, goal-seeking — and all of them
+reduce to evaluating the worksheet equations over many candidate
+designs.  This subsystem makes that evaluation fast and structured:
+
+``space``
+    :class:`DesignSpace`: named parameter axes over a base worksheet
+    with grid / random / explicit-list sampling plans, convertible to
+    scalar ``RATInput`` rows or one struct-of-arrays batch.
+``executor``
+    :func:`explore`: chunked evaluation through
+    :func:`repro.core.batch.batch_predict`, serial or process-parallel;
+    :func:`map_designs` for non-vectorizable evaluators (hardware
+    simulation, goal-seek).
+``cache``
+    :class:`PredictionCache`: LRU memoization of scalar predictions
+    keyed on the frozen worksheet.
+
+The ``rat explore`` CLI subcommand is a thin wrapper over
+:meth:`DesignSpace.grid` + :func:`explore`.
+"""
+
+from .cache import PredictionCache
+from .executor import (
+    DEFAULT_CHUNK_SIZE,
+    ExplorationResult,
+    explore,
+    map_designs,
+)
+from .space import AxisSpec, DesignSpace, axis_names
+
+__all__ = [
+    "AxisSpec",
+    "DEFAULT_CHUNK_SIZE",
+    "DesignSpace",
+    "ExplorationResult",
+    "PredictionCache",
+    "axis_names",
+    "explore",
+    "map_designs",
+]

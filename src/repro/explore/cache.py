@@ -1,0 +1,106 @@
+"""LRU cache of scalar throughput predictions.
+
+Exploration sessions revisit design points constantly — a bisection
+probes the same lattice nodes, interactive what-if loops re-evaluate the
+nominal design after each edit, goal-seek solvers re-enter the same
+brackets.  :class:`PredictionCache` memoizes
+:func:`repro.core.throughput.predict` keyed on the worksheet itself:
+:class:`~repro.core.params.RATInput` is a frozen (hence hashable)
+dataclass, so two structurally identical worksheets share one cache slot
+regardless of how they were constructed.
+
+Every lookup maintains the ``explore.cache_hits`` /
+``explore.cache_misses`` counters and the ``explore.cache_hit_rate``
+gauge in the process-global metrics registry, so a long-running service
+can watch its cache effectiveness without extra plumbing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.buffering import BufferingMode
+from ..core.params import RATInput
+from ..core.throughput import ThroughputPrediction, predict
+from ..errors import ParameterError
+from ..obs import get_metrics
+
+__all__ = ["PredictionCache"]
+
+#: Cache key: the frozen worksheet plus the buffering mode.
+_Key = tuple[RATInput, BufferingMode]
+
+
+class PredictionCache:
+    """Bounded least-recently-used memoization of ``predict``.
+
+    ``maxsize`` bounds the number of retained predictions; the least
+    recently *used* (looked up or inserted) entry is evicted first.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ParameterError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[_Key, ThroughputPrediction] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _record(self, hit: bool) -> None:
+        metrics = get_metrics()
+        if hit:
+            self.hits += 1
+            metrics.counter("explore.cache_hits").inc()
+        else:
+            self.misses += 1
+            metrics.counter("explore.cache_misses").inc()
+        metrics.gauge("explore.cache_hit_rate").set(self.hit_rate)
+
+    def get(
+        self, rat: RATInput, mode: BufferingMode = BufferingMode.SINGLE
+    ) -> ThroughputPrediction | None:
+        """The cached prediction, or None; counts as a hit/miss."""
+        entry = self._entries.get((rat, mode))
+        self._record(hit=entry is not None)
+        if entry is not None:
+            self._entries.move_to_end((rat, mode))
+        return entry
+
+    def put(
+        self,
+        rat: RATInput,
+        mode: BufferingMode,
+        prediction: ThroughputPrediction,
+    ) -> None:
+        """Insert (or refresh) one prediction, evicting the LRU entry."""
+        key = (rat, mode)
+        self._entries[key] = prediction
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def predict(
+        self, rat: RATInput, mode: BufferingMode = BufferingMode.SINGLE
+    ) -> ThroughputPrediction:
+        """Memoized drop-in for :func:`repro.core.throughput.predict`."""
+        cached = self.get(rat, mode)
+        if cached is not None:
+            return cached
+        prediction = predict(rat, mode)
+        self.put(rat, mode, prediction)
+        return prediction
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss tallies."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,265 @@
+"""Chunked execution of design-space explorations.
+
+:func:`explore` is the throughput-prediction fast path: it converts a
+:class:`~repro.explore.space.DesignSpace` to one struct-of-arrays batch,
+splits it into fixed-size chunks, and runs each chunk through
+:func:`~repro.core.batch.batch_predict` — serially by default, or across
+a ``ProcessPoolExecutor`` when ``workers > 1`` (worth it only for spaces
+large enough to amortise array pickling).  Passing a
+:class:`~repro.explore.cache.PredictionCache` switches to a memoized
+path that only batch-evaluates cache misses.
+
+:func:`map_designs` is the escape hatch for evaluators the batch engine
+cannot vectorize — event-driven hardware simulation, goal-seek solvers,
+resource estimation — fanning an arbitrary picklable callable over every
+design through the same process pool.
+
+Observability: every chunk runs under an ``explore.chunk`` span, the
+whole call under ``explore.run``; ``explore.points`` counts evaluated
+designs and the ``explore.predictions_per_sec`` gauge tracks realised
+throughput.  (Chunks evaluated in worker processes record their spans
+and counters in the *worker's* registry; the parent still records the
+run-level span and throughput.)
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..core.batch import BatchInput, BatchPrediction, batch_predict
+from ..core.buffering import BufferingMode
+from ..core.params import RATInput
+from ..core.throughput import ThroughputPrediction
+from ..errors import ParameterError
+from ..obs import get_metrics, get_tracer
+from .cache import PredictionCache
+from .space import DesignSpace
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "ExplorationResult", "explore", "map_designs"]
+
+#: Default points per chunk: large enough to amortise numpy dispatch,
+#: small enough to keep per-chunk spans meaningful and pool tasks even.
+DEFAULT_CHUNK_SIZE = 65536
+
+#: Scalar result attributes copied between row and column layouts.
+_RESULT_FIELDS = (
+    "t_input",
+    "t_output",
+    "t_comm",
+    "t_comp",
+    "t_rc",
+    "speedup",
+    "util_comp",
+    "util_comm",
+)
+
+
+@dataclass(frozen=True, eq=False)
+class ExplorationResult:
+    """Predictions for every point of one explored design space."""
+
+    space: DesignSpace
+    mode: BufferingMode
+    prediction: BatchPrediction
+    elapsed_s: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.prediction)
+
+    @property
+    def points_per_sec(self) -> float:
+        """Realised evaluation throughput of this run."""
+        return len(self) / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def best(self) -> tuple[dict[str, float], ThroughputPrediction]:
+        """The axis values and prediction with the highest speedup."""
+        i = self.prediction.argbest()
+        return self.space.point(i), self.prediction.row(i)
+
+    def as_records(self) -> list[dict[str, float]]:
+        """One flat dict per point: axis values + prediction fields."""
+        records = self.prediction.as_records()
+        for i, record in enumerate(records):
+            record.update(self.space.point(i))
+        return records
+
+
+def _chunk_bounds(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    return [(lo, min(lo + chunk_size, n)) for lo in range(0, n, chunk_size)]
+
+
+def _predict_chunk(
+    chunk: BatchInput, mode: BufferingMode
+) -> tuple[np.ndarray, ...]:
+    """Worker-side chunk evaluation (top level so it pickles)."""
+    prediction = batch_predict(chunk, mode)
+    return tuple(getattr(prediction, name) for name in _RESULT_FIELDS)
+
+
+def _assemble(
+    batch: BatchInput,
+    mode: BufferingMode,
+    parts: Sequence[tuple[np.ndarray, ...]],
+) -> BatchPrediction:
+    """Concatenate per-chunk result columns into one prediction."""
+    columns = {
+        name: np.concatenate([part[j] for part in parts])
+        for j, name in enumerate(_RESULT_FIELDS)
+    }
+    return BatchPrediction(batch=batch, mode=mode, **columns)
+
+
+def _explore_cached(
+    space: DesignSpace, mode: BufferingMode, cache: PredictionCache
+) -> tuple[BatchPrediction, int, int]:
+    """Memoized path: batch-evaluate only the cache misses."""
+    hits_before, misses_before = cache.hits, cache.misses
+    designs = [space.design(i) for i in range(len(space))]
+    found: list[ThroughputPrediction | None] = [
+        cache.get(rat, mode) for rat in designs
+    ]
+    missing = [i for i, p in enumerate(found) if p is None]
+    if missing:
+        sub = BatchInput.from_inputs([designs[i] for i in missing])
+        sub_prediction = batch_predict(sub, mode)
+        for k, i in enumerate(missing):
+            row = sub_prediction.row(k, designs[i])
+            cache.put(designs[i], mode, row)
+            found[i] = row
+    columns = {
+        name: np.array([getattr(p, name) for p in found], dtype=np.float64)
+        for name in _RESULT_FIELDS
+    }
+    prediction = BatchPrediction(batch=space.to_batch(), mode=mode, **columns)
+    return (
+        prediction,
+        cache.hits - hits_before,
+        cache.misses - misses_before,
+    )
+
+
+def explore(
+    space: DesignSpace,
+    mode: BufferingMode = BufferingMode.SINGLE,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
+    cache: PredictionCache | None = None,
+) -> ExplorationResult:
+    """Predict throughput for every point of ``space`` on the batch engine.
+
+    ``chunk_size`` bounds the rows evaluated per batch call (and the
+    granularity of pool tasks and ``explore.chunk`` spans); ``workers``
+    selects serial (``<= 1``) or process-pool execution.  ``cache``
+    switches to the memoized scalar-keyed path — designs already cached
+    are not re-evaluated, at the cost of materialising per-row
+    worksheets, so reserve it for spaces that are revisited.
+    """
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    if workers < 0:
+        raise ParameterError(f"workers must be >= 0, got {workers}")
+    n = len(space)
+    tracer = get_tracer()
+    started = time.perf_counter()
+    with tracer.span(
+        "explore.run",
+        {"points": n, "workers": workers, "chunk_size": chunk_size,
+         "mode": mode.value},
+        "explore",
+    ):
+        cache_hits = cache_misses = 0
+        if cache is not None:
+            prediction, cache_hits, cache_misses = _explore_cached(
+                space, mode, cache
+            )
+        else:
+            batch = space.to_batch()
+            bounds = _chunk_bounds(n, chunk_size)
+            chunks = [batch[lo:hi] for lo, hi in bounds]
+            if workers > 1 and len(chunks) > 1:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    parts = list(
+                        pool.map(partial(_predict_chunk, mode=mode), chunks)
+                    )
+            else:
+                parts = []
+                for index, chunk in enumerate(chunks):
+                    with tracer.span(
+                        "explore.chunk",
+                        {"chunk": index, "size": len(chunk)},
+                        "explore",
+                    ):
+                        parts.append(_predict_chunk(chunk, mode))
+            prediction = _assemble(batch, mode, parts)
+    elapsed = time.perf_counter() - started
+    metrics = get_metrics()
+    metrics.counter("explore.points").inc(n)
+    if elapsed > 0:
+        metrics.gauge("explore.predictions_per_sec").set(n / elapsed)
+    return ExplorationResult(
+        space=space,
+        mode=mode,
+        prediction=prediction,
+        elapsed_s=elapsed,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+    )
+
+
+def map_designs(
+    space: DesignSpace,
+    evaluator: Callable[[RATInput], Any],
+    *,
+    workers: int = 1,
+    chunk_size: int = 16,
+) -> list[Any]:
+    """Fan a non-vectorizable evaluator over every design in ``space``.
+
+    For work the batch engine cannot express — event-driven hardware
+    simulation, goal-seek, resource estimation — ``evaluator`` receives
+    each scalar :class:`RATInput` and its results are returned in design
+    order.  With ``workers > 1`` the evaluator must be picklable (a
+    module-level function), as must its results; ``chunk_size`` is the
+    pool's task granularity.
+    """
+    if workers < 0:
+        raise ParameterError(f"workers must be >= 0, got {workers}")
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    n = len(space)
+    tracer = get_tracer()
+    started = time.perf_counter()
+    with tracer.span(
+        "explore.map_designs", {"points": n, "workers": workers}, "explore"
+    ):
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(
+                    pool.map(evaluator, space.designs(), chunksize=chunk_size)
+                )
+        else:
+            results = []
+            for index, (lo, hi) in enumerate(_chunk_bounds(n, chunk_size)):
+                with tracer.span(
+                    "explore.chunk",
+                    {"chunk": index, "size": hi - lo},
+                    "explore",
+                ):
+                    results.extend(
+                        evaluator(space.design(i)) for i in range(lo, hi)
+                    )
+    elapsed = time.perf_counter() - started
+    metrics = get_metrics()
+    metrics.counter("explore.points").inc(n)
+    if elapsed > 0:
+        metrics.gauge("explore.predictions_per_sec").set(n / elapsed)
+    return results

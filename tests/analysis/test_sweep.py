@@ -116,3 +116,66 @@ class TestAsciiRendering:
 
         with pytest.raises(ParameterError):
             sweep_clock(pdf1d_rat, [75e6]).render_ascii(width=2)
+
+
+class TestSweepEdgeCases:
+    def test_preserves_value_order(self, pdf1d_rat):
+        # Deliberately unsorted: results must line up positionally.
+        values = [150e6, 75e6, 100e6, 75e6]
+        result = sweep_clock(pdf1d_rat, values)
+        assert result.values == tuple(values)
+        for value, prediction in zip(values, result.predictions):
+            assert prediction.speedup == pytest.approx(
+                predict(pdf1d_rat.with_clock_hz(value)).speedup, rel=1e-12
+            )
+        # Duplicated inputs yield identical rows.
+        assert result.predictions[1].t_rc == result.predictions[3].t_rc
+
+    def test_single_value_sweep(self, pdf1d_rat):
+        result = sweep_clock(pdf1d_rat, [100e6])
+        assert len(result.predictions) == 1
+        assert result.best()[0] == 100e6
+
+    def test_rows_carry_edited_inputs(self, pdf2d_rat):
+        result = sweep_alpha(pdf2d_rat, [0.2, 0.8])
+        assert result.predictions[0].rat.communication.alpha_write == 0.2
+        assert result.predictions[1].rat.communication.alpha_read == 0.8
+
+
+class TestCrossoverEdgeCases:
+    def test_degenerate_range_single_point(self, pdf1d_rat):
+        # min == max collapses the search to one probe at that block size.
+        at_512 = predict(pdf1d_rat.with_block_size(512, 10_000))
+        expected = 512 if at_512.t_comp >= at_512.t_comm else None
+        assert crossover_block_size(
+            pdf1d_rat, min_elements=512, max_elements=512
+        ) == expected
+
+    def test_degenerate_range_never_bound(self):
+        from repro.apps.extra.fir import fir_rat_input
+
+        assert crossover_block_size(
+            fir_rat_input(), min_elements=64, max_elements=64
+        ) is None
+
+    def test_always_communication_bound_returns_none(self, pdf1d_rat):
+        # Starve the channel so input transfer dominates at any block size.
+        starved = pdf1d_rat.with_alphas(0.001, 0.001)
+        assert crossover_block_size(starved) is None
+
+    def test_matches_scalar_linear_scan(self, pdf2d_rat):
+        # On a small range, the batch lattice search must agree with an
+        # exhaustive scalar scan for the smallest computation-bound size.
+        lo, hi = 1, 2_000
+        found = crossover_block_size(
+            pdf2d_rat, min_elements=lo, max_elements=hi
+        )
+        scan = next(
+            (
+                e for e in range(lo, hi + 1)
+                if predict(pdf2d_rat.with_block_size(e, 400)).t_comp
+                >= predict(pdf2d_rat.with_block_size(e, 400)).t_comm
+            ),
+            None,
+        )
+        assert found == scan

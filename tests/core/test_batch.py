@@ -1,0 +1,174 @@
+"""Batch prediction engine tests: parity, round-tripping, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.batch import BatchInput, batch_predict
+from repro.core.buffering import BufferingMode
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+from repro.obs import get_metrics
+
+from tests.conftest import rat_inputs
+
+
+def _random_inputs(base, rng, n):
+    """A varied family of worksheets derived from one base."""
+    clocks = rng.uniform(25e6, 400e6, n)
+    procs = rng.uniform(0.5, 64.0, n)
+    alphas = rng.uniform(0.05, 1.0, n)
+    return [
+        base.with_clock_hz(c).with_throughput_proc(t).with_alphas(a, a)
+        for c, t, a in zip(clocks, procs, alphas)
+    ]
+
+
+class TestBatchInput:
+    def test_from_inputs_round_trips(self, pdf1d_rat, md_rat, simple_rat):
+        inputs = [pdf1d_rat, md_rat, simple_rat]
+        batch = BatchInput.from_inputs(inputs)
+        assert len(batch) == 3
+        for i, rat in enumerate(inputs):
+            assert batch.row(i) == rat
+        assert batch.to_inputs() == inputs
+
+    def test_from_inputs_empty_rejected(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            BatchInput.from_inputs([])
+
+    def test_from_base_broadcasts_scalars(self, simple_rat):
+        batch = BatchInput.from_base(simple_rat, 4)
+        assert len(batch) == 4
+        for i in range(4):
+            assert batch.row(i) == simple_rat.with_name("")
+
+    def test_from_base_override_column(self, simple_rat):
+        batch = BatchInput.from_base(
+            simple_rat, 3, {"clock_hz": [1e8, 2e8, 3e8]}
+        )
+        assert batch.row(2).computation.clock_hz == 3e8
+        assert batch.row(0).dataset.elements_in == 1000
+
+    def test_from_base_unknown_column(self, simple_rat):
+        with pytest.raises(ParameterError, match="unknown batch column"):
+            BatchInput.from_base(simple_rat, 2, {"bogus": [1, 2]})
+
+    def test_from_base_length_mismatch(self, simple_rat):
+        with pytest.raises(ParameterError, match="rows"):
+            BatchInput.from_base(simple_rat, 3, {"clock_hz": [1e8, 2e8]})
+
+    def test_validation_names_field_and_row(self, simple_rat):
+        with pytest.raises(ParameterError, match="alpha_write.*row 1"):
+            BatchInput.from_base(simple_rat, 3, {"alpha_write": [0.5, 1.5, 0.5]})
+        with pytest.raises(ParameterError, match="elements_in"):
+            BatchInput.from_base(simple_rat, 2, {"elements_in": [100, -1]})
+        with pytest.raises(ParameterError, match="n_iterations"):
+            BatchInput.from_base(simple_rat, 2, {"n_iterations": [1, 0]})
+        with pytest.raises(ParameterError, match="clock_hz"):
+            BatchInput.from_base(simple_rat, 2, {"clock_hz": [1e8, float("nan")]})
+
+    def test_slicing(self, pdf1d_rat, rng):
+        inputs = _random_inputs(pdf1d_rat, rng, 10)
+        batch = BatchInput.from_inputs(inputs)
+        chunk = batch[3:7]
+        assert len(chunk) == 4
+        assert chunk.row(0) == inputs[3].with_name(chunk.row(0).name)
+        with pytest.raises(ParameterError, match="slice"):
+            batch[3]
+
+    def test_names_length_checked(self, simple_rat):
+        with pytest.raises(ParameterError, match="names"):
+            BatchInput.from_base(simple_rat, 3, names=("a",))
+
+
+class TestBatchPredictParity:
+    @pytest.mark.parametrize("mode", list(BufferingMode))
+    def test_matches_scalar_within_1e12(self, pdf1d_rat, rng, mode):
+        inputs = _random_inputs(pdf1d_rat, rng, 200)
+        result = batch_predict(BatchInput.from_inputs(inputs), mode)
+        fields = ("t_input", "t_output", "t_comm", "t_comp", "t_rc",
+                  "speedup", "util_comp", "util_comm")
+        for i, rat in enumerate(inputs):
+            scalar = predict(rat, mode)
+            for name in fields:
+                expected = getattr(scalar, name)
+                got = float(getattr(result, name)[i])
+                assert got == pytest.approx(expected, rel=1e-12, abs=1e-12), (
+                    f"{name} row {i}"
+                )
+
+    @given(rat_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_scalar_on_hypothesis_inputs(self, rat):
+        for mode in BufferingMode:
+            scalar = predict(rat, mode)
+            row = batch_predict(BatchInput.from_inputs([rat]), mode).row(0)
+            assert row.t_rc == pytest.approx(scalar.t_rc, rel=1e-12)
+            assert row.speedup == pytest.approx(scalar.speedup, rel=1e-12)
+            assert row.util_comm == pytest.approx(scalar.util_comm, rel=1e-12)
+
+    def test_zero_output_elements(self, pdf1d_rat):
+        # pdf1d communicates a single output element; force zero to hit
+        # the scalar short-circuit branch.
+        import dataclasses
+
+        rat = dataclasses.replace(
+            pdf1d_rat,
+            dataset=dataclasses.replace(pdf1d_rat.dataset, elements_out=0),
+        )
+        result = batch_predict(BatchInput.from_inputs([rat]))
+        assert float(result.t_output[0]) == 0.0
+        assert float(result.t_comm[0]) == predict(rat).t_comm
+
+    def test_row_rehydrates_prediction(self, md_rat):
+        result = batch_predict(BatchInput.from_inputs([md_rat]))
+        row = result.row(0)
+        scalar = predict(md_rat)
+        assert row.rat == md_rat
+        assert row.mode is BufferingMode.SINGLE
+        assert row.bound == scalar.bound
+        assert row.as_dict() == scalar.as_dict()
+
+    def test_rows_with_mismatched_inputs_rejected(self, md_rat):
+        result = batch_predict(BatchInput.from_inputs([md_rat]))
+        with pytest.raises(ParameterError, match="inputs"):
+            list(result.rows([md_rat, md_rat]))
+
+
+class TestBatchPredictionHelpers:
+    def test_computation_bound_column(self, pdf1d_rat, md_rat):
+        result = batch_predict(BatchInput.from_inputs([pdf1d_rat, md_rat]))
+        expected = [predict(r).bound == "computation"
+                    for r in (pdf1d_rat, md_rat)]
+        assert list(result.computation_bound) == expected
+
+    def test_argbest(self, pdf1d_rat):
+        inputs = [pdf1d_rat.with_clock_hz(c) for c in (75e6, 150e6, 100e6)]
+        result = batch_predict(BatchInput.from_inputs(inputs))
+        assert result.argbest() == 1
+
+    def test_as_records(self, simple_rat):
+        result = batch_predict(BatchInput.from_inputs([simple_rat]))
+        (record,) = result.as_records()
+        assert record["name"] == "simple"
+        assert record["speedup"] == pytest.approx(predict(simple_rat).speedup)
+
+    def test_invalid_mode_rejected(self, simple_rat):
+        with pytest.raises(ParameterError):
+            batch_predict(BatchInput.from_inputs([simple_rat]), "triple")
+
+
+class TestBatchMetrics:
+    def test_counter_incremented_by_batch_size(self, simple_rat):
+        metrics = get_metrics()
+        before = metrics.counter("throughput.predictions").value
+        batch_predict(BatchInput.from_base(simple_rat, 17))
+        assert metrics.counter("throughput.predictions").value == before + 17
+
+    def test_speedup_histogram_fed_in_bulk(self, simple_rat):
+        metrics = get_metrics()
+        histogram = metrics.histogram("throughput.speedup")
+        before = histogram.count
+        batch_predict(BatchInput.from_base(simple_rat, 23))
+        assert histogram.count == before + 23

@@ -185,3 +185,68 @@ class TestNonFiniteRejection:
     def test_nan_t_soft(self):
         with pytest.raises(ParameterError):
             SoftwareParams(t_soft=float("nan"))
+
+
+class TestHashability:
+    """Frozen worksheets key caches and sets (the explore LRU relies on it)."""
+
+    def test_structural_equality_and_hash(self, pdf1d_rat):
+        rebuilt = RATInput.from_dict(pdf1d_rat.to_dict())
+        assert rebuilt == pdf1d_rat
+        assert hash(rebuilt) == hash(pdf1d_rat)
+
+    def test_edited_worksheet_hashes_differently(self, pdf1d_rat):
+        edited = pdf1d_rat.with_clock_hz(pdf1d_rat.computation.clock_hz * 2)
+        assert edited != pdf1d_rat
+        assert hash(edited) != hash(pdf1d_rat)
+
+    def test_roundtrip_edit_restores_hash(self, pdf1d_rat):
+        clock = pdf1d_rat.computation.clock_hz
+        restored = pdf1d_rat.with_clock_hz(clock * 2).with_clock_hz(clock)
+        assert restored == pdf1d_rat
+        assert hash(restored) == hash(pdf1d_rat)
+
+    def test_nested_params_are_hashable(self):
+        dataset = DatasetParams(elements_in=4, elements_out=2,
+                                bytes_per_element=8)
+        communication = CommunicationParams(
+            ideal_bandwidth=1e9, alpha_write=0.5, alpha_read=0.5
+        )
+        computation = ComputationParams(
+            ops_per_element=10, throughput_proc=2, clock_hz=1e8
+        )
+        software = SoftwareParams(t_soft=1.0, n_iterations=1)
+        for params in (dataset, communication, computation, software):
+            assert hash(params) == hash(type(params)(**{
+                field: getattr(params, field)
+                for field in params.__dataclass_fields__
+            }))
+
+    def test_usable_as_dict_key_and_set_member(self, pdf1d_rat, pdf2d_rat):
+        table = {pdf1d_rat: "a", pdf2d_rat: "b"}
+        assert table[RATInput.from_dict(pdf1d_rat.to_dict())] == "a"
+        assert len({pdf1d_rat, pdf2d_rat,
+                    RATInput.from_dict(pdf2d_rat.to_dict())}) == 2
+
+    def test_frozen_fields_reject_mutation(self, pdf1d_rat):
+        with pytest.raises(AttributeError):
+            pdf1d_rat.name = "other"
+        with pytest.raises(AttributeError):
+            pdf1d_rat.dataset.elements_in = 1
+
+    @given(rat_inputs())
+    def test_hash_consistent_with_equality(self, rat):
+        # Rebuild field-by-field (no unit round-trip: the MHz/MB dict
+        # scaling is only approx-exact) so the clone is a structurally
+        # equal but distinct object graph.
+        import dataclasses
+
+        clone = dataclasses.replace(
+            rat,
+            dataset=dataclasses.replace(rat.dataset),
+            communication=dataclasses.replace(rat.communication),
+            computation=dataclasses.replace(rat.computation),
+            software=dataclasses.replace(rat.software),
+        )
+        assert clone is not rat
+        assert clone == rat and hash(clone) == hash(rat)

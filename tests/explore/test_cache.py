@@ -1,0 +1,79 @@
+"""PredictionCache tests: LRU behaviour, hit accounting, metrics."""
+
+import pytest
+
+from repro.core.buffering import BufferingMode
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+from repro.explore import PredictionCache
+from repro.obs import get_metrics
+
+
+class TestLookup:
+    def test_miss_then_hit(self, simple_rat):
+        cache = PredictionCache()
+        assert cache.get(simple_rat) is None
+        first = cache.predict(simple_rat)
+        again = cache.predict(simple_rat)
+        assert again is first
+        assert first.t_rc == predict(simple_rat).t_rc
+        # get-miss, predict-miss, predict-hit.
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_mode_is_part_of_key(self, simple_rat):
+        cache = PredictionCache()
+        single = cache.predict(simple_rat, BufferingMode.SINGLE)
+        double = cache.predict(simple_rat, BufferingMode.DOUBLE)
+        assert single is not double
+        assert len(cache) == 2
+
+    def test_structural_equality_shares_slot(self, simple_rat):
+        cache = PredictionCache()
+        cache.predict(simple_rat.with_clock_hz(1e8))
+        rebuilt = simple_rat.with_clock_hz(2e8).with_clock_hz(1e8)
+        assert cache.get(rebuilt) is not None
+
+
+class TestEviction:
+    def test_lru_order(self, simple_rat):
+        cache = PredictionCache(maxsize=2)
+        a = simple_rat.with_clock_hz(1e8)
+        b = simple_rat.with_clock_hz(2e8)
+        c = simple_rat.with_clock_hz(3e8)
+        cache.predict(a)
+        cache.predict(b)
+        cache.get(a)  # refresh a; b is now least recently used
+        cache.predict(c)
+        assert len(cache) == 2
+        assert cache.get(b) is None
+        assert cache.get(a) is not None
+        assert cache.get(c) is not None
+
+    def test_clear(self, simple_rat):
+        cache = PredictionCache()
+        cache.predict(simple_rat)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ParameterError, match="maxsize"):
+            PredictionCache(maxsize=0)
+
+
+class TestMetrics:
+    def test_counters_and_gauge(self, simple_rat):
+        metrics = get_metrics()
+        hits_before = metrics.counter("explore.cache_hits").value
+        misses_before = metrics.counter("explore.cache_misses").value
+        cache = PredictionCache()
+        cache.predict(simple_rat)
+        cache.predict(simple_rat)
+        assert metrics.counter("explore.cache_hits").value == hits_before + 1
+        assert (
+            metrics.counter("explore.cache_misses").value == misses_before + 1
+        )
+        assert metrics.gauge("explore.cache_hit_rate").value == pytest.approx(
+            cache.hit_rate
+        )

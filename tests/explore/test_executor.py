@@ -1,0 +1,135 @@
+"""Executor tests: chunked explore, process pool, cache path, map_designs."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffering import BufferingMode
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+from repro.explore import (
+    DesignSpace,
+    PredictionCache,
+    explore,
+    map_designs,
+)
+from repro.obs import get_metrics
+
+
+def _space(base, n=40):
+    return DesignSpace.random(
+        base, n, seed=11, clock_mhz=(50, 300), alpha=(0.1, 0.9)
+    )
+
+
+def _t_rc_single(rat):
+    """Module-level evaluator so it pickles into pool workers."""
+    return predict(rat, BufferingMode.SINGLE).t_rc
+
+
+class TestExplore:
+    def test_matches_scalar_loop(self, pdf1d_rat):
+        space = _space(pdf1d_rat)
+        result = explore(space, chunk_size=7)
+        assert len(result) == len(space)
+        for i, rat in enumerate(space.designs()):
+            assert float(result.prediction.speedup[i]) == pytest.approx(
+                predict(rat).speedup, rel=1e-12
+            )
+
+    def test_chunking_invariant(self, pdf1d_rat):
+        space = _space(pdf1d_rat, 33)
+        whole = explore(space, chunk_size=1000)
+        chunked = explore(space, chunk_size=5)
+        assert (whole.prediction.t_rc == chunked.prediction.t_rc).all()
+
+    def test_double_buffered(self, pdf2d_rat):
+        space = _space(pdf2d_rat, 8)
+        result = explore(space, BufferingMode.DOUBLE)
+        for i, rat in enumerate(space.designs()):
+            assert float(result.prediction.t_rc[i]) == pytest.approx(
+                predict(rat, BufferingMode.DOUBLE).t_rc, rel=1e-12
+            )
+
+    def test_parallel_equals_serial(self, pdf1d_rat):
+        space = _space(pdf1d_rat, 24)
+        serial = explore(space, chunk_size=6)
+        parallel = explore(space, chunk_size=6, workers=2)
+        assert (serial.prediction.speedup == parallel.prediction.speedup).all()
+        assert (serial.prediction.t_rc == parallel.prediction.t_rc).all()
+
+    def test_best(self, pdf1d_rat):
+        space = DesignSpace.grid(pdf1d_rat, clock_mhz=[75, 150, 100])
+        point, prediction = explore(space).best()
+        assert point == {"clock_mhz": 150.0}
+        assert prediction.speedup == pytest.approx(
+            predict(pdf1d_rat.with_clock_hz(150e6)).speedup
+        )
+
+    def test_as_records_merges_axes(self, pdf1d_rat):
+        space = DesignSpace.grid(pdf1d_rat, clock_mhz=[75, 150])
+        records = explore(space).as_records()
+        assert [r["clock_mhz"] for r in records] == [75.0, 150.0]
+        assert all("speedup" in r and "t_rc" in r for r in records)
+
+    def test_invalid_arguments(self, simple_rat):
+        space = _space(simple_rat, 4)
+        with pytest.raises(ParameterError, match="chunk_size"):
+            explore(space, chunk_size=0)
+        with pytest.raises(ParameterError, match="workers"):
+            explore(space, workers=-1)
+
+    def test_metrics(self, simple_rat):
+        metrics = get_metrics()
+        before = metrics.counter("explore.points").value
+        result = explore(_space(simple_rat, 12))
+        assert metrics.counter("explore.points").value == before + 12
+        gauge = metrics.gauge("explore.predictions_per_sec").value
+        assert gauge == pytest.approx(result.points_per_sec, rel=1e-6)
+
+
+class TestExploreCached:
+    def test_cache_hits_on_second_run(self, pdf1d_rat):
+        space = _space(pdf1d_rat, 16)
+        cache = PredictionCache()
+        first = explore(space, cache=cache)
+        assert (first.cache_hits, first.cache_misses) == (0, 16)
+        second = explore(space, cache=cache)
+        assert (second.cache_hits, second.cache_misses) == (16, 0)
+        assert (first.prediction.t_rc == second.prediction.t_rc).all()
+
+    def test_cached_matches_uncached(self, pdf1d_rat):
+        space = _space(pdf1d_rat, 10)
+        plain = explore(space)
+        cached = explore(space, cache=PredictionCache())
+        assert np.allclose(
+            plain.prediction.speedup, cached.prediction.speedup, rtol=1e-12
+        )
+
+    def test_partial_overlap(self, pdf1d_rat):
+        cache = PredictionCache()
+        explore(DesignSpace.grid(pdf1d_rat, clock_mhz=[75, 100]), cache=cache)
+        result = explore(
+            DesignSpace.grid(pdf1d_rat, clock_mhz=[100, 150]), cache=cache
+        )
+        assert (result.cache_hits, result.cache_misses) == (1, 1)
+
+
+class TestMapDesigns:
+    def test_serial(self, pdf1d_rat):
+        space = _space(pdf1d_rat, 9)
+        results = map_designs(space, _t_rc_single, chunk_size=4)
+        expected = [predict(r).t_rc for r in space.designs()]
+        assert results == pytest.approx(expected)
+
+    def test_parallel_preserves_order(self, pdf1d_rat):
+        space = _space(pdf1d_rat, 12)
+        serial = map_designs(space, _t_rc_single)
+        parallel = map_designs(space, _t_rc_single, workers=2, chunk_size=3)
+        assert parallel == serial
+
+    def test_invalid_arguments(self, simple_rat):
+        space = _space(simple_rat, 4)
+        with pytest.raises(ParameterError, match="workers"):
+            map_designs(space, _t_rc_single, workers=-1)
+        with pytest.raises(ParameterError, match="chunk_size"):
+            map_designs(space, _t_rc_single, chunk_size=0)

@@ -1,0 +1,133 @@
+"""DesignSpace tests: samplers, edits, batch conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.throughput import predict
+from repro.errors import ParameterError
+from repro.explore import DesignSpace, axis_names
+from repro.units import MHZ
+
+
+class TestGrid:
+    def test_cross_product_order(self, simple_rat):
+        space = DesignSpace.grid(
+            simple_rat, clock_mhz=[100, 200], alpha=[0.25, 0.5, 0.75]
+        )
+        assert len(space) == 6
+        assert space.axes == ("clock_mhz", "alpha")
+        # Last axis varies fastest.
+        assert space.point(0) == {"clock_mhz": 100.0, "alpha": 0.25}
+        assert space.point(1) == {"clock_mhz": 100.0, "alpha": 0.5}
+        assert space.point(3) == {"clock_mhz": 200.0, "alpha": 0.25}
+
+    def test_requires_axes(self, simple_rat):
+        with pytest.raises(ParameterError, match="at least one axis"):
+            DesignSpace.grid(simple_rat)
+
+    def test_unknown_axis_rejected(self, simple_rat):
+        with pytest.raises(ParameterError, match="unknown design axis"):
+            DesignSpace.grid(simple_rat, warp_factor=[1, 2])
+
+    def test_overlapping_axes_rejected(self, simple_rat):
+        with pytest.raises(ParameterError, match="overlapping"):
+            DesignSpace.grid(simple_rat, alpha=[0.5], alpha_write=[0.5])
+
+
+class TestRandom:
+    def test_draws_within_ranges(self, simple_rat):
+        space = DesignSpace.random(
+            simple_rat, 64, seed=7, clock_mhz=(50, 300), alpha=(0.1, 0.9)
+        )
+        assert len(space) == 64
+        assert (space.values[:, 0] >= 50).all()
+        assert (space.values[:, 0] <= 300).all()
+        assert (space.values[:, 1] >= 0.1).all()
+        assert (space.values[:, 1] <= 0.9).all()
+
+    def test_deterministic_for_seed(self, simple_rat):
+        a = DesignSpace.random(simple_rat, 16, seed=3, alpha=(0.1, 0.9))
+        b = DesignSpace.random(simple_rat, 16, seed=3, alpha=(0.1, 0.9))
+        assert (a.values == b.values).all()
+
+    def test_invalid_range(self, simple_rat):
+        with pytest.raises(ParameterError, match="low <= high"):
+            DesignSpace.random(simple_rat, 4, alpha=(0.9, 0.1))
+        with pytest.raises(ParameterError, match="n must be"):
+            DesignSpace.random(simple_rat, 0, alpha=(0.1, 0.9))
+
+
+class TestExplicit:
+    def test_point_list(self, simple_rat):
+        space = DesignSpace.explicit(
+            simple_rat,
+            [{"clock_mhz": 100, "alpha": 0.3}, {"clock_mhz": 150, "alpha": 0.4}],
+        )
+        assert len(space) == 2
+        assert space.point(1) == {"clock_mhz": 150.0, "alpha": 0.4}
+
+    def test_ragged_points_rejected(self, simple_rat):
+        with pytest.raises(ParameterError, match="differ"):
+            DesignSpace.explicit(
+                simple_rat, [{"alpha": 0.3}, {"clock_mhz": 100}]
+            )
+
+    def test_empty_rejected(self, simple_rat):
+        with pytest.raises(ParameterError, match="at least one point"):
+            DesignSpace.explicit(simple_rat, [])
+
+
+class TestDesignEdits:
+    def test_design_applies_with_star_edits(self, simple_rat):
+        space = DesignSpace.grid(
+            simple_rat, clock_mhz=[200], throughput_proc=[4]
+        )
+        design = space.design(0)
+        assert design.computation.clock_hz == 200 * MHZ
+        assert design.computation.throughput_proc == 4
+        # Untouched groups are preserved.
+        assert design.dataset == simple_rat.dataset
+        assert design.software == simple_rat.software
+
+    def test_alpha_axis_sets_both_directions(self, simple_rat):
+        design = DesignSpace.grid(simple_rat, alpha=[0.6]).design(0)
+        assert design.communication.alpha_write == 0.6
+        assert design.communication.alpha_read == 0.6
+
+    def test_elements_in_axis_truncates(self, simple_rat):
+        design = DesignSpace.grid(simple_rat, elements_in=[2048.7]).design(0)
+        assert design.dataset.elements_in == 2048
+
+    def test_axis_names_sorted(self):
+        names = axis_names()
+        assert names == sorted(names)
+        assert "clock_mhz" in names and "alpha" in names
+
+
+class TestToBatch:
+    def test_batch_rows_match_scalar_designs(self, pdf2d_rat):
+        space = DesignSpace.grid(
+            pdf2d_rat,
+            clock_mhz=[75, 150],
+            alpha=[0.2, 0.8],
+            elements_in=[1024, 4096],
+        )
+        batch = space.to_batch()
+        assert len(batch) == len(space) == 8
+        for i in range(len(space)):
+            scalar = space.design(i)
+            assert batch.row(i) == scalar.with_name(batch.row(i).name)
+            # And the predictions agree exactly.
+            assert predict(scalar).t_rc == pytest.approx(
+                predict(batch.row(i)).t_rc, rel=1e-15
+            )
+
+    def test_describe(self, simple_rat):
+        text = DesignSpace.grid(simple_rat, alpha=[0.1, 0.2]).describe()
+        assert "2 point(s)" in text and "alpha" in text
+
+    def test_bad_values_shape_rejected(self, simple_rat):
+        with pytest.raises(ParameterError, match="values must be"):
+            DesignSpace(
+                base=simple_rat, axes=("alpha",), values=np.zeros((2, 3))
+            )

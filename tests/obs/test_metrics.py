@@ -110,3 +110,80 @@ class TestRegistry:
         registry.reset()
         assert registry.names() == []
         assert registry.counter("a").value == 0
+
+
+class TestInterpolatedPercentiles:
+    def test_matches_numpy_linear_method(self):
+        numpy = pytest.importorskip("numpy")
+        histogram = MetricsRegistry().histogram("h")
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3]
+        for value in values:
+            histogram.observe(value)
+        for p in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert histogram.percentile(p) == pytest.approx(
+                float(numpy.percentile(values, p))
+            )
+
+    def test_interpolates_between_ranks(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (0.0, 10.0):
+            histogram.observe(value)
+        assert histogram.percentile(50) == pytest.approx(5.0)
+        assert histogram.percentile(90) == pytest.approx(9.0)
+
+    def test_p90_distinct_from_p99_after_decimation(self):
+        # Regression: nearest-rank percentiles collapsed p90 == p99 once
+        # decimation thinned the reservoir (seen in BENCH_PR1.json).
+        histogram = MetricsRegistry().histogram("h", max_samples=64)
+        for i in range(10_000):
+            histogram.observe(float(i))
+        summary = histogram.summary()
+        assert summary["p90"] != summary["p99"]
+        assert summary["p50"] < summary["p90"] < summary["p99"]
+        assert summary["p90"] == pytest.approx(9_000, rel=0.1)
+        assert summary["p99"] == pytest.approx(9_900, rel=0.1)
+
+
+class TestObserveMany:
+    def test_array_fast_path_matches_sequential(self):
+        numpy = pytest.importorskip("numpy")
+        values = numpy.linspace(0.0, 50.0, 101)
+        bulk = MetricsRegistry().histogram("h")
+        bulk.observe_many(values)
+        sequential = MetricsRegistry().histogram("h")
+        for value in values:
+            sequential.observe(float(value))
+        assert bulk.summary() == sequential.summary()
+
+    def test_exact_aggregates_past_the_cap(self):
+        numpy = pytest.importorskip("numpy")
+        histogram = MetricsRegistry().histogram("h", max_samples=32)
+        values = numpy.arange(100_000, dtype=numpy.float64)
+        histogram.observe_many(values)
+        assert histogram.count == 100_000
+        assert histogram.sum == pytest.approx(float(values.sum()))
+        assert histogram.min == 0.0
+        assert histogram.max == 99_999.0
+        assert len(histogram._samples) < 32
+
+    def test_plain_iterable_falls_back_to_observe(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe_many([1.0, 2.0, 3.0])
+        assert histogram.count == 3
+        assert histogram.sum == 6.0
+
+    def test_empty_array_is_a_noop(self):
+        numpy = pytest.importorskip("numpy")
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe_many(numpy.array([], dtype=numpy.float64))
+        assert histogram.count == 0
+
+    def test_interleaved_bulk_and_scalar_keep_exact_count(self):
+        numpy = pytest.importorskip("numpy")
+        histogram = MetricsRegistry().histogram("h", max_samples=16)
+        histogram.observe(1.0)
+        histogram.observe_many(numpy.full(1000, 2.0))
+        histogram.observe(3.0)
+        assert histogram.count == 1002
+        assert histogram.max == 3.0
+        assert len(histogram._samples) < 16

@@ -287,3 +287,54 @@ class TestSweepCommand:
                      "--variable", "throughput_proc",
                      "--values", "25,50,100", "--double-buffered"]) == 0
         assert "best:" in capsys.readouterr().out
+
+
+class TestExploreCommand:
+    def test_table_output(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "clock_mhz=75,100,150",
+                     "--axis", "alpha=0.2,0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "clock_mhz" in out and "alpha" in out
+        assert "speedup" in out and "bound" in out
+        assert "6 point(s)" in out
+        assert "single-buffered" in out
+
+    def test_json_output(self, capsys):
+        assert main(["explore", "--study", "pdf2d", "--format", "json",
+                     "--axis", "clock_mhz=100,150",
+                     "--double-buffered"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["points"] == 2
+        assert payload["mode"] == "double"
+        assert payload["axes"]["clock_mhz"] == [100.0, 150.0]
+        speedups = [p["speedup"] for p in payload["predictions"]]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_range_axis_spec(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "clock_mhz=50:250:5"]) == 0
+        assert "5 point(s)" in capsys.readouterr().out
+
+    def test_top_limits_rows(self, capsys):
+        assert main(["explore", "--study", "pdf1d", "--format", "json",
+                     "--axis", "clock_mhz=50:250:9", "--top", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["points"] == 9
+        assert len(payload["predictions"]) == 3
+
+    def test_malformed_axis_is_an_error(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "clock_mhz"]) == 2
+        assert "malformed axis" in capsys.readouterr().err
+
+    def test_unknown_axis_is_an_error(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "warp=1,2"]) == 2
+        assert "unknown design axis" in capsys.readouterr().err
+
+    def test_workers_and_chunk_flags(self, capsys):
+        assert main(["explore", "--study", "md",
+                     "--axis", "clock_mhz=75,100,150,200",
+                     "--workers", "2", "--chunk", "2"]) == 0
+        assert "4 point(s)" in capsys.readouterr().out

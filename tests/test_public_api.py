@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.hwsim",
     "repro.apps",
     "repro.analysis",
+    "repro.explore",
     "repro.obs",
 ]
 
