@@ -21,7 +21,10 @@ Subcommands
     every combination of the axis values is predicted in bulk
     (``--workers``/``--chunk`` control parallelism and chunking;
     ``--format json`` emits machine-readable records, ``--top K`` keeps
-    the K best by speedup).
+    the K best by speedup).  Fault tolerance: ``--on-error
+    {fail,skip,quarantine}`` picks the failure policy, ``--max-retries``/
+    ``--timeout`` tune chunk retry, and ``--checkpoint PATH`` with
+    ``--resume`` journals completed chunks for crash recovery.
 ``rat platforms``
     List catalogued platforms/devices/interconnects.
 
@@ -214,7 +217,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="process-pool workers for chunk evaluation (default serial)",
+        help="process-pool workers for chunk evaluation (default serial; "
+        "0 means one per CPU core)",
+    )
+    explore_cmd.add_argument(
+        "--on-error",
+        default="fail",
+        choices=["fail", "skip", "quarantine"],
+        help="failure policy: abort on the first bad design/chunk (fail), "
+        "drop failed rows (skip), or keep NaN rows with diagnostics "
+        "(quarantine)",
+    )
+    explore_cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-executions per failed chunk before it counts as failed",
+    )
+    explore_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-chunk wall-clock timeout on the worker-pool path "
+        "(0 disables)",
+    )
+    explore_cmd.add_argument(
+        "--checkpoint",
+        default="",
+        metavar="PATH",
+        help="journal completed chunks to this JSONL file for crash "
+        "recovery",
+    )
+    explore_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the --checkpoint journal of an interrupted run",
     )
     explore_cmd.add_argument(
         "--chunk",
@@ -481,7 +520,7 @@ def _parse_axis_spec(text: str) -> tuple[str, list[float]]:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from .explore import DEFAULT_CHUNK_SIZE, DesignSpace, explore
+    from .explore import DEFAULT_CHUNK_SIZE, DesignSpace, RetryPolicy, explore
 
     study = get_case_study(args.study)
     mode = BufferingMode.DOUBLE if args.double_buffered else BufferingMode.SINGLE
@@ -490,18 +529,32 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         name, values = _parse_axis_spec(flag)
         axes[name] = values
     space = DesignSpace.grid(study.rat, **axes)
+    retry = RetryPolicy(
+        max_retries=args.max_retries,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+    )
     result = explore(
         space,
         mode,
         chunk_size=args.chunk if args.chunk > 0 else DEFAULT_CHUNK_SIZE,
         workers=args.workers,
+        on_error=args.on_error,
+        retry=retry,
+        checkpoint=args.checkpoint or None,
+        resume=args.resume,
     )
     records = result.as_records()
+    # Quarantined rows carry NaN predictions; keep them out of the
+    # ranking (NaN compares false to everything, which would scramble
+    # the sort) and report them as failures below instead.
     order = sorted(
-        range(len(records)), key=lambda i: -records[i]["speedup"]
+        (i for i in range(len(records)) if records[i]["speedup"] == records[i]["speedup"]),
+        key=lambda i: -records[i]["speedup"],
     )
     if args.top > 0:
         order = order[: args.top]
+    failure_lines = [failure.describe() for failure in result.failures]
+    failure_lines += [failure.describe() for failure in result.chunk_failures]
     if args.format == "json":
         print(json.dumps(
             {
@@ -511,6 +564,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 "points": len(result),
                 "elapsed_s": result.elapsed_s,
                 "points_per_sec": result.points_per_sec,
+                "failed_points": result.n_failed,
+                "failures": failure_lines,
+                "resumed_chunks": result.resumed_chunks,
+                "retries": result.retries,
                 "predictions": [records[i] for i in order],
             },
             indent=2,
@@ -544,6 +601,15 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         f"({result.points_per_sec:,.0f} predictions/s, "
         f"{mode.value}-buffered)"
     )
+    if result.resumed_chunks:
+        print(f"{result.resumed_chunks} chunk(s) resumed from checkpoint")
+    if failure_lines:
+        shown = failure_lines[:10]
+        print(f"{result.n_failed} failed point(s) [{args.on_error}]:")
+        for line in shown:
+            print(f"  {line}")
+        if len(failure_lines) > len(shown):
+            print(f"  ... and {len(failure_lines) - len(shown)} more")
     return 0
 
 

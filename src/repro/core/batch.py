@@ -25,12 +25,17 @@ layer:
 
 Validation mirrors the scalar dataclasses' ``__post_init__`` checks but
 runs vectorized; the first offending row is named in the error message.
+For fault-tolerant callers, ``check=False`` defers validation and
+:func:`row_violations` / :func:`valid_row_mask` report *per-row*
+diagnostics (same rule set, same message text as the scalar validators)
+instead of aborting on the first bad row — the basis of the exploration
+layer's row-level quarantine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from dataclasses import InitVar, dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -43,10 +48,21 @@ from .params import (
     DatasetParams,
     RATInput,
     SoftwareParams,
+    at_least_one_violation,
+    fraction_violation,
+    nonnegative_violation,
+    positive_violation,
 )
 from .throughput import ThroughputPrediction
 
-__all__ = ["BatchInput", "BatchPrediction", "batch_predict"]
+__all__ = [
+    "BatchInput",
+    "BatchPrediction",
+    "RowViolation",
+    "batch_predict",
+    "row_violations",
+    "valid_row_mask",
+]
 
 #: BatchInput array-column names, in worksheet order.  All values are SI
 #: (bytes, bytes/s, Hz, seconds) — the same convention as the scalar
@@ -87,6 +103,95 @@ def _first_bad(mask: np.ndarray) -> int:
     return int(np.argmax(mask))
 
 
+def _bad_positive(column: np.ndarray) -> np.ndarray:
+    return ~(np.isfinite(column) & (column > 0))
+
+
+def _bad_nonnegative(column: np.ndarray) -> np.ndarray:
+    return ~(np.isfinite(column) & (column >= 0))
+
+
+def _bad_fraction(column: np.ndarray) -> np.ndarray:
+    return ~(np.isfinite(column) & (column > 0) & (column <= 1))
+
+
+def _bad_at_least_one(column: np.ndarray) -> np.ndarray:
+    return ~(np.isfinite(column) & (column >= 1))
+
+
+#: One entry per validated column, in the order violations are reported:
+#: (column name, vectorized bad-row mask, scalar message formatter).  The
+#: formatters are the exact ones the scalar parameter dataclasses raise
+#: with, so batch diagnostics match scalar ``ParameterError`` text.
+_ROW_RULES: tuple[
+    tuple[
+        str,
+        Callable[[np.ndarray], np.ndarray],
+        Callable[[str, float], str | None],
+    ],
+    ...,
+] = (
+    ("elements_in", _bad_positive, positive_violation),
+    ("bytes_per_element", _bad_positive, positive_violation),
+    ("ideal_bandwidth", _bad_positive, positive_violation),
+    ("ops_per_element", _bad_positive, positive_violation),
+    ("throughput_proc", _bad_positive, positive_violation),
+    ("clock_hz", _bad_positive, positive_violation),
+    ("t_soft", _bad_positive, positive_violation),
+    ("elements_out", _bad_nonnegative, nonnegative_violation),
+    ("alpha_write", _bad_fraction, fraction_violation),
+    ("alpha_read", _bad_fraction, fraction_violation),
+    ("n_iterations", _bad_at_least_one, at_least_one_violation),
+)
+
+
+@dataclass(frozen=True)
+class RowViolation:
+    """One invalid row of a :class:`BatchInput`, with its diagnosis.
+
+    ``message`` is byte-identical to the ``ParameterError`` the scalar
+    parameter dataclasses would raise for the same value, so quarantine
+    reports read the same as scalar validation failures.
+    """
+
+    row: int
+    column: str
+    value: float
+    message: str
+
+
+def row_violations(batch: "BatchInput") -> list[RowViolation]:
+    """Per-row validation diagnostics, sorted by row index.
+
+    At most one violation is reported per row (the first rule, in
+    worksheet column order, that the row breaks — matching which error
+    the raising validator would have picked).  An empty list means every
+    row would pass scalar validation.
+    """
+    claimed = np.zeros(len(batch), dtype=bool)
+    found: list[RowViolation] = []
+    for name, bad_fn, describe in _ROW_RULES:
+        column = getattr(batch, name)
+        bad = bad_fn(column) & ~claimed
+        if bad.any():
+            for i in np.flatnonzero(bad):
+                value = float(column[i])
+                message = describe(name, value)
+                assert message is not None
+                found.append(RowViolation(int(i), name, value, message))
+            claimed |= bad
+    found.sort(key=lambda violation: violation.row)
+    return found
+
+
+def valid_row_mask(batch: "BatchInput") -> np.ndarray:
+    """Boolean column: True where the row passes every validation rule."""
+    ok = np.ones(len(batch), dtype=bool)
+    for name, bad_fn, _ in _ROW_RULES:
+        ok &= ~bad_fn(getattr(batch, name))
+    return ok
+
+
 @dataclass(frozen=True, eq=False)
 class BatchInput:
     """A struct-of-arrays bundle of ``n`` RAT worksheet inputs.
@@ -96,6 +201,14 @@ class BatchInput:
     reports (empty tuple means unnamed).  Instances are immutable;
     slicing with ``batch[a:b]`` returns a new view-backed batch, which is
     what the exploration executor chunks on.
+
+    ``check=False`` defers validation: columns are still coerced and
+    shape-checked, but rows that scalar validation would reject survive
+    construction so fault-tolerant callers can triage them with
+    :func:`row_violations` instead of losing the whole batch.  The
+    ``checked`` attribute records which way an instance was built;
+    :func:`batch_predict` re-validates unchecked batches so invalid rows
+    can never silently flow into the equations.
     """
 
     elements_in: np.ndarray
@@ -110,8 +223,10 @@ class BatchInput:
     t_soft: np.ndarray
     n_iterations: np.ndarray
     names: tuple[str, ...] = ()
+    check: InitVar[bool] = True
+    checked: bool = field(init=False, default=True)
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, check: bool) -> None:
         first = np.asarray(self.elements_in, dtype=np.float64).ravel()
         n = first.shape[0]
         for name in _COLUMNS:
@@ -121,50 +236,20 @@ class BatchInput:
             raise ParameterError(
                 f"names has {len(self.names)} entries, expected {n}"
             )
-        self._validate()
+        object.__setattr__(self, "checked", bool(check))
+        if check:
+            self._validate()
 
     def _validate(self) -> None:
         """Vectorized mirror of the scalar dataclasses' validation."""
-        positive = (
-            "elements_in",
-            "bytes_per_element",
-            "ideal_bandwidth",
-            "ops_per_element",
-            "throughput_proc",
-            "clock_hz",
-            "t_soft",
-        )
-        for name in positive:
+        for name, bad_fn, describe in _ROW_RULES:
             column = getattr(self, name)
-            bad = ~(np.isfinite(column) & (column > 0))
+            bad = bad_fn(column)
             if bad.any():
                 i = _first_bad(bad)
                 raise ParameterError(
-                    f"{name} must be positive and finite, got "
-                    f"{column[i]} at row {i}"
+                    f"{describe(name, float(column[i]))} at row {i}"
                 )
-        bad = ~(np.isfinite(self.elements_out) & (self.elements_out >= 0))
-        if bad.any():
-            i = _first_bad(bad)
-            raise ParameterError(
-                f"elements_out must be >= 0 and finite, got "
-                f"{self.elements_out[i]} at row {i}"
-            )
-        for name in ("alpha_write", "alpha_read"):
-            column = getattr(self, name)
-            bad = ~(np.isfinite(column) & (column > 0) & (column <= 1))
-            if bad.any():
-                i = _first_bad(bad)
-                raise ParameterError(
-                    f"{name} must be in (0, 1], got {column[i]} at row {i}"
-                )
-        bad = ~(np.isfinite(self.n_iterations) & (self.n_iterations >= 1))
-        if bad.any():
-            i = _first_bad(bad)
-            raise ParameterError(
-                f"n_iterations must be >= 1, got "
-                f"{self.n_iterations[i]} at row {i}"
-            )
 
     # ---- construction ------------------------------------------------------
 
@@ -221,13 +306,16 @@ class BatchInput:
         n: int,
         overrides: Mapping[str, object] | None = None,
         names: tuple[str, ...] = (),
+        *,
+        check: bool = True,
     ) -> "BatchInput":
         """``n`` copies of ``base`` with selected columns overridden.
 
         ``overrides`` maps column names (see the class fields; SI units)
         to scalars or length-``n`` arrays.  This is the fast constructor
         the exploration layer uses: no per-row ``RATInput`` objects are
-        ever materialised.
+        ever materialised.  ``check=False`` defers row validation (see
+        the class docstring) for quarantine-style callers.
         """
         if n < 1:
             raise ParameterError(f"batch size must be >= 1, got {n}")
@@ -254,7 +342,7 @@ class BatchInput:
             name: _as_column(name, values, n)
             for name, values in columns.items()
         }
-        return cls(names=names, **built)
+        return cls(names=names, check=check, **built)
 
     # ---- conversion --------------------------------------------------------
 
@@ -301,7 +389,22 @@ class BatchInput:
             )
         kwargs = {name: getattr(self, name)[key] for name in _COLUMNS}
         names = self.names[key] if self.names else ()
-        return BatchInput(names=names, **kwargs)
+        return BatchInput(names=names, check=self.checked, **kwargs)
+
+    def take(self, indices: np.ndarray, *, check: bool | None = None) -> "BatchInput":
+        """Select an arbitrary row subset (fancy indexing, copies).
+
+        ``check`` defaults to the batch's own ``checked`` state; the
+        quarantine path passes ``check=True`` when it selects the rows
+        that passed :func:`valid_row_mask` out of an unchecked batch.
+        """
+        indices = np.asarray(indices)
+        kwargs = {name: getattr(self, name)[indices] for name in _COLUMNS}
+        names = (
+            tuple(self.names[int(i)] for i in indices) if self.names else ()
+        )
+        effective = self.checked if check is None else check
+        return BatchInput(names=names, check=effective, **kwargs)
 
 
 @dataclass(frozen=True, eq=False)
@@ -365,8 +468,17 @@ class BatchPrediction:
         return self.t_comp >= self.t_comm
 
     def argbest(self) -> int:
-        """Row index of the highest predicted speedup."""
-        return int(np.argmax(self.speedup))
+        """Row index of the highest predicted speedup.
+
+        Quarantined (NaN) rows are ignored; if *every* row is NaN there
+        is no best design and a ``ParameterError`` is raised.
+        """
+        try:
+            return int(np.nanargmax(self.speedup))
+        except ValueError:
+            raise ParameterError(
+                "argbest: every row is quarantined (all speedups are NaN)"
+            ) from None
 
     def as_records(self) -> list[dict[str, float]]:
         """Flat per-row dicts mirroring ``ThroughputPrediction.as_dict``."""
@@ -403,6 +515,12 @@ def batch_predict(
     """
     if mode not in (BufferingMode.SINGLE, BufferingMode.DOUBLE):
         raise ParameterError(f"unknown buffering mode {mode!r}")
+    if not batch.checked:
+        # A deferred-validation batch must never reach the equations with
+        # invalid rows: the divisions below would turn them into silent
+        # inf/NaN where the scalar path raises.  Quarantine callers split
+        # the batch with valid_row_mask()/take() before predicting.
+        batch._validate()
     n = len(batch)
     with get_tracer().span(
         "rat.batch_predict", {"points": n, "mode": mode.value}, "throughput"

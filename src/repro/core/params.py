@@ -34,22 +34,65 @@ __all__ = [
     "ComputationParams",
     "SoftwareParams",
     "RATInput",
+    "positive_violation",
+    "nonnegative_violation",
+    "fraction_violation",
+    "at_least_one_violation",
 ]
 
 
-def _require_positive(name: str, value: float) -> None:
+# ---------------------------------------------------------------------------
+# Violation messages, shared between the scalar validators below and the
+# vectorized row-level quarantine in ``repro.core.batch``.  Keeping one
+# formatter per rule guarantees the batch path reports byte-identical
+# diagnostics for every input the scalar path rejects.
+# ---------------------------------------------------------------------------
+
+
+def positive_violation(name: str, value: float) -> str | None:
+    """The violation message for a must-be-positive field, or None if ok."""
     if not math.isfinite(value) or not value > 0:
-        raise ParameterError(f"{name} must be positive and finite, got {value}")
+        return f"{name} must be positive and finite, got {value}"
+    return None
+
+
+def nonnegative_violation(name: str, value: float) -> str | None:
+    """The violation message for a must-be->=0 field, or None if ok."""
+    if not math.isfinite(value) or value < 0:
+        return f"{name} must be >= 0 and finite, got {value}"
+    return None
+
+
+def fraction_violation(name: str, value: float) -> str | None:
+    """The violation message for a (0, 1] fraction field, or None if ok."""
+    if not math.isfinite(value) or not 0 < value <= 1:
+        return f"{name} must be in (0, 1], got {value}"
+    return None
+
+
+def at_least_one_violation(name: str, value: float) -> str | None:
+    """The violation message for a must-be->=1 field, or None if ok."""
+    if not math.isfinite(value) or value < 1:
+        return f"{name} must be >= 1, got {value}"
+    return None
+
+
+def _require_positive(name: str, value: float) -> None:
+    message = positive_violation(name, value)
+    if message is not None:
+        raise ParameterError(message)
 
 
 def _require_nonnegative(name: str, value: float) -> None:
-    if not math.isfinite(value) or value < 0:
-        raise ParameterError(f"{name} must be >= 0 and finite, got {value}")
+    message = nonnegative_violation(name, value)
+    if message is not None:
+        raise ParameterError(message)
 
 
 def _require_fraction(name: str, value: float) -> None:
-    if not math.isfinite(value) or not 0 < value <= 1:
-        raise ParameterError(f"{name} must be in (0, 1], got {value}")
+    message = fraction_violation(name, value)
+    if message is not None:
+        raise ParameterError(message)
 
 
 @dataclass(frozen=True)
@@ -188,10 +231,9 @@ class SoftwareParams:
 
     def __post_init__(self) -> None:
         _require_positive("t_soft", self.t_soft)
-        if self.n_iterations < 1:
-            raise ParameterError(
-                f"n_iterations must be >= 1, got {self.n_iterations}"
-            )
+        message = at_least_one_violation("n_iterations", self.n_iterations)
+        if message is not None:
+            raise ParameterError(message)
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ __all__ = [
     "ResourceError",
     "PlatformError",
     "SimulationError",
+    "ExplorationError",
     "GoalSeekError",
     "ExperimentError",
     "ObservabilityError",
@@ -57,6 +58,38 @@ class PlatformError(RATError, KeyError):
 
 class SimulationError(RATError, RuntimeError):
     """The cycle-level hardware simulator reached an inconsistent state."""
+
+
+class ExplorationError(RATError, RuntimeError):
+    """A design-space exploration run could not complete cleanly.
+
+    Raised by the fault-tolerant executor when chunks fail beyond their
+    retry budget under ``on_error="fail"``, or when a checkpoint cannot
+    be resumed.  Carries the structured failure records and whatever
+    partial results were computed so callers can salvage a long run:
+
+    ``failures``
+        Row-level diagnostics (``PointFailure`` instances) for designs
+        the validator quarantined.
+    ``chunk_failures``
+        Chunk-level diagnostics (``ChunkFailure`` instances) for crashes,
+        timeouts, and exhausted retries.
+    ``partial``
+        The partial result object (executor-specific), or ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failures: tuple = (),
+        chunk_failures: tuple = (),
+        partial: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+        self.chunk_failures = tuple(chunk_failures)
+        self.partial = partial
 
 
 class GoalSeekError(RATError, ValueError):

@@ -3,7 +3,8 @@
 RAT's value to a designer is what-if exploration — sweeps, crossover
 bisection, Monte Carlo uncertainty bands, goal-seeking — and all of them
 reduce to evaluating the worksheet equations over many candidate
-designs.  This subsystem makes that evaluation fast and structured:
+designs.  This subsystem makes that evaluation fast, structured, and
+fault-tolerant:
 
 ``space``
     :class:`DesignSpace`: named parameter axes over a base worksheet
@@ -14,6 +15,16 @@ designs.  This subsystem makes that evaluation fast and structured:
     :func:`repro.core.batch.batch_predict`, serial or process-parallel;
     :func:`map_designs` for non-vectorizable evaluators (hardware
     simulation, goal-seek).
+``runtime``
+    The fault-tolerance layer: :class:`RetryPolicy` retry/backoff/
+    timeout knobs, row-level quarantine with :class:`PointFailure`
+    diagnostics, chunk-level crash/hang recovery with
+    :class:`ChunkFailure` records, and pool respawn / serial
+    degradation.
+``checkpoint``
+    :class:`ChunkJournal`: JSONL chunk journal keyed by a content hash
+    of the run, so an interrupted exploration resumes from completed
+    chunks with bitwise-identical results.
 ``cache``
     :class:`PredictionCache`: LRU memoization of scalar predictions
     keyed on the frozen worksheet.
@@ -23,21 +34,42 @@ The ``rat explore`` CLI subcommand is a thin wrapper over
 """
 
 from .cache import PredictionCache
+from .checkpoint import ChunkJournal, run_key
 from .executor import (
     DEFAULT_CHUNK_SIZE,
     ExplorationResult,
+    MapResult,
     explore,
     map_designs,
+)
+from .runtime import (
+    ChunkFailure,
+    ChunkRunReport,
+    ON_ERROR_POLICIES,
+    PointFailure,
+    RetryPolicy,
+    quarantine_rows,
+    run_chunks,
 )
 from .space import AxisSpec, DesignSpace, axis_names
 
 __all__ = [
     "AxisSpec",
+    "ChunkFailure",
+    "ChunkJournal",
+    "ChunkRunReport",
     "DEFAULT_CHUNK_SIZE",
     "DesignSpace",
     "ExplorationResult",
+    "MapResult",
+    "ON_ERROR_POLICIES",
+    "PointFailure",
     "PredictionCache",
+    "RetryPolicy",
     "axis_names",
     "explore",
     "map_designs",
+    "quarantine_rows",
+    "run_chunks",
+    "run_key",
 ]

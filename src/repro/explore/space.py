@@ -242,16 +242,19 @@ class DesignSpace:
         """Iterate every design as a scalar worksheet (slow path)."""
         return (self.design(i) for i in range(len(self)))
 
-    def to_batch(self) -> BatchInput:
+    def to_batch(self, *, check: bool = True) -> BatchInput:
         """The whole space as one :class:`BatchInput` (fast path).
 
         Applies each axis's column expansion to the base worksheet; no
-        per-row ``RATInput`` objects are created.
+        per-row ``RATInput`` objects are created.  ``check=False``
+        defers row validation so the fault-tolerant executor can
+        quarantine invalid design points instead of losing the space to
+        its first bad row.
         """
         overrides: dict[str, np.ndarray] = {}
         for j, name in enumerate(self.axes):
             overrides.update(_axis(name).columns(self.values[:, j]))
-        return BatchInput.from_base(self.base, len(self), overrides)
+        return BatchInput.from_base(self.base, len(self), overrides, check=check)
 
     def describe(self) -> str:
         """e.g. ``"3 axes x 1000 points over clock_mhz, alpha, ..."``."""

@@ -1,0 +1,230 @@
+"""Checkpoint journal tests: run keys, journal format, resume semantics."""
+
+import json
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core.buffering import BufferingMode
+from repro.errors import ExplorationError, ParameterError
+from repro.explore import ChunkJournal, DesignSpace, explore, map_designs, run_key
+from repro.explore.checkpoint import JOURNAL_VERSION
+
+from . import faults
+
+
+def _space(base, n=30):
+    return DesignSpace.random(
+        base, n, seed=5, clock_mhz=(50, 300), alpha=(0.1, 0.9)
+    )
+
+
+class TestRunKey:
+    def test_deterministic(self, pdf1d_rat):
+        space = _space(pdf1d_rat)
+        key = run_key(space, BufferingMode.SINGLE, 10, "fail")
+        assert key == run_key(space, BufferingMode.SINGLE, 10, "fail")
+
+    def test_sensitive_to_every_ingredient(self, pdf1d_rat):
+        space = _space(pdf1d_rat)
+        base = run_key(space, BufferingMode.SINGLE, 10, "fail")
+        assert base != run_key(space, BufferingMode.DOUBLE, 10, "fail")
+        assert base != run_key(space, BufferingMode.SINGLE, 11, "fail")
+        assert base != run_key(space, BufferingMode.SINGLE, 10, "skip")
+        assert base != run_key(
+            space, BufferingMode.SINGLE, 10, "fail", evaluator="f"
+        )
+
+    def test_sensitive_to_values_bits(self, pdf1d_rat):
+        space = _space(pdf1d_rat)
+        nudged = DesignSpace(
+            base=space.base,
+            axes=space.axes,
+            values=np.nextafter(space.values, np.inf),
+        )
+        assert run_key(space, BufferingMode.SINGLE, 10, "fail") != run_key(
+            nudged, BufferingMode.SINGLE, 10, "fail"
+        )
+
+    def test_sensitive_to_base_worksheet(self, pdf1d_rat, pdf2d_rat):
+        assert run_key(
+            _space(pdf1d_rat), BufferingMode.SINGLE, 10, "fail"
+        ) != run_key(_space(pdf2d_rat), BufferingMode.SINGLE, 10, "fail")
+
+
+class TestChunkJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = ChunkJournal(path, "k1")
+        with journal.open(fresh=True):
+            journal.append(0, {"payload": [1.5]})
+            journal.append(2, {"payload": [2.5]})
+        completed = ChunkJournal(path, "k1").load()
+        assert completed == {0: {"payload": [1.5]}, 2: {"payload": [2.5]}}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert ChunkJournal(tmp_path / "absent.jsonl", "k").load() == {}
+
+    def test_fresh_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal(path, "k").open(fresh=True) as journal:
+            journal.append(0, {"payload": []})
+        with ChunkJournal(path, "k").open(fresh=True):
+            pass
+        assert ChunkJournal(path, "k").load() == {}
+
+    def test_key_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal(path, "old-key").open(fresh=True):
+            pass
+        with pytest.raises(ExplorationError, match="different run"):
+            ChunkJournal(path, "new-key").load()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps(
+                {"kind": "header", "version": JOURNAL_VERSION + 1, "key": "k"}
+            )
+            + "\n"
+        )
+        with pytest.raises(ExplorationError, match="version"):
+            ChunkJournal(path, "k").load()
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal(path, "k").open(fresh=True) as journal:
+            journal.append(0, {"payload": [1.0]})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "chunk", "index": 1, "pa')  # torn write
+        assert ChunkJournal(path, "k").load() == {0: {"payload": [1.0]}}
+
+    def test_malformed_mid_journal_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ChunkJournal(path, "k").open(fresh=True) as journal:
+            journal.append(0, {"payload": [1.0]})
+        header, chunk = path.read_text().splitlines(keepends=True)
+        # Garbage *between* valid records cannot be a torn tail.
+        path.write_text(header + '{"kind": "chu\n' + chunk)
+        with pytest.raises(ExplorationError, match="corrupt"):
+            ChunkJournal(path, "k").load()
+
+    def test_chunk_before_header_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps({"kind": "chunk", "index": 0, "payload": []}) + "\n"
+        )
+        with pytest.raises(ExplorationError, match="before header"):
+            ChunkJournal(path, "k").load()
+
+    def test_append_requires_open(self, tmp_path):
+        journal = ChunkJournal(tmp_path / "run.jsonl", "k")
+        with pytest.raises(ExplorationError, match="not open"):
+            journal.append(0, {})
+
+    def test_non_serializable_payload(self, tmp_path):
+        with ChunkJournal(tmp_path / "run.jsonl", "k").open(
+            fresh=True
+        ) as journal:
+            with pytest.raises(ParameterError, match="JSON-serializable"):
+                journal.append(0, {"payload": object()})
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            ChunkJournal("", "k")
+
+
+def _truncate_journal(path, keep_chunks):
+    """Keep the header plus the first ``keep_chunks`` chunk records."""
+    lines = path.read_text().splitlines(keepends=True)
+    path.write_text("".join(lines[: 1 + keep_chunks]))
+    return len(lines) - 1 - keep_chunks
+
+
+class TestExploreResume:
+    def test_interrupted_run_resumes_bitwise_identical(
+        self, tmp_path, pdf1d_rat
+    ):
+        space = _space(pdf1d_rat, 40)
+        journal = tmp_path / "run.jsonl"
+        clean = explore(space, chunk_size=7)
+        explore(space, chunk_size=7, checkpoint=journal)
+        dropped = _truncate_journal(journal, keep_chunks=3)
+        assert dropped > 0
+        resumed = explore(space, chunk_size=7, checkpoint=journal, resume=True)
+        assert resumed.resumed_chunks == 3
+        for name in ("t_rc", "speedup", "t_comm", "t_comp"):
+            assert (
+                getattr(resumed.prediction, name).tobytes()
+                == getattr(clean.prediction, name).tobytes()
+            )
+
+    def test_complete_journal_resumes_everything(self, tmp_path, pdf1d_rat):
+        space = _space(pdf1d_rat, 20)
+        journal = tmp_path / "run.jsonl"
+        first = explore(space, chunk_size=5, checkpoint=journal)
+        resumed = explore(space, chunk_size=5, checkpoint=journal, resume=True)
+        assert resumed.resumed_chunks == 4
+        assert (
+            resumed.prediction.t_rc.tobytes()
+            == first.prediction.t_rc.tobytes()
+        )
+
+    def test_resume_without_checkpoint_rejected(self, pdf1d_rat):
+        with pytest.raises(ParameterError, match="checkpoint"):
+            explore(_space(pdf1d_rat, 4), resume=True)
+
+    def test_changed_chunking_rejects_stale_journal(self, tmp_path, pdf1d_rat):
+        space = _space(pdf1d_rat, 20)
+        journal = tmp_path / "run.jsonl"
+        explore(space, chunk_size=5, checkpoint=journal)
+        with pytest.raises(ExplorationError, match="different run"):
+            explore(space, chunk_size=4, checkpoint=journal, resume=True)
+
+    def test_without_resume_overwrites(self, tmp_path, pdf1d_rat):
+        space = _space(pdf1d_rat, 10)
+        journal = tmp_path / "run.jsonl"
+        explore(space, chunk_size=5, checkpoint=journal)
+        again = explore(space, chunk_size=5, checkpoint=journal)
+        assert again.resumed_chunks == 0
+
+    def test_resume_after_torn_final_line(self, tmp_path, pdf1d_rat):
+        space = _space(pdf1d_rat, 20)
+        journal = tmp_path / "run.jsonl"
+        clean = explore(space, chunk_size=5)
+        explore(space, chunk_size=5, checkpoint=journal)
+        _truncate_journal(journal, keep_chunks=2)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "chunk", "index": 2, "payl')
+        resumed = explore(space, chunk_size=5, checkpoint=journal, resume=True)
+        assert resumed.resumed_chunks == 2
+        assert (
+            resumed.prediction.t_rc.tobytes()
+            == clean.prediction.t_rc.tobytes()
+        )
+
+
+class TestMapDesignsResume:
+    def test_resume_replays_chunks(self, tmp_path, pdf1d_rat):
+        space = _space(pdf1d_rat, 12)
+        journal = tmp_path / "map.jsonl"
+        first = map_designs(
+            space, faults.t_rc_eval, chunk_size=3, checkpoint=journal
+        )
+        resumed = map_designs(
+            space, faults.t_rc_eval, chunk_size=3,
+            checkpoint=journal, resume=True, detail=True,
+        )
+        assert resumed.resumed_chunks == 4
+        assert resumed.results == first
+
+    def test_journal_is_evaluator_specific(self, tmp_path, pdf1d_rat):
+        space = _space(pdf1d_rat, 6)
+        journal = tmp_path / "map.jsonl"
+        map_designs(space, faults.t_rc_eval, chunk_size=3, checkpoint=journal)
+        with pytest.raises(ExplorationError, match="different run"):
+            map_designs(
+                space, faults.raise_on_slow_clock_eval, chunk_size=3,
+                checkpoint=journal, resume=True,
+            )

@@ -338,3 +338,58 @@ class TestExploreCommand:
                      "--axis", "clock_mhz=75,100,150,200",
                      "--workers", "2", "--chunk", "2"]) == 0
         assert "4 point(s)" in capsys.readouterr().out
+
+    def test_workers_zero_means_per_core(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "clock_mhz=75,100,150",
+                     "--workers", "0"]) == 0
+        assert "3 point(s)" in capsys.readouterr().out
+
+    def test_quarantine_reports_failures(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "clock_mhz=0,100,150",
+                     "--on-error", "quarantine"]) == 0
+        out = capsys.readouterr().out
+        assert "3 point(s)" in out
+        assert "1 failed point(s) [quarantine]:" in out
+        assert "clock_hz must be positive and finite, got 0.0" in out
+
+    def test_quarantine_json_failures(self, capsys):
+        assert main(["explore", "--study", "pdf1d", "--format", "json",
+                     "--axis", "clock_mhz=0,100,150",
+                     "--on-error", "quarantine"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed_points"] == 1
+        assert len(payload["failures"]) == 1
+        # NaN rows stay out of the ranked predictions.
+        assert len(payload["predictions"]) == 2
+        speedups = [p["speedup"] for p in payload["predictions"]]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_bad_design_fails_by_default(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "clock_mhz=0,100"]) == 2
+        assert "clock_hz must be positive" in capsys.readouterr().err
+
+    def test_checkpoint_and_resume_flags(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        args = ["explore", "--study", "pdf1d",
+                "--axis", "clock_mhz=50:250:9", "--chunk", "3",
+                "--checkpoint", str(journal)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert journal.exists()
+        assert main(args + ["--resume"]) == 0
+        assert "3 chunk(s) resumed from checkpoint" in capsys.readouterr().out
+
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "clock_mhz=100,150", "--resume"]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_retry_flags_accepted(self, capsys):
+        assert main(["explore", "--study", "pdf1d",
+                     "--axis", "clock_mhz=100,150",
+                     "--max-retries", "3", "--timeout", "30",
+                     "--on-error", "skip"]) == 0
+        assert "2 point(s)" in capsys.readouterr().out
