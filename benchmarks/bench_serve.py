@@ -1,0 +1,197 @@
+"""Load benchmark for the ``repro.serve`` prediction service.
+
+Two measurements, both recorded into ``BENCH_PR5.json``:
+
+* **Micro-batching win** (the PR's acceptance criterion): the same
+  request stream driven through the application layer at concurrency 64,
+  once with coalescing enabled and once with ``max_batch_size=1``
+  (batch-size-1 serving — every request pays the full scalar staging +
+  numpy dispatch pipeline alone).  Micro-batched serving must deliver
+  >= 5x the RPS.  Driving :meth:`RATApp.handle` directly keeps the
+  client's cost out of the comparison — on a single-core runner an
+  in-process HTTP client would spend as much CPU generating load as the
+  server spends serving it, capping any measurable ratio at ~2-3x
+  regardless of how good the batcher is.
+* **HTTP service profile**: RPS and p50/p99 latency through real
+  sockets at concurrency 4 / 16 / 64, the numbers a capacity planner
+  would quote.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -s``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.serve import RATApp, RATServer, Request
+
+from .conftest import record_gauge
+
+WORKSHEET = {
+    "name": "1-D PDF",
+    "elements_in": 512,
+    "elements_out": 1,
+    "bytes_per_element": 4,
+    "throughput_ideal_mbps": 1000.0,
+    "alpha_write": 0.37,
+    "alpha_read": 0.16,
+    "ops_per_element": 768,
+    "throughput_proc": 20.0,
+    "clock_mhz": 150.0,
+    "t_soft": 0.578,
+    "n_iterations": 400,
+}
+
+_BODY = json.dumps(WORKSHEET).encode()
+_WIRE = (
+    b"POST /v1/predict HTTP/1.1\r\nHost: bench\r\n"
+    b"Content-Length: " + str(len(_BODY)).encode() + b"\r\n\r\n" + _BODY
+)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+async def _app_load(app: RATApp, total: int, concurrency: int):
+    """Drive ``total`` /v1/predict requests through the app layer with
+    ``concurrency`` workers; return (rps, p50_s, p99_s)."""
+    request = Request(
+        "POST", "/v1/predict",
+        {"content-length": str(len(_BODY))}, _BODY,
+    )
+    latencies: list[float] = []
+    remaining = iter(range(total))
+
+    async def worker():
+        for _ in remaining:
+            t0 = time.perf_counter()
+            response = await app.handle(request)
+            latencies.append(time.perf_counter() - t0)
+            assert response.status == 200, response.body
+
+    started = time.perf_counter()
+    await asyncio.gather(*[worker() for _ in range(concurrency)])
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return (
+        total / elapsed,
+        _percentile(latencies, 0.50),
+        _percentile(latencies, 0.99),
+    )
+
+
+async def _http_load(port: int, total: int, concurrency: int):
+    """Same measurement through real sockets (keep-alive connections)."""
+    latencies: list[float] = []
+    per_worker = total // concurrency
+
+    async def worker():
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            for _ in range(per_worker):
+                t0 = time.perf_counter()
+                writer.write(_WIRE)
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                length = 0
+                for line in head.lower().split(b"\r\n"):
+                    if line.startswith(b"content-length:"):
+                        length = int(line.split(b":")[1])
+                await reader.readexactly(length)
+                latencies.append(time.perf_counter() - t0)
+                assert b" 200 " in head.split(b"\r\n", 1)[0]
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    started = time.perf_counter()
+    await asyncio.gather(*[worker() for _ in range(concurrency)])
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return (
+        per_worker * concurrency / elapsed,
+        _percentile(latencies, 0.50),
+        _percentile(latencies, 0.99),
+    )
+
+
+def test_microbatch_vs_unbatched_rps(show):
+    """Acceptance criterion: >= 5x RPS from micro-batching at
+    concurrency 64 versus batch-size-1 serving."""
+    total, concurrency = 4096, 64
+
+    async def scenario():
+        batched = RATApp(max_batch_size=256, max_wait_us=300.0)
+        await batched.startup()
+        await _app_load(batched, 512, concurrency)  # warm numpy/code paths
+        batched_stats = await _app_load(batched, total, concurrency)
+        await batched.shutdown()
+
+        unbatched = RATApp(max_batch_size=1, max_wait_us=0.0)
+        await unbatched.startup()
+        await _app_load(unbatched, 512, concurrency)
+        unbatched_stats = await _app_load(unbatched, total, concurrency)
+        await unbatched.shutdown()
+        return batched_stats, unbatched_stats
+
+    (b_rps, b_p50, b_p99), (u_rps, u_p50, u_p99) = asyncio.run(scenario())
+    ratio = b_rps / u_rps
+    record_gauge("serve.microbatched_rps", b_rps)
+    record_gauge("serve.microbatched_p50_us", b_p50 * 1e6)
+    record_gauge("serve.microbatched_p99_us", b_p99 * 1e6)
+    record_gauge("serve.unbatched_rps", u_rps)
+    record_gauge("serve.unbatched_p50_us", u_p50 * 1e6)
+    record_gauge("serve.unbatched_p99_us", u_p99 * 1e6)
+    record_gauge("serve.rps_ratio", ratio)
+    show(
+        f"micro-batched: {b_rps:,.0f} req/s "
+        f"(p50 {b_p50 * 1e6:.0f}us, p99 {b_p99 * 1e6:.0f}us)\n"
+        f"batch-size-1:  {u_rps:,.0f} req/s "
+        f"(p50 {u_p50 * 1e6:.0f}us, p99 {u_p99 * 1e6:.0f}us)\n"
+        f"ratio: {ratio:.1f}x at concurrency {concurrency}"
+    )
+    assert ratio >= 5.0, (
+        f"micro-batching delivered only {ratio:.1f}x over batch-size-1 "
+        f"serving at concurrency {concurrency} (need >= 5x)"
+    )
+
+
+def test_http_service_profile(show):
+    """RPS and latency percentiles through real sockets at several
+    concurrency levels (client and server share one core + one loop, so
+    these are conservative lower bounds)."""
+    levels = (4, 16, 64)
+    total = 2048
+
+    async def scenario():
+        app = RATApp(max_batch_size=256, max_wait_us=300.0)
+        server = RATServer(app, host="127.0.0.1", port=0)
+        await server.start()
+        results = {}
+        await _http_load(server.port, 256, 4)  # warm-up
+        for concurrency in levels:
+            results[concurrency] = await _http_load(
+                server.port, total, concurrency
+            )
+        await server.shutdown()
+        return results
+
+    results = asyncio.run(scenario())
+    lines = []
+    for concurrency, (rps, p50, p99) in results.items():
+        record_gauge(f"serve.http_c{concurrency}_rps", rps)
+        record_gauge(f"serve.http_c{concurrency}_p50_us", p50 * 1e6)
+        record_gauge(f"serve.http_c{concurrency}_p99_us", p99 * 1e6)
+        lines.append(
+            f"concurrency {concurrency:3d}: {rps:7,.0f} req/s  "
+            f"p50 {p50 * 1e6:7.0f}us  p99 {p99 * 1e6:7.0f}us"
+        )
+    show("\n".join(lines))
+    for concurrency, (rps, _, _) in results.items():
+        assert rps > 100, f"implausibly low RPS at c={concurrency}: {rps}"

@@ -27,7 +27,7 @@ from repro.obs import MetricsRegistry
 
 #: Schema/file name for this PR's perf record.  Future PRs bump the
 #: suffix (BENCH_PR3.json, ...) so the trajectory accumulates in-tree.
-BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 
 #: Session-local registry: isolated from the process-global one so a
 #: benchmark run's record is not polluted by unrelated library use.

@@ -25,8 +25,14 @@ Subcommands
     {fail,skip,quarantine}`` picks the failure policy, ``--max-retries``/
     ``--timeout`` tune chunk retry, and ``--checkpoint PATH`` with
     ``--resume`` journals completed chunks for crash recovery.
-``rat platforms``
-    List catalogued platforms/devices/interconnects.
+``rat platforms [--format json]``
+    List catalogued platforms/devices/interconnects (``--format json``
+    for a machine-readable catalog).
+``rat serve [--host H] [--port P] [--max-batch N] [--max-wait-us U]``
+    Run the micro-batching HTTP prediction service (``POST /v1/predict``,
+    ``/v1/batch``, ``/v1/explore``; ``GET /healthz``, ``/metrics``).
+    Concurrent single predictions are coalesced onto the vectorized
+    batch engine; drains gracefully on SIGTERM.
 
 Global observability flags (any subcommand): ``--trace FILE`` records
 wall-clock spans of the run itself and writes a Chrome trace; ``--metrics
@@ -61,7 +67,7 @@ from .obs import (
     write_metrics_summary,
 )
 from .platforms import list_devices, list_interconnects, list_platforms, get_platform
-from .units import MHZ
+from .units import MB, MHZ
 
 __all__ = ["main", "build_parser"]
 
@@ -276,7 +282,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format",
     )
 
-    sub.add_parser("platforms", help="list the platform catalog")
+    plat = sub.add_parser("platforms", help="list the platform catalog")
+    plat.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "json"],
+        help="output format",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the micro-batching HTTP prediction service",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="bind port (0 picks an ephemeral port, printed at startup)",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max single predictions coalesced per batch (default 64)",
+    )
+    srv.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=200.0,
+        metavar="US",
+        help="coalescing window in microseconds (default 200; 0 disables)",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="micro-batcher consumer tasks (default 1)",
+    )
+    srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="admission-queue bound; beyond it requests get 429",
+    )
+    srv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="default per-request deadline (0 = none; expired -> 504)",
+    )
+    srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds to wait for in-flight work on SIGTERM (default 10)",
+    )
 
     return parser
 
@@ -613,13 +679,54 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_platforms(_: argparse.Namespace) -> int:
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    if getattr(args, "format", "table") == "json":
+        platforms = []
+        for name in list_platforms():
+            platform = get_platform(name)
+            platforms.append({
+                "name": platform.name,
+                "device": platform.device.name,
+                "interconnect": platform.interconnect.name,
+                "ideal_mbps": platform.ideal_bandwidth / MB,
+                "host_description": platform.host_description,
+            })
+        print(json.dumps(
+            {
+                "platforms": platforms,
+                "devices": list_devices(),
+                "interconnects": list_interconnects(),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     print("Platforms:")
     for name in list_platforms():
         print(get_platform(name).describe())
         print()
     print("Devices:      " + ", ".join(list_devices()))
     print("Interconnects: " + ", ".join(list_interconnects()))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import serve
+
+    asyncio.run(serve(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        default_deadline_s=(
+            args.deadline_ms * 1e-3 if args.deadline_ms > 0 else None
+        ),
+        drain_timeout_s=args.drain_timeout,
+    ))
     return 0
 
 
@@ -653,6 +760,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "explore": _cmd_explore,
         "platforms": _cmd_platforms,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -19,6 +19,10 @@ __all__ = [
     "GoalSeekError",
     "ExperimentError",
     "ObservabilityError",
+    "ServeError",
+    "AdmissionError",
+    "DeadlineError",
+    "LimitError",
 ]
 
 
@@ -91,6 +95,35 @@ class ExplorationError(RATError, RuntimeError):
         self.chunk_failures = tuple(chunk_failures)
         self.partial = partial
 
+    def __reduce__(self):
+        # Exceptions pickle as ``cls(*args)`` plus ``__dict__`` state by
+        # default, which silently drops keyword-only payloads on classes
+        # that evolve their constructor.  These errors cross process
+        # boundaries in pool mode, so reconstruct explicitly.
+        return (
+            _rebuild_exploration_error,
+            (
+                type(self),
+                self.args[0] if self.args else "",
+                self.failures,
+                self.chunk_failures,
+                self.partial,
+            ),
+        )
+
+
+def _rebuild_exploration_error(
+    cls: type, message: str, failures: tuple, chunk_failures: tuple,
+    partial: object,
+) -> "ExplorationError":
+    """Unpickle helper for :class:`ExplorationError` (and subclasses)."""
+    return cls(
+        message,
+        failures=failures,
+        chunk_failures=chunk_failures,
+        partial=partial,
+    )
+
 
 class GoalSeekError(RATError, ValueError):
     """A goal-seek (inverse throughput) problem is infeasible.
@@ -109,4 +142,39 @@ class ObservabilityError(RATError, RuntimeError):
 
     Examples: closing a span that is not the innermost open span, or
     re-registering a metric name under a different instrument type.
+    """
+
+
+class ServeError(RATError, RuntimeError):
+    """The prediction service cannot process a request.
+
+    Base class for serving-layer failures; raised directly when the
+    service is shutting down (mapped to HTTP 503 by the HTTP layer).
+    """
+
+
+class AdmissionError(ServeError):
+    """The service's admission queue is full (HTTP 429).
+
+    ``retry_after_s`` is the server's estimate of when capacity should
+    be available again, surfaced as the ``Retry-After`` response header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.retry_after_s))
+
+
+class DeadlineError(ServeError):
+    """A request's deadline expired before it could be served (HTTP 504)."""
+
+
+class LimitError(ServeError):
+    """A request exceeds a configured size limit (HTTP 413).
+
+    Examples: a ``/v1/batch`` body with more rows than ``max_batch_rows``
+    or a ``/v1/explore`` sweep spanning more than ``max_explore_points``.
     """

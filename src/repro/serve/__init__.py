@@ -1,0 +1,64 @@
+"""Network serving: RAT predictions behind a micro-batching HTTP API.
+
+The paper frames RAT as an interactive pre-design test consulted
+repeatedly across candidate designs; modern users of such models are
+optimizer loops issuing thousands of small queries over a network.
+This subsystem serves that traffic shape on the stdlib only:
+
+``protocol``
+    Socket-free HTTP/1.1 parsing/formatting over ``bytes``.
+``batcher``
+    :class:`MicroBatcher` — coalesces concurrent single predictions
+    into struct-of-arrays batches (``max_batch_size``/``max_wait_us``
+    window) so callers ride PR 2's vectorized kernels bitwise-equal to
+    scalar ``predict()``, with PR 3's row-level quarantine isolating
+    invalid worksheets and bounded-queue admission control (429 +
+    ``Retry-After``, per-request deadlines).
+``app``
+    :class:`RATApp` — the transport-independent route table
+    (``/v1/predict``, ``/v1/batch``, ``/v1/explore``, ``/healthz``,
+    ``/metrics``).
+``server``
+    :class:`RATServer` / :func:`serve` — the asyncio TCP transport with
+    keep-alive connections and graceful SIGTERM drain.
+
+The ``rat serve`` CLI subcommand wraps :func:`serve`;
+``benchmarks/bench_serve.py`` load-tests the stack in-process.
+"""
+
+from .app import RATApp
+from .batcher import (
+    MicroBatcher,
+    resolve_modes,
+    scalar_diagnostic,
+    worksheet_row,
+)
+from .protocol import (
+    MAX_HEAD_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    error_body,
+    format_response,
+    json_response,
+    parse_head,
+)
+from .server import RATServer, serve
+
+__all__ = [
+    "MAX_HEAD_BYTES",
+    "MicroBatcher",
+    "ProtocolError",
+    "RATApp",
+    "RATServer",
+    "Request",
+    "Response",
+    "error_body",
+    "format_response",
+    "json_response",
+    "parse_head",
+    "resolve_modes",
+    "scalar_diagnostic",
+    "serve",
+    "worksheet_row",
+]

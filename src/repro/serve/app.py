@@ -1,0 +1,457 @@
+"""The prediction service's application layer: routes over JSON bodies.
+
+:class:`RATApp` is transport-independent — it maps parsed
+:class:`~repro.serve.protocol.Request` objects to
+:class:`~repro.serve.protocol.Response` objects, with no socket code.
+The asyncio server (:mod:`repro.serve.server`) feeds it from the wire;
+tests and the benchmark's in-process load generator call
+:meth:`RATApp.handle` directly.
+
+Endpoints:
+
+``POST /v1/predict``
+    One worksheet -> the full Equations (1)-(11) result.  Requests are
+    coalesced through the :class:`~repro.serve.batcher.MicroBatcher`, so
+    concurrent callers share struct-of-arrays batch evaluations while
+    each still receives a result bitwise-equal to scalar ``predict()``.
+``POST /v1/batch``
+    An array of worksheets evaluated as one batch via
+    :func:`repro.core.batch.batch_predict`, with row-level quarantine:
+    invalid rows come back as per-row errors, valid rows still predict.
+``POST /v1/explore``
+    A bounded design-space sweep via :func:`repro.explore.explore` over
+    a registered case study or an inline worksheet.
+``GET /healthz``
+    Liveness plus queue/served counters; reports ``draining`` during
+    graceful shutdown.
+``GET /metrics``
+    The process-global :mod:`repro.obs` metrics registry rendered as
+    plain text.
+
+Failure mapping is uniform: :class:`AdmissionError` -> 429 with a
+``Retry-After`` header, :class:`DeadlineError` -> 504,
+:class:`LimitError` / oversized payloads -> 413, validation errors ->
+400, draining -> 503, anything unexpected -> 500 (and a
+``serve.errors`` counter increment).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Mapping
+
+import numpy as np
+
+from ..apps.registry import get_case_study
+from ..core.batch import BatchInput, batch_predict, row_violations
+from ..core.buffering import BufferingMode
+from ..core.params import RATInput
+from ..errors import (
+    AdmissionError,
+    DeadlineError,
+    LimitError,
+    ParameterError,
+    RATError,
+    ServeError,
+)
+from ..obs import get_metrics, get_tracer, metrics_summary
+from .batcher import (
+    MicroBatcher,
+    resolve_modes,
+    scalar_diagnostic,
+    worksheet_row,
+)
+from .protocol import ProtocolError, Request, Response, error_body, json_response
+
+__all__ = ["RATApp"]
+
+#: Fields copied from a batch prediction row into JSON responses.
+_RESULT_FIELDS = (
+    "t_input",
+    "t_output",
+    "t_comm",
+    "t_comp",
+    "t_rc",
+    "speedup",
+    "util_comp",
+    "util_comm",
+)
+
+#: Default cap on prediction rows returned by ``/v1/explore``.
+_EXPLORE_TOP_DEFAULT = 100
+
+
+def _http_status(exc: RATError) -> tuple[int, tuple[tuple[str, str], ...]]:
+    """Map a library exception to (status, extra headers)."""
+    if isinstance(exc, ProtocolError):
+        return exc.status, ()
+    if isinstance(exc, AdmissionError):
+        retry_after = max(math.ceil(exc.retry_after_s), 1)
+        return 429, (("Retry-After", str(retry_after)),)
+    if isinstance(exc, DeadlineError):
+        return 504, ()
+    if isinstance(exc, LimitError):
+        return 413, ()
+    if isinstance(exc, ServeError):
+        return 503, ()
+    return 400, ()
+
+
+def _require_object(payload: object, what: str) -> Mapping[str, object]:
+    # type-is-dict covers every JSON-decoded object without the cost of
+    # the abc instance check; the isinstance fallback keeps Mapping
+    # compatibility for programmatic callers.
+    if type(payload) is dict or isinstance(payload, Mapping):
+        return payload
+    raise ParameterError(f"{what} must be a JSON object")
+
+
+class RATApp:
+    """Route table + micro-batcher behind the RAT prediction service."""
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int = 64,
+        max_wait_us: float = 200.0,
+        max_pending: int = 1024,
+        workers: int = 1,
+        max_body_bytes: int = 1 << 20,
+        max_batch_rows: int = 4096,
+        max_explore_points: int = 200_000,
+        default_deadline_s: float | None = None,
+    ) -> None:
+        self.batcher = MicroBatcher(
+            max_batch_size=max_batch_size,
+            max_wait_us=max_wait_us,
+            max_pending=max_pending,
+            workers=workers,
+        )
+        self.max_body_bytes = int(max_body_bytes)
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_explore_points = int(max_explore_points)
+        self.default_deadline_s = default_deadline_s
+        self.draining = False
+        self.inflight = 0
+        self.requests = 0
+        metrics = get_metrics()
+        self._requests_total = metrics.counter("serve.requests")
+        self._request_seconds = metrics.histogram("serve.request_seconds")
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    async def startup(self) -> None:
+        """Start the micro-batcher; requires a running event loop."""
+        self.draining = False
+        self.batcher.start()
+
+    async def shutdown(self, *, drain: bool = True) -> None:
+        """Stop accepting work and (by default) finish what is queued."""
+        self.draining = True
+        await self.batcher.close(drain=drain)
+
+    async def wait_idle(self, timeout_s: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish; True if fully idle."""
+        deadline = time.perf_counter() + timeout_s
+        while self.inflight > 0 or self.batcher.depth > 0:
+            if time.perf_counter() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
+
+    # ---- dispatch ----------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        """Serve one request; never raises (errors become responses)."""
+        self._requests_total.inc()
+        self.requests += 1
+        self.inflight += 1
+        started = time.perf_counter()
+        try:
+            with get_tracer().span(
+                "serve.request",
+                {"method": request.method, "path": request.path},
+                "serve",
+            ):
+                response = await self._route(request)
+        except RATError as exc:
+            status, headers = _http_status(exc)
+            response = error_body(str(exc), status)
+            response = Response(
+                status=response.status,
+                body=response.body,
+                headers=headers,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # defensive: a bug must not kill the loop
+            get_metrics().counter("serve.errors").inc()
+            response = error_body(f"internal error: {exc}", 500)
+        finally:
+            self.inflight -= 1
+            self._request_seconds.observe(time.perf_counter() - started)
+        if response.status >= 400:
+            get_metrics().counter(f"serve.status_{response.status}").inc()
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        path = request.path
+        if path == "/healthz":
+            return self._healthz(request)
+        if path == "/metrics":
+            return self._metrics(request)
+        if self.draining:
+            raise ServeError("service is draining")
+        if path == "/v1/predict":
+            self._require_post(request)
+            return await self._predict(request)
+        if path == "/v1/batch":
+            self._require_post(request)
+            return await self._batch(request)
+        if path == "/v1/explore":
+            self._require_post(request)
+            return await self._explore(request)
+        raise ProtocolError(f"no route for {path!r}", 404)
+
+    @staticmethod
+    def _require_post(request: Request) -> None:
+        if request.method != "POST":
+            raise ProtocolError(
+                f"{request.path} requires POST, got {request.method}", 405
+            )
+
+    # ---- endpoints ---------------------------------------------------------
+
+    def _healthz(self, request: Request) -> Response:
+        if request.method != "GET":
+            raise ProtocolError("/healthz requires GET", 405)
+        return json_response({
+            "status": "draining" if self.draining else "ok",
+            "queue_depth": self.batcher.depth,
+            "inflight": self.inflight,
+            "requests": self.requests,
+            "batches": self.batcher.batches,
+            "predictions_served": self.batcher.served,
+        })
+
+    def _metrics(self, request: Request) -> Response:
+        if request.method != "GET":
+            raise ProtocolError("/metrics requires GET", 405)
+        text = metrics_summary(get_metrics())
+        return Response(
+            body=text.encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+        )
+
+    async def _predict(self, request: Request) -> Response:
+        body = _require_object(request.json(), "request body")
+        if "worksheet" in body:
+            worksheet = _require_object(body["worksheet"], "'worksheet'")
+        else:
+            # Bare Table-1 worksheets are accepted directly, so
+            # ``curl -d @worksheet.json`` works without an envelope.
+            worksheet = body
+        modes = resolve_modes(str(body.get("mode", "both")))
+        deadline_s = self._deadline_s(body)
+        record, batch_size = await self.batcher.submit(
+            worksheet, modes, deadline_s=deadline_s
+        )
+        return json_response({
+            "name": str(worksheet.get("name", "")),
+            "predictions": record,
+            "batch_size": batch_size,
+        })
+
+    async def _batch(self, request: Request) -> Response:
+        body = _require_object(request.json(), "request body")
+        worksheets = body.get("worksheets")
+        if not isinstance(worksheets, list) or not worksheets:
+            raise ParameterError(
+                "request body must carry a non-empty 'worksheets' array"
+            )
+        if len(worksheets) > self.max_batch_rows:
+            raise LimitError(
+                f"batch of {len(worksheets)} rows exceeds the "
+                f"{self.max_batch_rows}-row limit"
+            )
+        modes = resolve_modes(str(body.get("mode", "both")))
+        results: list[dict[str, object] | None] = [None] * len(worksheets)
+        rows: list[tuple[float, ...]] = []
+        row_owner: list[int] = []
+        for i, item in enumerate(worksheets):
+            try:
+                rows.append(worksheet_row(_require_object(item, f"row {i}")))
+                row_owner.append(i)
+            except ParameterError as exc:
+                results[i] = {"ok": False, "error": str(exc)}
+        evaluated = 0
+        if rows:
+            evaluated = await asyncio.to_thread(
+                self._evaluate_rows, worksheets, results, rows, row_owner,
+                modes,
+            )
+        return json_response({
+            "rows": len(worksheets),
+            "evaluated": evaluated,
+            "failed": len(worksheets) - evaluated,
+            "results": results,
+        })
+
+    def _evaluate_rows(
+        self,
+        worksheets: list[object],
+        results: list[dict[str, object] | None],
+        rows: list[tuple[float, ...]],
+        row_owner: list[int],
+        modes: tuple[BufferingMode, ...],
+    ) -> int:
+        """Batch-evaluate staged rows, quarantining invalid ones."""
+        matrix = np.asarray(rows, dtype=np.float64)
+        staged = BatchInput(*matrix.T, check=False)
+        bad = {v.row: v for v in row_violations(staged)}
+        for local, violation in bad.items():
+            owner = row_owner[local]
+            results[owner] = {
+                "ok": False,
+                "error": scalar_diagnostic(
+                    worksheets[owner], violation.message
+                ),
+            }
+        keep = [i for i in range(len(rows)) if i not in bad]
+        if not keep:
+            return 0
+        if bad:
+            staged = staged.take(np.asarray(keep, dtype=np.intp), check=True)
+        predictions = {
+            mode: batch_predict(staged, mode) for mode in modes
+        }
+        get_metrics().counter("serve.predictions").inc(len(keep))
+        if bad:
+            get_metrics().counter("serve.quarantined").inc(len(bad))
+        for out_i, local in enumerate(keep):
+            record: dict[str, dict[str, float]] = {}
+            for mode in modes:
+                prediction = predictions[mode]
+                record[mode.value] = {
+                    name: float(getattr(prediction, name)[out_i])
+                    for name in _RESULT_FIELDS
+                }
+            results[row_owner[local]] = {"ok": True, "predictions": record}
+        return len(keep)
+
+    async def _explore(self, request: Request) -> Response:
+        from ..explore import DesignSpace, explore
+
+        body = _require_object(request.json(), "request body")
+        if "study" in body:
+            base = get_case_study(str(body["study"])).rat
+        elif "worksheet" in body:
+            base = RATInput.from_dict(
+                _require_object(body["worksheet"], "'worksheet'")
+            )
+        else:
+            raise ParameterError(
+                "request body must name a 'study' or carry a 'worksheet'"
+            )
+        axes_raw = _require_object(body.get("axes", {}), "'axes'")
+        axes = {
+            str(name): _axis_values(str(name), spec)
+            for name, spec in axes_raw.items()
+        }
+        points = math.prod(len(values) for values in axes.values())
+        if points > self.max_explore_points:
+            raise LimitError(
+                f"sweep of {points} points exceeds the "
+                f"{self.max_explore_points}-point limit"
+            )
+        mode = _buffering_mode(str(body.get("mode", "single")))
+        on_error = str(body.get("on_error", "fail"))
+        top = int(body.get("top", _EXPLORE_TOP_DEFAULT))
+        space = DesignSpace.grid(base, **axes)
+        result = await asyncio.to_thread(
+            explore, space, mode, on_error=on_error
+        )
+        records = result.as_records()
+        order = sorted(
+            (
+                i for i in range(len(records))
+                # NaN-filled quarantined rows sort unpredictably; report
+                # them through ``failures`` instead.
+                if records[i]["speedup"] == records[i]["speedup"]
+            ),
+            key=lambda i: -records[i]["speedup"],
+        )
+        if top > 0:
+            order = order[:top]
+        return json_response({
+            "name": base.name,
+            "mode": mode.value,
+            "axes": axes,
+            "points": len(result),
+            "elapsed_s": result.elapsed_s,
+            "points_per_sec": result.points_per_sec,
+            "failed_points": result.n_failed,
+            "failures": [f.describe() for f in result.failures]
+            + [f.describe() for f in result.chunk_failures],
+            "predictions": [records[i] for i in order],
+        })
+
+    # ---- helpers -----------------------------------------------------------
+
+    def _deadline_s(self, body: Mapping[str, object]) -> float | None:
+        raw = body.get("deadline_ms")
+        if raw is None:
+            return self.default_deadline_s
+        try:
+            deadline_s = float(raw) * 1e-3
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(f"non-numeric deadline_ms: {raw!r}") from exc
+        if deadline_s <= 0:
+            raise ParameterError(f"deadline_ms must be > 0, got {raw!r}")
+        return deadline_s
+
+
+def _buffering_mode(value: str) -> BufferingMode:
+    try:
+        return BufferingMode(value)
+    except ValueError:
+        raise ParameterError(
+            f"mode must be one of ['double', 'single'], got {value!r}"
+        ) from None
+
+
+def _axis_values(name: str, spec: object) -> list[float]:
+    """Decode one axis: an explicit list or a lo/hi/count range object."""
+    if isinstance(spec, list):
+        if not spec:
+            raise ParameterError(f"axis {name!r} must not be empty")
+        try:
+            return [float(v) for v in spec]
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"axis {name!r} has a non-numeric value"
+            ) from exc
+    if isinstance(spec, Mapping):
+        try:
+            low = float(spec["lo"])
+            high = float(spec["hi"])
+            count = int(spec["count"])
+        except KeyError as exc:
+            raise ParameterError(
+                f"axis {name!r} range needs 'lo', 'hi', and 'count'"
+            ) from exc
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"axis {name!r} has a non-numeric bound"
+            ) from exc
+        if count < 1:
+            raise ParameterError(f"axis {name!r} count must be >= 1")
+        if count == 1:
+            return [low]
+        step = (high - low) / (count - 1)
+        return [low + step * i for i in range(count)]
+    raise ParameterError(
+        f"axis {name!r} must be a value list or a lo/hi/count object"
+    )

@@ -393,3 +393,80 @@ class TestExploreCommand:
                      "--max-retries", "3", "--timeout", "30",
                      "--on-error", "skip"]) == 0
         assert "2 point(s)" in capsys.readouterr().out
+
+
+class TestPlatformsJson:
+    def test_machine_readable_catalog(self, capsys):
+        assert main(["platforms", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"platforms", "devices", "interconnects"}
+        names = {p["name"] for p in payload["platforms"]}
+        assert "Nallatech H101-PCIXM" in names
+        for platform in payload["platforms"]:
+            assert set(platform) == {
+                "name", "device", "interconnect", "ideal_mbps",
+                "host_description",
+            }
+            assert platform["ideal_mbps"] > 0
+            assert platform["device"] in payload["devices"]
+
+    def test_table_remains_default(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Platforms:")
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.max_batch == 64
+        assert args.max_wait_us == 200.0
+        assert args.workers == 1
+        assert args.max_pending == 1024
+
+    def test_parser_overrides(self):
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0",
+            "--max-batch", "256", "--max-wait-us", "500",
+            "--workers", "2", "--max-pending", "32",
+            "--deadline-ms", "250", "--drain-timeout", "3",
+        ])
+        assert args.port == 0
+        assert args.max_batch == 256
+        assert args.max_wait_us == 500.0
+        assert args.deadline_ms == 250.0
+        assert args.drain_timeout == 3.0
+
+    def test_serve_boots_answers_and_drains(self):
+        """End-to-end through the serving stack the CLI handler wraps:
+        boot on an ephemeral port, predict over a real socket, drain."""
+        import asyncio
+        import json as json_mod
+        import urllib.request
+
+        from repro.serve import RATApp, RATServer
+
+        ws_path = "examples/worksheets/pdf1d.json"
+        with open(ws_path, encoding="utf-8") as handle:
+            worksheet = json_mod.load(handle)
+
+        async def scenario():
+            server = RATServer(RATApp(), host="127.0.0.1", port=0)
+            await server.start()
+
+            def hit():
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{server.port}/v1/predict",
+                    data=json_mod.dumps(worksheet).encode(),
+                )
+                with urllib.request.urlopen(request, timeout=10) as resp:
+                    return json_mod.loads(resp.read())
+
+            payload = await asyncio.to_thread(hit)
+            await server.shutdown()
+            return payload
+
+        payload = asyncio.run(scenario())
+        assert payload["predictions"]["single"]["speedup"] > 0

@@ -55,3 +55,98 @@ class TestHierarchy:
             DatasetParams(elements_in=0, elements_out=0, bytes_per_element=1)
         with pytest.raises(RATError):
             get_platform("no-such-platform")
+
+
+class TestPickleRoundTrips:
+    """Errors and failure records cross process boundaries in pool mode
+    (``explore(workers=N)``); every payload field must survive pickling."""
+
+    def test_exploration_error_full_payload(self):
+        import pickle
+
+        from repro.errors import ExplorationError
+        from repro.explore.runtime import ChunkFailure, PointFailure
+
+        original = ExplorationError(
+            "3 of 9 chunks failed",
+            failures=(
+                PointFailure(
+                    index=4,
+                    parameter="alpha_write",
+                    value=-0.5,
+                    reason="alpha_write must be in (0, 1], got -0.5",
+                    point={"clock_mhz": 150.0},
+                ),
+            ),
+            chunk_failures=(
+                ChunkFailure(
+                    index=2,
+                    reason="worker crashed",
+                    error_type="BrokenProcessPool",
+                    attempts=3,
+                    lo=200,
+                    hi=300,
+                ),
+            ),
+            partial={"rows": 600},
+        )
+        restored = pickle.loads(pickle.dumps(original))
+        assert type(restored) is ExplorationError
+        assert str(restored) == str(original)
+        assert restored.failures == original.failures
+        assert restored.chunk_failures == original.chunk_failures
+        assert restored.partial == original.partial
+        assert restored.failures[0].describe() == (
+            original.failures[0].describe()
+        )
+
+    def test_exploration_error_defaults(self):
+        import pickle
+
+        from repro.errors import ExplorationError
+
+        restored = pickle.loads(pickle.dumps(ExplorationError("boom")))
+        assert str(restored) == "boom"
+        assert restored.failures == ()
+        assert restored.chunk_failures == ()
+        assert restored.partial is None
+
+    def test_row_violation(self):
+        import pickle
+
+        from repro.core.batch import RowViolation
+
+        original = RowViolation(
+            row=7,
+            column="clock_hz",
+            value=0.0,
+            message="clock_mhz must be > 0, got 0.0",
+        )
+        restored = pickle.loads(pickle.dumps(original))
+        assert restored == original
+        assert restored.message == original.message
+
+    def test_admission_error_keeps_retry_after(self):
+        import pickle
+
+        from repro.errors import AdmissionError
+
+        original = AdmissionError("queue full", retry_after_s=2.5)
+        restored = pickle.loads(pickle.dumps(original))
+        assert str(restored) == "queue full"
+        assert restored.retry_after_s == 2.5
+
+
+class TestServeHierarchy:
+    def test_serve_errors_derive_from_raterror(self):
+        from repro.errors import (
+            AdmissionError,
+            DeadlineError,
+            LimitError,
+            ServeError,
+        )
+
+        for exc in (AdmissionError, DeadlineError, LimitError):
+            assert issubclass(exc, ServeError)
+        assert issubclass(ServeError, RATError)
+        assert issubclass(ServeError, RuntimeError)

@@ -119,3 +119,91 @@ class TestDisplayHelpers:
     def test_format_percent(self):
         assert units.format_percent(0.15) == "15%"
         assert units.format_percent(0.987, decimals=1) == "98.7%"
+
+
+class TestParseFormatRoundTrips:
+    """format_* output must parse back to the same quantity (the CLI
+    renders with one and scripts re-ingest with the other)."""
+
+    @pytest.mark.parametrize(
+        "bytes_per_second",
+        [100.0, 2.5e3, 5e8, 1e9, 1.33e9, 6.4e9],
+    )
+    def test_bandwidth_roundtrip(self, bytes_per_second):
+        rendered = units.format_bandwidth(bytes_per_second)
+        assert units.parse_bandwidth(rendered) == pytest.approx(
+            bytes_per_second, rel=1e-3
+        )
+
+    @pytest.mark.parametrize("hertz", [50.0, 1e5, 150e6, 3.2e9])
+    def test_frequency_roundtrip(self, hertz):
+        rendered = units.format_frequency(hertz)
+        assert units.parse_frequency(rendered) == pytest.approx(
+            hertz, rel=1e-3
+        )
+
+    @pytest.mark.parametrize("num_bytes", [36.0, 2e3, 1.5e6, 4.2e9])
+    def test_size_roundtrip(self, num_bytes):
+        rendered = units.format_bytes(num_bytes)
+        assert units.parse_size(rendered) == pytest.approx(
+            num_bytes, rel=1e-3
+        )
+
+    @given(st.floats(min_value=1.0, max_value=1e11))
+    def test_bandwidth_roundtrip_property(self, bytes_per_second):
+        rendered = units.format_bandwidth(bytes_per_second)
+        assert units.parse_bandwidth(rendered) == pytest.approx(
+            bytes_per_second, rel=1e-3
+        )
+
+    @given(st.floats(min_value=1.0, max_value=1e10))
+    def test_frequency_roundtrip_property(self, hertz):
+        rendered = units.format_frequency(hertz)
+        assert units.parse_frequency(rendered) == pytest.approx(
+            hertz, rel=1e-3
+        )
+
+
+class TestMalformedInputs:
+    """Every parser rejects garbage with UnitError, never ValueError
+    leaking from float() or a silent wrong answer."""
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "   ", "MB/s", "ten MB/s", "1.2.3 GB/s", "100 TB/s",
+         "1e3 furlongs", "nan-ish MHz"],
+    )
+    def test_parse_bandwidth_rejects(self, text):
+        with pytest.raises(UnitError):
+            units.parse_bandwidth(text)
+
+    @pytest.mark.parametrize(
+        "text", ["", "MHz", "fast GHz", "12 THz", "1..5 kHz", "5 m"]
+    )
+    def test_parse_frequency_rejects(self, text):
+        with pytest.raises(UnitError):
+            units.parse_frequency(text)
+
+    @pytest.mark.parametrize(
+        "text", ["", "KB", "big MB", "7 TiB", "--2 B"]
+    )
+    def test_parse_size_rejects(self, text):
+        with pytest.raises(UnitError):
+            units.parse_size(text)
+
+    def test_unit_error_is_raterror_and_valueerror(self):
+        from repro.errors import RATError
+
+        try:
+            units.parse_bandwidth("junk")
+        except UnitError as exc:
+            assert isinstance(exc, RATError)
+            assert isinstance(exc, ValueError)
+        else:  # pragma: no cover - parser regression
+            raise AssertionError("parse_bandwidth accepted junk")
+
+    def test_whitespace_and_case_are_tolerated(self):
+        # Tolerance is part of the contract: "1000 MB/s" == "1000mb/s".
+        assert units.parse_bandwidth("  1000 mb/s  ") == 1e9
+        assert units.parse_frequency("150MHZ") == 150e6
+        assert units.parse_size(" 2 kb ") == 2e3
