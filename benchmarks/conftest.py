@@ -12,6 +12,11 @@ metrics registry: per-test wall time and reproduction-tolerance pass/fail
 plus the library's own experiment metrics (``experiment.wall_s``,
 ``experiment.rel_error``, ...).  Committed records give future PRs a perf
 trajectory to diff against.
+
+Alongside the record, the session writes a ``rat-run-manifest/v1``
+document to ``benchmarks/results/`` (git SHA, platform fingerprint,
+flattened metrics) — the input ``rat bench report`` ratchets against the
+committed trajectory, and the artefact CI uploads.
 """
 
 from __future__ import annotations
@@ -27,7 +32,10 @@ from repro.obs import MetricsRegistry
 
 #: Schema/file name for this PR's perf record.  Future PRs bump the
 #: suffix (BENCH_PR3.json, ...) so the trajectory accumulates in-tree.
-BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+
+#: Per-run manifests land here (gitignored; CI uploads them as artifacts).
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 #: Session-local registry: isolated from the process-global one so a
 #: benchmark run's record is not polluted by unrelated library use.
@@ -86,3 +94,16 @@ def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
     }
     BENCH_RECORD.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote perf record: {BENCH_RECORD}", file=sys.stderr)
+    # The ratchet-ready manifest: same metrics (session gauges win over
+    # library ones on name collision), plus provenance.
+    from repro.obs.manifest import build_manifest, write_manifest
+
+    merged = {**get_metrics().as_dict(), **_registry.as_dict()}
+    manifest = build_manifest(
+        merged,
+        label="bench-session",
+        config={"exit_status": int(exitstatus)},
+        root=BENCH_RECORD.parent,
+    )
+    manifest_path = write_manifest(manifest, RESULTS_DIR)
+    print(f"wrote run manifest: {manifest_path}", file=sys.stderr)

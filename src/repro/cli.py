@@ -30,13 +30,22 @@ Subcommands
     for a machine-readable catalog).
 ``rat serve [--host H] [--port P] [--max-batch N] [--max-wait-us U]``
     Run the micro-batching HTTP prediction service (``POST /v1/predict``,
-    ``/v1/batch``, ``/v1/explore``; ``GET /healthz``, ``/metrics``).
-    Concurrent single predictions are coalesced onto the vectorized
-    batch engine; drains gracefully on SIGTERM.
+    ``/v1/batch``, ``/v1/explore``; ``GET /healthz``, ``/metrics`` in
+    Prometheus exposition format).  Concurrent single predictions are
+    coalesced onto the vectorized batch engine; drains gracefully on
+    SIGTERM.  ``--access-log [FILE]`` streams structured JSONL access
+    and lifecycle events (stderr when no file is given).
+``rat bench report --manifest FILE [--baseline FILE] [--threshold PCT]``
+    The perf-regression ratchet: diff a run manifest against a baseline
+    (default: the newest committed ``BENCH_PR*.json`` record) over the
+    guarded metric set and exit nonzero on any regression beyond the
+    threshold.  ``--inject FRAC`` adversarially degrades the current
+    metrics first — CI uses it to prove the gate trips.
 
 Global observability flags (any subcommand): ``--trace FILE`` records
 wall-clock spans of the run itself and writes a Chrome trace; ``--metrics
-FILE`` writes the plain-text metrics summary.
+FILE`` writes the plain-text metrics summary; ``--log-json FILE``
+streams structured JSONL events (``-`` for stderr).
 """
 
 from __future__ import annotations
@@ -92,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="FILE",
         help="write the plain-text metrics summary on exit",
+    )
+    parser.add_argument(
+        "--log-json",
+        default="",
+        metavar="FILE",
+        help="stream structured JSONL log events to FILE ('-' for stderr)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -342,6 +357,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         metavar="S",
         help="seconds to wait for in-flight work on SIGTERM (default 10)",
+    )
+    srv.add_argument(
+        "--access-log",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit one structured JSONL event per request (plus batcher "
+        "lifecycle events) to FILE, or stderr when no file is given",
+    )
+
+    bench = sub.add_parser("bench", help="benchmark/perf tooling")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_report = bench_sub.add_parser(
+        "report",
+        help="perf-regression ratchet: diff a run manifest against the "
+        "committed trajectory; nonzero exit on regression",
+    )
+    bench_report.add_argument(
+        "--manifest",
+        required=True,
+        metavar="FILE",
+        help="the current run's manifest (rat-run-manifest/v1)",
+    )
+    bench_report.add_argument(
+        "--baseline",
+        default="",
+        metavar="FILE",
+        help="baseline manifest or BENCH_PR*.json record (default: the "
+        "newest BENCH_PR*.json under --root)",
+    )
+    bench_report.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="directory holding the BENCH_PR*.json trajectory (default .)",
+    )
+    bench_report.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        metavar="PCT",
+        help="regression tolerance in percent (default 15)",
+    )
+    bench_report.add_argument(
+        "--inject",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="adversarially degrade current metrics by this fraction "
+        "before comparing (0.2 = fake a 20%% regression; CI gate "
+        "self-test)",
     )
 
     return parser
@@ -726,8 +793,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.deadline_ms * 1e-3 if args.deadline_ms > 0 else None
         ),
         drain_timeout_s=args.drain_timeout,
+        access_log=args.access_log,
     ))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs.manifest import compare, load_manifest, load_trajectory
+
+    current = load_manifest(args.manifest)
+    if args.baseline:
+        baseline = load_manifest(args.baseline)
+    else:
+        trajectory = load_trajectory(args.root)
+        if not trajectory:
+            print(
+                f"error: no BENCH_PR*.json trajectory records under "
+                f"{args.root!r}; pass --baseline explicitly",
+                file=sys.stderr,
+            )
+            return 2
+        _, baseline_path, baseline = trajectory[-1]
+        print(f"baseline: {baseline_path}", file=sys.stderr)
+    report = compare(
+        current,
+        baseline,
+        threshold=args.threshold / 100.0,
+        inject=args.inject,
+    )
+    print(report.render())
+    return 1 if report.failed else 0
 
 
 def _export_observability(args: argparse.Namespace) -> None:
@@ -749,6 +844,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.trace:
         configure(trace=True)
+    if args.log_json:
+        from .obs import configure_logging
+
+        configure_logging(args.log_json)
     handlers = {
         "worksheet": _cmd_worksheet,
         "study": _cmd_study,
@@ -761,6 +860,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explore": _cmd_explore,
         "platforms": _cmd_platforms,
         "serve": _cmd_serve,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

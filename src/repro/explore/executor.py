@@ -58,6 +58,7 @@ from ..core.params import RATInput
 from ..core.throughput import ThroughputPrediction
 from ..errors import ExplorationError, ParameterError
 from ..obs import get_metrics, get_tracer
+from ..obs.propagation import TraceContext, activate, current_context, deactivate
 from .cache import PredictionCache
 from .checkpoint import ChunkJournal, run_key
 from .runtime import (
@@ -197,19 +198,34 @@ def _effective_workers(workers: int) -> int:
 
 
 def _predict_chunk(
-    chunk: BatchInput, mode: BufferingMode
+    chunk: BatchInput,
+    mode: BufferingMode,
+    trace: dict | None = None,
 ) -> tuple[float, tuple[np.ndarray, ...]]:
     """Worker-side chunk evaluation (top level so it pickles).
 
     Returns ``(elapsed_seconds, result_columns)`` so the parent can
     re-emit per-chunk observability for pool-evaluated chunks.
+
+    ``trace`` is the parent's serialized
+    :class:`~repro.obs.propagation.TraceContext` (contextvars do not
+    cross the ``ProcessPoolExecutor`` boundary); activating it in the
+    worker correlates any worker-side structured logs with the
+    originating request's trace.
     """
-    started = time.perf_counter()
-    prediction = batch_predict(chunk, mode)
-    elapsed = time.perf_counter() - started
-    return elapsed, tuple(
-        getattr(prediction, name) for name in _RESULT_FIELDS
+    token = (
+        activate(TraceContext.from_dict(trace)) if trace is not None else None
     )
+    try:
+        started = time.perf_counter()
+        prediction = batch_predict(chunk, mode)
+        elapsed = time.perf_counter() - started
+        return elapsed, tuple(
+            getattr(prediction, name) for name in _RESULT_FIELDS
+        )
+    finally:
+        if token is not None:
+            deactivate(token)
 
 
 #: Per-process map_designs state, seeded by :func:`_map_worker_init` so
@@ -518,6 +534,14 @@ def explore(
                 )
                 runner.replay(completed)
                 fn = partial(chunk_fn or _predict_chunk, mode=mode)
+                ctx = current_context()
+                if chunk_fn is None and ctx is not None:
+                    # Read inside the explore.run span, so the shipped
+                    # context is narrowed to that span's identity and
+                    # worker-side chunks parent under it.
+                    fn = partial(
+                        _predict_chunk, mode=mode, trace=ctx.to_dict()
+                    )
                 tasks = [eval_batch[lo:hi] for lo, hi in
                          (bounds[i] for i in runner.todo)]
                 try:

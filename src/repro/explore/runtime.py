@@ -35,11 +35,15 @@ Failure semantics are controlled by ``on_error``:
 
 Observability: every retry increments ``explore.retries``, every
 exhausted chunk increments ``explore.failed_chunks``, and pool
-degradation sets the ``explore.degraded_to_serial`` gauge.
+degradation sets the ``explore.degraded_to_serial`` gauge.  Each of
+these also emits a structured log event (``explore.retry`` /
+``explore.chunk_failed`` / ``explore.degraded``) through
+:mod:`repro.obs.log`, trace-correlated when a request context is active.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor
@@ -53,7 +57,10 @@ import numpy as np
 from ..core.batch import BatchInput, row_violations, valid_row_mask
 from ..errors import ExplorationError, ParameterError
 from ..obs import get_metrics
+from ..obs.log import event, get_logger
 from ..obs.metrics import MetricsRegistry
+
+_log = get_logger("explore")
 
 __all__ = [
     "ChunkFailure",
@@ -273,11 +280,22 @@ def _run_serial(
                 if attempts <= policy.max_retries:
                     report.retries += 1
                     metrics.counter("explore.retries").inc()
+                    event(
+                        _log, "explore.retry",
+                        chunk=i, attempt=attempts, error=str(exc),
+                        level=logging.WARNING,
+                    )
                     sleep(policy.delay(attempts))
                     continue
                 failure = _chunk_failure(i, exc, attempts)
                 report.failures.append(failure)
                 metrics.counter("explore.failed_chunks").inc()
+                event(
+                    _log, "explore.chunk_failed",
+                    chunk=i, attempts=attempts,
+                    error_type=failure.error_type, error=failure.reason,
+                    level=logging.WARNING,
+                )
                 if on_error == "fail":
                     raise _fail(failure, report, exc)
                 break
@@ -383,6 +401,11 @@ def run_chunks(
         # The pool never started (fork limits, sandboxing): degrade.
         report.degraded = True
         metrics.gauge("explore.degraded_to_serial").set(1.0)
+        event(
+            _log, "explore.degraded",
+            reason="process pool failed to start",
+            level=logging.WARNING,
+        )
         _run_serial(
             tasks, fn, range(len(tasks)), policy, on_error, on_result,
             report, metrics, sleep,
@@ -404,6 +427,12 @@ def run_chunks(
         failure = _chunk_failure(index, exc, attempts[index], reason=reason)
         report.failures.append(failure)
         metrics.counter("explore.failed_chunks").inc()
+        event(
+            _log, "explore.chunk_failed",
+            chunk=index, attempts=attempts[index],
+            error_type=failure.error_type, error=failure.reason,
+            level=logging.WARNING,
+        )
         if on_error == "fail":
             pool.terminate()
             raise _fail(failure, report, exc)
@@ -416,6 +445,12 @@ def run_chunks(
         if attempts[index] <= policy.max_retries:
             report.retries += 1
             metrics.counter("explore.retries").inc()
+            event(
+                _log, "explore.retry",
+                chunk=index, attempt=attempts[index],
+                error=reason or (str(exc) if exc else ""),
+                level=logging.WARNING,
+            )
             return True
         record_failure(index, exc, reason)
         return False
@@ -438,6 +473,11 @@ def run_chunks(
         """Abandon the pool and finish everything left in-process."""
         report.degraded = True
         metrics.gauge("explore.degraded_to_serial").set(1.0)
+        event(
+            _log, "explore.degraded",
+            reason="process pool kept failing; finishing serially",
+            level=logging.WARNING,
+        )
         remaining = list(inflight.values()) + list(suspects) + list(pending)
         inflight.clear()
         deadlines.clear()

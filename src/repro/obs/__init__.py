@@ -15,6 +15,20 @@ realised behaviour can be *observed*.  Three pieces:
     logs, plain-text metrics summaries — plus :class:`SimTrace`, which
     renders *simulated* hardware schedules (the paper's Figure-2
     write/compute/read lanes) as Chrome trace tracks.
+``propagation``
+    Cross-process trace identity: :class:`TraceContext` carried via
+    :mod:`contextvars` plus the W3C ``traceparent`` wire form, so a
+    request's span tree stays connected across the HTTP boundary and
+    into exploration worker processes.
+``log``
+    Structured JSONL event logging on stdlib :mod:`logging`, stamping
+    every record with the ambient trace/span ids for correlation.
+``promexport``
+    The metrics registry rendered in Prometheus text exposition format
+    (the serve layer's ``/metrics``).
+``manifest``
+    Run manifests (``rat-run-manifest/v1``) and the perf-regression
+    ratchet behind ``rat bench report``.
 
 Entry points: :func:`get_tracer` / :func:`get_metrics` fetch the
 process-global instances the library's instrumentation records into;
@@ -35,7 +49,26 @@ from .export import (
     write_jsonl,
     write_metrics_summary,
 )
+from .log import configure_logging, event, get_logger, reset_logging
+from .manifest import (
+    RATCHET_METRICS,
+    RatchetMetric,
+    RatchetReport,
+    build_manifest,
+    compare,
+    load_manifest,
+    load_trajectory,
+    write_manifest,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .promexport import render_prometheus
+from .propagation import (
+    TraceContext,
+    current_context,
+    format_traceparent,
+    new_context,
+    parse_traceparent,
+)
 from .simtrace import (
     SimTrace,
     TRACK_COMPUTE,
@@ -53,19 +86,36 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "RATCHET_METRICS",
+    "RatchetMetric",
+    "RatchetReport",
     "SimTrace",
     "Span",
     "TRACK_COMPUTE",
     "TRACK_EVENTS",
     "TRACK_READ",
     "TRACK_WRITE",
+    "TraceContext",
     "Tracer",
+    "build_manifest",
+    "compare",
     "configure",
+    "configure_logging",
+    "current_context",
+    "event",
+    "format_traceparent",
+    "get_logger",
     "get_metrics",
     "get_tracer",
+    "load_manifest",
+    "load_trajectory",
     "metrics_summary",
+    "new_context",
+    "parse_traceparent",
     "record_system_run",
+    "render_prometheus",
     "reset",
+    "reset_logging",
     "spans_to_chrome",
     "spans_to_jsonl",
     "timeline_to_trace",

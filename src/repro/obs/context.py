@@ -55,6 +55,5 @@ def configure(trace: bool | None = None) -> Tracer:
 def reset() -> None:
     """Disable tracing, drop all spans and metrics."""
     _tracer.enabled = False
-    _tracer._stack.clear()
-    _tracer.clear()
+    _tracer.hard_reset()
     _metrics.reset()

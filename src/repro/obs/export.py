@@ -61,6 +61,17 @@ def spans_to_chrome(
         }
     ]
     for span in finished:
+        args = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            **span.attributes,
+        }
+        # Distributed identity appears only on spans that have one, so
+        # purely local traces keep their historical (golden) shape.
+        if span.trace_id:
+            args["trace_id"] = span.trace_id
+        if span.remote_parent:
+            args["remote_parent"] = span.remote_parent
         events.append(
             {
                 "name": span.name,
@@ -70,11 +81,7 @@ def spans_to_chrome(
                 "dur": (span.end - span.start) * _US,  # type: ignore[operator]
                 "pid": 1,
                 "tid": 1,
-                "args": {
-                    "span_id": span.span_id,
-                    "parent_id": span.parent_id,
-                    **span.attributes,
-                },
+                "args": args,
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
@@ -91,23 +98,22 @@ def spans_to_jsonl(spans: Iterable[Span]) -> str:
     for span in spans:
         if not span.finished:
             continue
-        lines.append(
-            json.dumps(
-                {
-                    "name": span.name,
-                    "category": span.category,
-                    "span_id": span.span_id,
-                    "parent_id": span.parent_id,
-                    "depth": span.depth,
-                    "start": span.start,
-                    "end": span.end,
-                    "duration": span.duration,
-                    "attributes": span.attributes,
-                },
-                sort_keys=True,
-                default=str,
-            )
-        )
+        record = {
+            "name": span.name,
+            "category": span.category,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "depth": span.depth,
+            "start": span.start,
+            "end": span.end,
+            "duration": span.duration,
+            "attributes": span.attributes,
+        }
+        if span.trace_id:
+            record["trace_id"] = span.trace_id
+        if span.remote_parent:
+            record["remote_parent"] = span.remote_parent
+        lines.append(json.dumps(record, sort_keys=True, default=str))
     return "\n".join(lines) + ("\n" if lines else "")
 
 

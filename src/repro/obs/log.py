@@ -1,0 +1,155 @@
+"""Structured JSONL event logging with trace correlation.
+
+Built on stdlib :mod:`logging` so the library composes with whatever
+handler topology an embedding application already runs, but with a
+strict output contract: **one JSON object per line**, machine-first.
+
+Record schema (keys always present)::
+
+    {"ts": 1719410825.123456,      # epoch seconds, float
+     "level": "INFO",
+     "logger": "rat.serve",
+     "event": "http.access",       # dotted event name, grep target
+     "message": "",                # optional human gloss
+     ...}                          # free-form event fields
+
+plus, whenever an ambient :class:`~repro.obs.propagation.TraceContext`
+is active at emission time, the correlation pair::
+
+    {"trace_id": "4bf9...", "span_id": "00f0..."}
+
+so one ``grep trace_id logs.jsonl`` reconstructs a request's life across
+the HTTP access log, micro-batcher lifecycle events, and exploration
+retry/quarantine diagnostics — the runtime counterpart of the connected
+span tree the tracer exports.
+
+Usage::
+
+    from repro.obs.log import event, get_logger
+    log = get_logger("serve")
+    event(log, "serve.degraded", "pool lost", workers=4)
+
+Emission is a no-op (one ``isEnabledFor`` check) until someone installs
+a handler via :func:`configure_logging` — the CLI's ``--log-json`` and
+``rat serve --access-log`` do.  The root ``rat`` logger carries a
+``NullHandler`` and does not propagate, so an unconfigured library never
+spams an application's root logger.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Any
+
+from .propagation import current_context
+
+__all__ = [
+    "JsonlFormatter",
+    "configure_logging",
+    "event",
+    "get_logger",
+    "reset_logging",
+]
+
+#: Root of the library's logger tree.
+ROOT_LOGGER = "rat"
+
+_root = logging.getLogger(ROOT_LOGGER)
+_root.addHandler(logging.NullHandler())
+_root.propagate = False
+
+#: Handlers installed by :func:`configure_logging`, for reset.
+_installed: list[logging.Handler] = []
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``rat`` logger, or the ``rat.<name>`` child."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+class JsonlFormatter(logging.Formatter):
+    """Render a record as one sorted-key JSON line.
+
+    The event name and its fields ride on the record's ``event`` /
+    ``fields`` attributes (set by :func:`event`); plain ``logger.info``
+    calls format too, with ``event`` defaulting to ``"log"``.
+    Correlation ids are stamped from the ambient trace context at
+    *emission* time — correct because stdlib logging formats
+    synchronously in the calling context.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "event": getattr(record, "event", "log"),
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        ctx = current_context()
+        if ctx is not None:
+            payload["trace_id"] = ctx.trace_id
+            payload["span_id"] = ctx.span_id
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["error_type"] = record.exc_info[0].__name__
+            payload["error"] = str(record.exc_info[1])
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def event(
+    logger: logging.Logger,
+    name: str,
+    message: str = "",
+    *,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """Emit one structured event (cheap no-op when unconfigured)."""
+    if logger.isEnabledFor(level):
+        logger.log(
+            level, message, extra={"event": name, "fields": fields}
+        )
+
+
+def configure_logging(
+    target: str | IO[str] | None = None,
+    *,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Install a JSONL handler on the ``rat`` logger tree.
+
+    ``target`` is a path (appended to), a writable stream, or None /
+    ``"-"`` for stderr.  Returns the installed handler so callers can
+    flush or remove it; repeated calls stack handlers (use
+    :func:`reset_logging` between test cases).
+    """
+    if target is None or target == "-":
+        handler: logging.Handler = logging.StreamHandler(sys.stderr)
+    elif hasattr(target, "write"):
+        handler = logging.StreamHandler(target)  # type: ignore[arg-type]
+    else:
+        handler = logging.FileHandler(target, encoding="utf-8")
+    handler.setFormatter(JsonlFormatter())
+    handler.setLevel(level)
+    _root.addHandler(handler)
+    _root.setLevel(min(level, _root.level or level))
+    _installed.append(handler)
+    return handler
+
+
+def reset_logging() -> None:
+    """Remove every handler :func:`configure_logging` installed."""
+    while _installed:
+        handler = _installed.pop()
+        _root.removeHandler(handler)
+        try:
+            handler.close()
+        except Exception:  # pragma: no cover - stream already closed
+            pass
+    _root.setLevel(logging.NOTSET)

@@ -1,0 +1,129 @@
+"""Prometheus text-exposition rendering of the metrics registry.
+
+The ``/metrics`` endpoint of the prediction service originally dumped a
+bespoke aligned-text table — human-friendly, scraper-hostile.  This
+module renders a :class:`~repro.obs.metrics.MetricsRegistry` in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4), the lingua franca every scraper ingests:
+
+* counters  -> ``rat_serve_requests_total 42``
+* gauges    -> ``rat_serve_queue_depth 7``
+* histograms -> cumulative ``_bucket{le="..."}`` series plus exact
+  ``_sum`` / ``_count``.
+
+Histogram buckets are *derived*: the registry's :class:`Histogram` keeps
+exact count/sum/min/max plus a deterministically decimated reservoir,
+not pre-declared buckets.  Cumulative bucket counts are computed from
+the reservoir and scaled to the exact total count, so
+
+* bucket counts are non-decreasing in ``le`` (scaling a monotone series
+  by a positive constant and rounding preserves monotonicity),
+* every bucket count is <= ``_count``, and
+* the ``+Inf`` bucket equals ``_count`` exactly,
+
+which is what Prometheus consistency checkers verify.  Mid-distribution
+bucket counts are approximate once decimation kicks in — the same
+accuracy contract the registry's percentiles already carry.
+
+Metric names are sanitised (``[^a-zA-Z0-9_:]`` -> ``_``) and prefixed
+with a namespace (default ``rat``), so ``serve.request_seconds`` is
+exposed as ``rat_serve_request_seconds``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["DEFAULT_BUCKETS", "prometheus_name", "render_prometheus"]
+
+#: Log-spaced default bucket upper bounds (1-2.5-5 per decade) spanning
+#: microseconds-scale latencies through million-point batch sizes.  One
+#: fixed set for every histogram keeps series stable across scrapes.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    base * 10.0 ** exponent
+    for exponent in range(-6, 7)
+    for base in (1.0, 2.5, 5.0)
+)
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, namespace: str = "rat") -> str:
+    """Sanitise a dotted registry name into a Prometheus metric name."""
+    flat = _INVALID.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not flat or not (flat[0].isalpha() or flat[0] in "_:"):
+        flat = f"_{flat}"
+    return flat
+
+
+def _fmt(value: float) -> str:
+    """One sample value in exposition syntax (NaN / +Inf / -Inf aware)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, histogram: Histogram) -> list[str]:
+    lines = [f"# TYPE {name} histogram"]
+    samples = sorted(histogram._samples)
+    retained = len(samples)
+    count = histogram.count
+    position = 0
+    for bound in DEFAULT_BUCKETS:
+        while position < retained and samples[position] <= bound:
+            position += 1
+        cumulative = (
+            round(position * count / retained) if retained else 0
+        )
+        lines.append(
+            f'{name}_bucket{{le="{bound:g}"}} {min(cumulative, count)}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{name}_sum {_fmt(histogram.sum)}")
+    lines.append(f"{name}_count {count}")
+    return lines
+
+
+def render_prometheus(
+    registry: MetricsRegistry, namespace: str = "rat"
+) -> str:
+    """The whole registry in text exposition format (sorted by name)."""
+    blocks: list[tuple[str, list[str]]] = []
+    for raw, counter in registry._counters.items():
+        name = prometheus_name(raw, namespace) + "_total"
+        blocks.append((
+            name,
+            [
+                f"# HELP {name} counter {raw}",
+                f"# TYPE {name} counter",
+                f"{name} {_fmt(counter.value)}",
+            ],
+        ))
+    for raw, gauge in registry._gauges.items():
+        name = prometheus_name(raw, namespace)
+        blocks.append((
+            name,
+            [
+                f"# HELP {name} gauge {raw}",
+                f"# TYPE {name} gauge",
+                f"{name} {_fmt(gauge.value)}",
+            ],
+        ))
+    for raw, histogram in registry._histograms.items():
+        name = prometheus_name(raw, namespace)
+        lines = [f"# HELP {name} histogram {raw}"]
+        lines.extend(_histogram_lines(name, histogram))
+        blocks.append((name, lines))
+    blocks.sort(key=lambda block: block[0])
+    out: list[str] = []
+    for _, lines in blocks:
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")

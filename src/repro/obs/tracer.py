@@ -1,8 +1,9 @@
 """Span-based tracing with a context-manager API.
 
 A :class:`Span` is one named, timed interval with attributes; spans nest
-via a stack the :class:`Tracer` maintains, so instrumented call sites
-compose without threading a context object through every signature:
+via a per-context stack the :class:`Tracer` maintains, so instrumented
+call sites compose without threading a context object through every
+signature:
 
     tracer = Tracer()
     with tracer.span("evaluate_design", {"design": "pdf1d"}) as outer:
@@ -19,21 +20,46 @@ Design constraints, in priority order:
    That is also why ``span()`` takes an *optional attribute dict* rather
    than ``**kwargs``: CPython allocates a fresh dict for ``**kwargs`` on
    every call even when empty.
-2. **Deterministic ordering.**  Finished spans are kept in *start* order
+2. **Concurrency-correct nesting.**  The open-span stack lives in a
+   :mod:`contextvars` variable, so concurrent asyncio tasks (and
+   ``asyncio.to_thread`` workers, which copy the context) each see their
+   own nesting chain — span A of request 1 never becomes the parent of
+   span B of request 2 just because their lifetimes interleave on one
+   event loop.  Closing out of order *within* one logical flow is still
+   an error.
+3. **Deterministic ordering.**  Finished spans are kept in *start* order
    with monotonically increasing ids, so exports are reproducible given a
    deterministic clock (tests inject a fake one).
-3. **No external dependencies.**  The subsystem must not import from the
+4. **No external dependencies.**  The subsystem must not import from the
    rest of the library (other than the shared error hierarchy) so any
    layer — core, hwsim, analysis, CLI — can instrument itself freely
    without import cycles.
+
+Distributed identity: when an ambient :class:`~repro.obs.propagation
+.TraceContext` is active (the serve layer activates one per HTTP
+request), every span records its ``trace_id``; a span with no in-process
+parent additionally records the context's span id as ``remote_parent``,
+and while a traced span is open the ambient context is narrowed to the
+span's own ``hex_id`` so downstream work — including chunk envelopes
+shipped to worker processes — parents correctly.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
+from contextvars import ContextVar, Token
 from typing import Any, Callable, Mapping
 
 from ..errors import ObservabilityError
+from .propagation import (
+    TraceContext,
+    _trusted,
+    activate,
+    current_context,
+    deactivate,
+    new_span_id,
+)
 
 __all__ = ["Span", "Tracer", "NOOP_SPAN"]
 
@@ -74,6 +100,11 @@ class Span:
     a context manager (the tracer assigns ids and nesting on entry).  An
     exception propagating through the block is recorded as ``error`` /
     ``error_type`` attributes before re-raising.
+
+    ``trace_id`` / ``remote_parent`` / ``hex_id`` are the span's
+    distributed identity, set only when a propagation context is active
+    at entry (empty strings otherwise, so purely local tracing pays no
+    id-generation cost).
     """
 
     __slots__ = (
@@ -85,7 +116,11 @@ class Span:
         "span_id",
         "parent_id",
         "depth",
+        "trace_id",
+        "remote_parent",
+        "hex_id",
         "_tracer",
+        "_ctx_token",
     )
 
     is_recording = True
@@ -106,6 +141,10 @@ class Span:
         self.span_id = -1
         self.parent_id: int | None = None
         self.depth = 0
+        self.trace_id = ""
+        self.remote_parent = ""
+        self.hex_id = ""
+        self._ctx_token: Token | None = None
 
     @property
     def duration(self) -> float:
@@ -139,7 +178,7 @@ class Span:
 
 
 class Tracer:
-    """Collects spans with nesting tracked via an explicit stack.
+    """Collects spans with nesting tracked via a per-context stack.
 
     Parameters
     ----------
@@ -158,8 +197,14 @@ class Tracer:
     ) -> None:
         self.enabled = enabled
         self._clock = clock
-        self._stack: list[Span] = []
-        self._next_id = 0
+        # The open-span stack is context-local (per task / per thread
+        # context copy); the finished-span list and the id counter are
+        # process-global so exports see one deterministic start order.
+        self._stack_var: ContextVar[tuple[Span, ...]] = ContextVar(
+            "repro_span_stack", default=()
+        )
+        self._ids = itertools.count()
+        self._open = 0
         #: Finished and in-flight spans in start order.
         self.spans: list[Span] = []
 
@@ -176,39 +221,80 @@ class Tracer:
 
     @property
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span of the current context, if any."""
+        stack = self._stack_var.get()
+        return stack[-1] if stack else None
 
     @property
     def depth(self) -> int:
-        """Current nesting depth (number of open spans)."""
-        return len(self._stack)
+        """Nesting depth of the current context (number of open spans)."""
+        return len(self._stack_var.get())
 
     def clear(self) -> None:
         """Drop all recorded spans; open spans must be closed first."""
-        if self._stack:
+        if self._open:
             raise ObservabilityError(
-                f"cannot clear with {len(self._stack)} span(s) still open"
+                f"cannot clear with {self._open} span(s) still open"
             )
         self.spans.clear()
-        self._next_id = 0
+        self._ids = itertools.count()
+
+    def hard_reset(self) -> None:
+        """Forcibly restore a pristine state (test/reset plumbing only).
+
+        Unlike :meth:`clear` this drops open spans too — but only the
+        current context's stack can be reached, so callers must not rely
+        on it mid-flight in other tasks.
+        """
+        self._stack_var.set(())
+        self._open = 0
+        self.spans.clear()
+        self._ids = itertools.count()
 
     # -- span lifecycle (called by Span.__enter__/__exit__) -----------------
 
     def _begin(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        span.parent_id = self._stack[-1].span_id if self._stack else None
-        span.depth = len(self._stack)
-        self._stack.append(span)
+        span.span_id = next(self._ids)
+        stack = self._stack_var.get()
+        ctx = current_context()
+        if stack:
+            parent = stack[-1]
+            span.parent_id = parent.span_id
+            span.trace_id = parent.trace_id
+        else:
+            span.parent_id = None
+            if ctx is not None:
+                span.trace_id = ctx.trace_id
+                span.remote_parent = ctx.span_id
+        span.depth = len(stack)
+        self._stack_var.set(stack + (span,))
+        self._open += 1
         self.spans.append(span)
+        if span.trace_id:
+            # Narrow the ambient context so downstream work (child
+            # spans in other tasks, worker chunk envelopes, injected
+            # response headers) parents on *this* span.
+            span.hex_id = new_span_id()
+            baggage = (
+                ctx.baggage
+                if ctx is not None and ctx.trace_id == span.trace_id
+                else {}
+            )
+            span._ctx_token = activate(
+                _trusted(span.trace_id, span.hex_id, baggage)
+            )
         span.start = self._clock()
 
     def _end(self, span: Span) -> None:
         span.end = self._clock()
-        if not self._stack or self._stack[-1] is not span:
+        stack = self._stack_var.get()
+        if not stack or stack[-1] is not span:
             raise ObservabilityError(
                 f"span {span.name!r} closed out of order "
-                f"(open stack: {[s.name for s in self._stack]})"
+                f"(open stack: {[s.name for s in stack]})"
             )
-        self._stack.pop()
+        self._stack_var.set(stack[:-1])
+        self._open -= 1
+        if span._ctx_token is not None:
+            deactivate(span._ctx_token)
+            span._ctx_token = None

@@ -25,8 +25,9 @@ Endpoints:
     Liveness plus queue/served counters; reports ``draining`` during
     graceful shutdown.
 ``GET /metrics``
-    The process-global :mod:`repro.obs` metrics registry rendered as
-    plain text.
+    The process-global :mod:`repro.obs` metrics registry in Prometheus
+    text exposition format (``?format=text`` serves the legacy
+    human-readable table).
 
 Failure mapping is uniform: :class:`AdmissionError` -> 429 with a
 ``Retry-After`` header, :class:`DeadlineError` -> 504,
@@ -38,6 +39,7 @@ Failure mapping is uniform: :class:`AdmissionError` -> 429 with a
 from __future__ import annotations
 
 import asyncio
+import logging
 import math
 import time
 from typing import Mapping
@@ -56,7 +58,16 @@ from ..errors import (
     RATError,
     ServeError,
 )
-from ..obs import get_metrics, get_tracer, metrics_summary
+from ..obs import get_metrics, get_tracer, metrics_summary, render_prometheus
+from ..obs.log import event, get_logger
+from ..obs.propagation import (
+    activate,
+    current_context,
+    deactivate,
+    format_traceparent,
+    new_context,
+    parse_traceparent,
+)
 from .batcher import (
     MicroBatcher,
     resolve_modes,
@@ -66,6 +77,13 @@ from .batcher import (
 from .protocol import ProtocolError, Request, Response, error_body, json_response
 
 __all__ = ["RATApp"]
+
+_log = get_logger("serve")
+
+#: Status codes whose counters are pre-registered at app construction so
+#: a ``/metrics`` scrape sees every ``serve.status_*`` series from the
+#: first request — no series appearing mid-flight between scrapes.
+_STATUS_CODES = (400, 404, 405, 411, 413, 429, 431, 500, 501, 503, 504)
 
 #: Fields copied from a batch prediction row into JSON responses.
 _RESULT_FIELDS = (
@@ -139,6 +157,10 @@ class RATApp:
         metrics = get_metrics()
         self._requests_total = metrics.counter("serve.requests")
         self._request_seconds = metrics.histogram("serve.request_seconds")
+        self._status_counters = {
+            code: metrics.counter(f"serve.status_{code}")
+            for code in _STATUS_CODES
+        }
 
     # ---- lifecycle ---------------------------------------------------------
 
@@ -164,37 +186,92 @@ class RATApp:
     # ---- dispatch ----------------------------------------------------------
 
     async def handle(self, request: Request) -> Response:
-        """Serve one request; never raises (errors become responses)."""
+        """Serve one request; never raises (errors become responses).
+
+        Trace plumbing: an upstream ``traceparent`` header (if valid)
+        seeds the request's ambient :class:`TraceContext`; otherwise —
+        when the tracer or the structured log has a consumer — a fresh
+        trace starts here.  The ``serve.request`` span adopts that
+        context — the upstream span id becomes its ``remote_parent`` —
+        and the response carries a ``traceparent`` naming the deepest
+        identity this server established, so callers can stitch the
+        server-side tree under their own spans.  With no upstream header
+        and no telemetry consumer the identity machinery is skipped
+        entirely: minting, activating, and formatting ids costs ~3µs per
+        request, which is measurable at micro-batched throughput.
+        """
         self._requests_total.inc()
         self.requests += 1
         self.inflight += 1
+        ctx = parse_traceparent(request.headers.get("traceparent"))
+        if ctx is None and (
+            get_tracer().enabled or _log.isEnabledFor(logging.INFO)
+        ):
+            ctx = new_context()
+        if ctx is not None:
+            token = activate(ctx)
+            trace_header = format_traceparent(ctx)
+        else:
+            token = None
+            trace_header = ""
         started = time.perf_counter()
         try:
-            with get_tracer().span(
-                "serve.request",
-                {"method": request.method, "path": request.path},
-                "serve",
-            ):
-                response = await self._route(request)
-        except RATError as exc:
-            status, headers = _http_status(exc)
-            response = error_body(str(exc), status)
-            response = Response(
-                status=response.status,
-                body=response.body,
-                headers=headers,
-            )
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # defensive: a bug must not kill the loop
-            get_metrics().counter("serve.errors").inc()
-            response = error_body(f"internal error: {exc}", 500)
+            try:
+                with get_tracer().span(
+                    "serve.request",
+                    {"method": request.method, "path": request.path},
+                    "serve",
+                ):
+                    inner = current_context()
+                    if inner is not None:
+                        # Narrowed to the serve.request span when the
+                        # tracer records; the raw request context else.
+                        trace_header = format_traceparent(inner)
+                    response = await self._route(request)
+            except RATError as exc:
+                status, headers = _http_status(exc)
+                response = error_body(str(exc), status)
+                response = Response(
+                    status=response.status,
+                    body=response.body,
+                    headers=headers,
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defensive: a bug must not kill the loop
+                get_metrics().counter("serve.errors").inc()
+                response = error_body(f"internal error: {exc}", 500)
+            if response.status >= 400:
+                counter = self._status_counters.get(response.status)
+                if counter is None:
+                    counter = get_metrics().counter(
+                        f"serve.status_{response.status}"
+                    )
+                counter.inc()
+            if _log.isEnabledFor(logging.INFO):
+                event(
+                    _log,
+                    "http.access",
+                    method=request.method,
+                    path=request.path,
+                    status=response.status,
+                    duration_ms=(time.perf_counter() - started) * 1e3,
+                    bytes=len(response.body),
+                    queue_depth=self.batcher.depth,
+                )
         finally:
             self.inflight -= 1
             self._request_seconds.observe(time.perf_counter() - started)
-        if response.status >= 400:
-            get_metrics().counter(f"serve.status_{response.status}").inc()
-        return response
+            if token is not None:
+                deactivate(token)
+        if not trace_header:
+            return response
+        return Response(
+            status=response.status,
+            body=response.body,
+            content_type=response.content_type,
+            headers=response.headers + (("traceparent", trace_header),),
+        )
 
     async def _route(self, request: Request) -> Response:
         path = request.path
@@ -239,10 +316,20 @@ class RATApp:
     def _metrics(self, request: Request) -> Response:
         if request.method != "GET":
             raise ProtocolError("/metrics requires GET", 405)
-        text = metrics_summary(get_metrics())
+        params = dict(
+            part.partition("=")[::2]
+            for part in request.query.split("&")
+            if part
+        )
+        if params.get("format") == "text":
+            # The pre-Prometheus human-readable table, kept reachable.
+            return Response(
+                body=metrics_summary(get_metrics()).encode("utf-8"),
+                content_type="text/plain; charset=utf-8",
+            )
         return Response(
-            body=text.encode("utf-8"),
-            content_type="text/plain; charset=utf-8",
+            body=render_prometheus(get_metrics()).encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 
     async def _predict(self, request: Request) -> Response:

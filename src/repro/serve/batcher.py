@@ -40,6 +40,7 @@ outcomes, and each executed batch records a ``serve.batch`` span.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -52,6 +53,8 @@ from ..core.buffering import BufferingMode
 from ..core.params import RATInput
 from ..errors import AdmissionError, DeadlineError, ParameterError, ServeError
 from ..obs import get_metrics, get_tracer
+from ..obs.log import event, get_logger
+from ..obs.propagation import current_context
 from ..units import MB, MHZ
 
 __all__ = [
@@ -61,6 +64,8 @@ __all__ = [
     "scalar_diagnostic",
     "worksheet_row",
 ]
+
+_log = get_logger("serve.batcher")
 
 #: A request's buffering-mode selection: one or both of SINGLE/DOUBLE.
 PredictionModes = tuple[BufferingMode, ...]
@@ -191,7 +196,10 @@ def scalar_diagnostic(worksheet: Mapping[str, object], fallback: str) -> str:
 class _Pending:
     """One queued prediction request awaiting a batch slot."""
 
-    __slots__ = ("row", "worksheet", "modes", "future", "enqueued", "deadline")
+    __slots__ = (
+        "row", "worksheet", "modes", "future", "enqueued", "deadline",
+        "trace_id",
+    )
 
     row: tuple[float, ...]
     worksheet: Mapping[str, object]
@@ -199,6 +207,7 @@ class _Pending:
     future: asyncio.Future
     enqueued: float
     deadline: float | None  # absolute perf_counter() time, or None
+    trace_id: str  # submitting request's trace identity ("" if untraced)
 
 
 class MicroBatcher:
@@ -330,11 +339,19 @@ class MicroBatcher:
             raise ServeError("service is shutting down")
         if len(self._pending) >= self.max_pending:
             get_metrics().counter("serve.rejected").inc()
+            event(
+                _log,
+                "batch.rejected",
+                pending=len(self._pending),
+                retry_after_s=self.retry_after_s(),
+                level=logging.WARNING,
+            )
             raise AdmissionError(
                 f"prediction queue is full ({self.max_pending} pending)",
                 retry_after_s=self.retry_after_s(),
             )
         row = worksheet_row(worksheet)
+        ctx = current_context()
         now = time.perf_counter()
         pending = _Pending(
             row=row,
@@ -343,11 +360,25 @@ class MicroBatcher:
             future=asyncio.get_running_loop().create_future(),
             enqueued=now,
             deadline=now + deadline_s if deadline_s is not None else None,
+            trace_id=ctx.trace_id if ctx is not None else "",
         )
         self._pending.append(pending)
         self._depth_gauge()
         self._wakeup.set()
-        return await pending.future
+        record, batch_size, batch_span = await pending.future
+        if batch_span >= 0:
+            # The serve.batch span lives in the consumer task, outside
+            # every request's context; this synthetic zero-length span
+            # re-emits the linkage *inside* the request's trace so the
+            # exported tree connects request -> its coalesced batch.
+            with get_tracer().span(
+                "serve.batch_slice",
+                {"batch_span": batch_span, "batch_size": batch_size,
+                 "synthetic": True},
+                "serve",
+            ):
+                pass
+        return record, batch_size
 
     # ---- consumer ----------------------------------------------------------
 
@@ -402,6 +433,10 @@ class MicroBatcher:
                 continue  # caller gave up (disconnect/cancellation)
             if pending.deadline is not None and started > pending.deadline:
                 metrics.counter("serve.deadline_expired").inc()
+                expired_fields = {"queued_s": started - pending.enqueued}
+                if pending.trace_id:
+                    expired_fields["trace_id"] = pending.trace_id
+                event(_log, "batch.deadline_expired", **expired_fields)
                 pending.future.set_exception(
                     DeadlineError(
                         "deadline expired after "
@@ -413,7 +448,17 @@ class MicroBatcher:
         if not live:
             return
         n = len(live)
-        with get_tracer().span("serve.batch", {"size": n}, "serve"):
+        attributes: dict[str, object] = {"size": n}
+        trace_ids = sorted({p.trace_id for p in live if p.trace_id})
+        if trace_ids:
+            # The batch span belongs to every coalesced request at once;
+            # it lists their trace ids instead of claiming one trace.
+            attributes["trace_ids"] = trace_ids
+        batch_span = get_tracer().span("serve.batch", attributes, "serve")
+        batch_span_id = -1
+        with batch_span:
+            if batch_span.is_recording:
+                batch_span_id = batch_span.span_id
             matrix = np.asarray([p.row for p in live], dtype=np.float64)
             staged = BatchInput(*matrix.T, check=False)
             # PR 3's row-level quarantine: triage invalid rows instead of
@@ -422,6 +467,12 @@ class MicroBatcher:
             if violations:
                 bad = {violation.row: violation for violation in violations}
                 metrics.counter("serve.quarantined").inc(len(bad))
+                event(
+                    _log,
+                    "batch.quarantined",
+                    rows=len(bad),
+                    batch_size=n,
+                )
                 for i, violation in bad.items():
                     live[i].future.set_exception(
                         ParameterError(
@@ -460,7 +511,7 @@ class MicroBatcher:
                     mode.value: mode_rows[mode][i]
                     for mode in pending.modes
                 }
-                pending.future.set_result((record, n))
+                pending.future.set_result((record, n, batch_span_id))
         elapsed = time.perf_counter() - started
         self.batches += 1
         self.served += n

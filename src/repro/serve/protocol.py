@@ -69,6 +69,7 @@ class Request:
     headers: Mapping[str, str]
     body: bytes = b""
     version: str = "HTTP/1.1"
+    query: str = ""
 
     def json(self) -> object:
         """Decode the body as JSON (raises ProtocolError on bad input)."""
@@ -98,12 +99,13 @@ class Response:
     headers: tuple[tuple[str, str], ...] = field(default=())
 
 
-def parse_head(head: bytes) -> tuple[str, str, str, dict[str, str]]:
+def parse_head(head: bytes) -> tuple[str, str, str, dict[str, str], str]:
     """Parse a request head (everything through ``\\r\\n\\r\\n``).
 
-    Returns ``(method, path, version, headers)`` with header names
-    lower-cased.  The query string, if any, is split off the path and
-    discarded — no service endpoint takes query parameters.
+    Returns ``(method, path, version, headers, query)`` with header
+    names lower-cased.  The query string is split off the path and
+    returned raw (without the ``?``); ``/metrics?format=text`` is the
+    only endpoint that currently reads it.
     """
     lines = head.split(b"\r\n")
     parts = lines[0].split()
@@ -112,7 +114,7 @@ def parse_head(head: bytes) -> tuple[str, str, str, dict[str, str]]:
     method_b, target, version_b = parts
     try:
         method = method_b.decode("ascii")
-        path = target.decode("ascii").split("?", 1)[0]
+        path, _, query = target.decode("ascii").partition("?")
         version = version_b.decode("ascii")
     except UnicodeDecodeError as exc:
         raise ProtocolError("request line is not ASCII") from exc
@@ -133,7 +135,7 @@ def parse_head(head: bytes) -> tuple[str, str, str, dict[str, str]]:
             raise ProtocolError("header name is not ASCII") from exc
     if "chunked" in headers.get("transfer-encoding", "").lower():
         raise ProtocolError("chunked transfer-encoding not supported", 501)
-    return method, path, version, headers
+    return method, path, version, headers, query
 
 
 def body_length(headers: Mapping[str, str], max_body_bytes: int) -> int:

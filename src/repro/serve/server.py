@@ -21,6 +21,7 @@ import sys
 
 from ..errors import ParameterError
 from ..obs import get_metrics
+from ..obs.log import configure_logging, event, get_logger
 from .app import RATApp
 from .protocol import (
     MAX_HEAD_BYTES,
@@ -33,6 +34,8 @@ from .protocol import (
 )
 
 __all__ = ["RATServer", "serve"]
+
+_log = get_logger("serve")
 
 
 class RATServer:
@@ -144,7 +147,7 @@ class RATServer:
                 )
                 return
             try:
-                method, path, version, headers = parse_head(head[:-4])
+                method, path, version, headers, query = parse_head(head[:-4])
                 n = body_length(headers, self.app.max_body_bytes)
                 body = await reader.readexactly(n) if n else b""
             except ProtocolError as exc:
@@ -163,6 +166,7 @@ class RATServer:
                 headers=headers,
                 body=body,
                 version=version,
+                query=query,
             )
             keep_alive = request.keep_alive and not self._draining.is_set()
             response = await self.app.handle(request)
@@ -190,13 +194,21 @@ async def serve(
     default_deadline_s: float | None = None,
     drain_timeout_s: float = 10.0,
     quiet: bool = False,
+    access_log: str | None = None,
 ) -> None:
     """Run the service until SIGTERM/SIGINT, then drain and return.
 
     This is the ``rat serve`` entry point.  The startup banner is a
     stable, parseable line (``rat serve: listening on http://H:P``) so
     scripts launching with ``--port 0`` can discover the bound port.
+
+    ``access_log`` enables the structured JSONL event stream (one
+    ``http.access`` line per request, plus batcher/exploration lifecycle
+    events) to the given path, or to stderr for ``"-"``.
     """
+    access_handler = (
+        configure_logging(access_log) if access_log is not None else None
+    )
     app = RATApp(
         max_batch_size=max_batch_size,
         max_wait_us=max_wait_us,
@@ -226,6 +238,12 @@ async def serve(
             f"workers={workers})",
             flush=True,
         )
+    event(
+        _log, "server.started",
+        host=server.host, port=server.port,
+        max_batch_size=max_batch_size, max_wait_us=max_wait_us,
+        workers=workers,
+    )
     try:
         await server.run()
     except KeyboardInterrupt:
@@ -233,6 +251,14 @@ async def serve(
     finally:
         for signame in registered:
             loop.remove_signal_handler(signame)
+        event(
+            _log, "server.drained",
+            requests=app.requests,
+            predictions=app.batcher.served,
+            batches=app.batcher.batches,
+        )
+        if access_handler is not None:
+            access_handler.flush()
     if not quiet:
         print(
             f"rat serve: drained cleanly after {app.requests} requests "

@@ -1,0 +1,128 @@
+"""Structured JSONL logging: schema, trace correlation, lifecycle."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    configure_logging,
+    event,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.propagation import context, new_context
+
+
+@pytest.fixture(autouse=True)
+def _clean_handlers():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def capture():
+    """A configured in-memory sink; returns (stream, logger)."""
+    stream = io.StringIO()
+    configure_logging(stream)
+    return stream, get_logger("test")
+
+
+def lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestSchema:
+    def test_one_json_object_per_line(self):
+        stream, log = capture()
+        event(log, "a.first", x=1)
+        event(log, "a.second", y=2)
+        records = lines(stream)
+        assert [r["event"] for r in records] == ["a.first", "a.second"]
+
+    def test_required_keys_always_present(self):
+        stream, log = capture()
+        event(log, "thing.happened", "human gloss", count=3)
+        [record] = lines(stream)
+        assert set(record) >= {"ts", "level", "logger", "event", "message"}
+        assert record["level"] == "INFO"
+        assert record["logger"] == "rat.test"
+        assert record["message"] == "human gloss"
+        assert record["count"] == 3
+        assert isinstance(record["ts"], float)
+
+    def test_warning_level(self):
+        stream, log = capture()
+        event(log, "bad.thing", level=logging.WARNING)
+        [record] = lines(stream)
+        assert record["level"] == "WARNING"
+
+    def test_non_json_field_values_stringified(self):
+        stream, log = capture()
+        event(log, "odd", payload={1, 2})  # a set is not JSON-serializable
+        [record] = lines(stream)
+        assert record["event"] == "odd"
+
+    def test_plain_logging_calls_format_too(self):
+        stream, log = capture()
+        log.info("plain %s call", "stdlib")
+        [record] = lines(stream)
+        assert record["event"] == "log"
+        assert record["message"] == "plain stdlib call"
+
+
+class TestTraceCorrelation:
+    def test_ids_stamped_from_ambient_context(self):
+        stream, log = capture()
+        ctx = new_context()
+        with context(ctx):
+            event(log, "inside")
+        event(log, "outside")
+        inside, outside = lines(stream)
+        assert inside["trace_id"] == ctx.trace_id
+        assert inside["span_id"] == ctx.span_id
+        assert "trace_id" not in outside
+
+    def test_explicit_field_survives_without_ambient_context(self):
+        # Events emitted off-request (e.g. by the batcher's consumer
+        # task) pass trace_id explicitly; it must not be clobbered.
+        stream, log = capture()
+        event(log, "deadline", trace_id="feed" * 8)
+        [record] = lines(stream)
+        assert record["trace_id"] == "feed" * 8
+
+
+class TestLifecycle:
+    def test_unconfigured_is_silent_noop(self):
+        log = get_logger("quiet")
+        assert not log.isEnabledFor(logging.INFO)
+        event(log, "nobody.listening")  # must not raise or print
+
+    def test_reset_removes_handlers(self):
+        stream, log = capture()
+        reset_logging()
+        event(log, "after.reset")
+        assert stream.getvalue() == ""
+
+    def test_file_target_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        handler = configure_logging(str(path))
+        event(get_logger(), "to.file", n=1)
+        handler.flush()
+        [record] = [json.loads(l) for l in path.read_text().splitlines()]
+        assert record["event"] == "to.file"
+
+    def test_does_not_touch_root_logger(self):
+        capture()
+        assert not logging.getLogger("rat").propagate
+
+    def test_error_info_captured(self):
+        stream, log = capture()
+        try:
+            raise ValueError("broken")
+        except ValueError:
+            log.exception("caught")
+        [record] = lines(stream)
+        assert record["error_type"] == "ValueError"
+        assert record["error"] == "broken"

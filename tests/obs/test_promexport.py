@@ -1,0 +1,149 @@
+"""Prometheus text-exposition rendering: names, values, bucket laws."""
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    DEFAULT_BUCKETS,
+    prometheus_name,
+    render_prometheus,
+)
+
+# One exposition sample line: name, optional {labels}, space, value.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? \S+$"
+)
+
+
+def parse_samples(text):
+    """{(name, labels-or-None): float} for every non-comment line."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+        name_part, _, value = line.rpartition(" ")
+        label = None
+        if "{" in name_part:
+            name_part, _, rest = name_part.partition("{")
+            label = rest.rstrip("}")
+        out[(name_part, label)] = float(value.replace("+Inf", "inf"))
+    return out
+
+
+class TestNames:
+    def test_dots_become_underscores_with_namespace(self):
+        assert prometheus_name("serve.requests") == "rat_serve_requests"
+
+    def test_invalid_chars_replaced(self):
+        assert (
+            prometheus_name("bench.batch[100].wall-s")
+            == "rat_bench_batch_100__wall_s"
+        )
+
+    def test_no_namespace_leading_digit_guarded(self):
+        assert prometheus_name("9lives", namespace="").startswith("_")
+
+
+class TestScalars:
+    def test_counter_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(42)
+        text = render_prometheus(registry)
+        samples = parse_samples(text)
+        assert samples[("rat_serve_requests_total", None)] == 42.0
+        assert "# TYPE rat_serve_requests_total counter" in text
+        # HELP carries the raw dotted name for greppability.
+        assert "# HELP rat_serve_requests_total counter serve.requests" in text
+
+    def test_gauge_plain_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("explore.progress").set(0.5)
+        samples = parse_samples(render_prometheus(registry))
+        assert samples[("rat_explore_progress", None)] == 0.5
+
+    def test_nan_and_inf_rendered_per_spec(self):
+        registry = MetricsRegistry()
+        registry.gauge("weird.nan").set(float("nan"))
+        registry.gauge("weird.inf").set(float("inf"))
+        text = render_prometheus(registry)
+        assert "rat_weird_nan NaN" in text
+        assert "rat_weird_inf +Inf" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_blocks_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz.last").inc()
+        registry.gauge("aaa.first").set(1)
+        text = render_prometheus(registry)
+        assert text.index("rat_aaa_first") < text.index("rat_zzz_last")
+
+
+class TestHistograms:
+    def _render(self, values):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency.s")
+        for value in values:
+            histogram.observe(value)
+        return parse_samples(render_prometheus(registry)), len(values)
+
+    def test_bucket_counts_monotone_nondecreasing(self):
+        samples, _ = self._render([0.001 * i for i in range(1, 200)])
+        counts = [
+            samples[("rat_latency_s_bucket", f'le="{bound:g}"')]
+            for bound in DEFAULT_BUCKETS
+        ]
+        assert counts == sorted(counts)
+
+    def test_inf_bucket_equals_count(self):
+        samples, n = self._render([10.0 ** i for i in range(-4, 4)])
+        assert samples[("rat_latency_s_bucket", 'le="+Inf"')] == n
+        assert samples[("rat_latency_s_count", None)] == n
+
+    def test_sum_and_count_exact(self):
+        values = [0.25, 1.5, 3.75, 100.0]
+        samples, n = self._render(values)
+        assert samples[("rat_latency_s_count", None)] == n
+        assert math.isclose(
+            samples[("rat_latency_s_sum", None)], sum(values)
+        )
+
+    def test_no_bucket_exceeds_count(self):
+        samples, n = self._render([0.5] * 50)
+        buckets = {
+            label: value
+            for (name, label), value in samples.items()
+            if name == "rat_latency_s_bucket"
+        }
+        assert all(value <= n for value in buckets.values())
+
+    def test_exact_when_reservoir_undecimated(self):
+        # With fewer samples than the reservoir cap the scaled counts
+        # are exact: every value here is <= 1.0, none <= 0.5.
+        samples, n = self._render([0.6, 0.7, 0.8, 0.9])
+        assert samples[("rat_latency_s_bucket", 'le="1"')] == n
+        assert samples[("rat_latency_s_bucket", 'le="0.5"')] == 0
+
+    def test_empty_histogram_all_zero(self):
+        registry = MetricsRegistry()
+        registry.histogram("quiet.s")
+        samples = parse_samples(render_prometheus(registry))
+        assert samples[("rat_quiet_s_bucket", 'le="+Inf"')] == 0
+        assert samples[("rat_quiet_s_count", None)] == 0
+
+    def test_decimated_histogram_keeps_invariants(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("busy.s", max_samples=64)
+        for i in range(10000):
+            histogram.observe((i % 997) / 100.0)
+        samples = parse_samples(render_prometheus(registry))
+        counts = [
+            samples[("rat_busy_s_bucket", f'le="{bound:g}"')]
+            for bound in DEFAULT_BUCKETS
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] <= 10000
+        assert samples[("rat_busy_s_bucket", 'le="+Inf"')] == 10000

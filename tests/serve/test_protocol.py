@@ -18,23 +18,25 @@ from repro.serve.protocol import (
 
 class TestParseHead:
     def test_basic_request_line(self):
-        method, path, version, headers = parse_head(
+        method, path, version, headers, query = parse_head(
             b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 10"
         )
         assert method == "POST"
         assert path == "/v1/predict"
         assert version == "HTTP/1.1"
         assert headers == {"host": "x", "content-length": "10"}
+        assert query == ""
 
     def test_header_names_lowercased_values_stripped(self):
-        *_, headers = parse_head(
+        *_, headers, _ = parse_head(
             b"GET / HTTP/1.1\r\nX-Custom-HEADER:   spaced out  "
         )
         assert headers == {"x-custom-header": "spaced out"}
 
-    def test_query_string_discarded(self):
-        _, path, _, _ = parse_head(b"GET /metrics?verbose=1 HTTP/1.1")
+    def test_query_string_split_from_path(self):
+        _, path, _, _, query = parse_head(b"GET /metrics?format=text HTTP/1.1")
         assert path == "/metrics"
+        assert query == "format=text"
 
     def test_malformed_request_line(self):
         with pytest.raises(ProtocolError):
