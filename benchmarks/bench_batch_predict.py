@@ -1,15 +1,28 @@
 """Batch prediction engine throughput vs the scalar evaluator.
 
 Times :func:`repro.core.batch.batch_predict` over design spaces of 1e2,
-1e4 and 1e6 points and compares against a scalar ``predict`` loop.  The
-scalar side is timed over a capped subsample (its per-point cost is
-size-independent) so the 1e6 case does not take minutes; the batch side
-always evaluates the full space, with one warm-up call and best-of-3
-timing so the reported number is steady-state throughput rather than
-first-touch page-fault cost (a one-off per process, ~4x).  Asserts the
-batch engine wins at every size and by >= 50x at a million points, and
-records the measured points/sec and speedup ratios as gauges so
-``BENCH_PR2.json`` captures the perf trajectory.
+1e4 and 1e6 points and compares against a scalar ``predict`` loop, and
+times compiled :class:`repro.core.plan.PredictionPlan` evaluation
+against the uncompiled batch path at the same sizes.  The scalar side is
+timed over a capped subsample (its per-point cost is size-independent)
+so the 1e6 case does not take minutes.  Every timed side — scalar,
+batch, and plan — takes one discarded warm-up call and best-of-3
+timing, so reported numbers are steady-state throughput rather than
+first-touch page-fault or import-warm-up cost; the plan/batch ratio is
+additionally measured interleaved (A/B/A/B) because this box's timings
+drift by tens of percent between back-to-back runs.  Asserts the batch
+engine wins at every size and by >= 50x at a million points, that the
+plan wins by >= 1.2x at a million points, and records the measured
+points/sec and speedup ratios as gauges so ``BENCH_PR7.json`` captures
+the perf trajectory.
+
+The 1.2x plan floor is deliberately below the typical measurement
+(2.5-2.7x) because the uncompiled side is bimodal on this machine: when
+the kernel coalesces batch_predict's nine ~8 MB intermediates into
+hugepages its allocation cost collapses and the honest ratio drops to
+~1.35x.  The floor must hold in *both* modes; the ratchet
+(``RATCHET_METRICS``) guards the recorded ratio with a matching
+wide tolerance.
 """
 
 from __future__ import annotations
@@ -18,9 +31,12 @@ import time
 
 import pytest
 
+import numpy as np
+
 from repro.apps import get_case_study
 from repro.core.batch import batch_predict
 from repro.core.buffering import BufferingMode
+from repro.core.plan import PredictionPlan
 from repro.core.throughput import predict
 from repro.explore import DesignSpace
 
@@ -51,10 +67,16 @@ def _space(n: int) -> DesignSpace:
 def _scalar_points_per_sec(space: DesignSpace, mode: BufferingMode) -> float:
     n = min(len(space), SCALAR_CAP)
     designs = [space.design(i) for i in range(n)]
-    started = time.perf_counter()
-    for rat in designs:
-        predict(rat, mode)
-    elapsed = time.perf_counter() - started
+
+    def run() -> None:
+        for rat in designs:
+            predict(rat, mode)
+
+    # Same discipline as the batch side: one discarded warm-up pass (the
+    # first call pays import/bytecode/allocator warm-up) and best-of-3,
+    # so the speedup-ratio floors compare steady states on both sides.
+    run()
+    elapsed = min(_timed(run) for _ in range(3))
     return n / elapsed
 
 
@@ -94,6 +116,56 @@ def test_batch_vs_scalar(n, show):
         assert ratio >= 50.0, (
             f"batch engine only {ratio:.1f}x scalar at {n} points "
             "(target >= 50x)"
+        )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_plan_vs_batch(n, show):
+    """Compiled plan vs uncompiled batch_predict at each size."""
+    space = _space(n)
+    mode = BufferingMode.SINGLE
+    batch = space.to_batch()
+    plan = PredictionPlan(space.base, capacity=n)
+
+    batch_predict(batch, mode)  # warm-up (page-faults fresh pages)
+    plan.evaluate(batch, mode)  # warm-up (grows nothing; touches buffers)
+    # Interleave the two sides so clock drift hits both equally, and
+    # take the best of 3 each: the floor compares steady states.
+    batch_times, plan_times = [], []
+    for _ in range(3):
+        batch_times.append(_timed(batch_predict, batch, mode))
+        plan_times.append(_timed(plan.evaluate, batch, mode))
+    batch_pps = n / min(batch_times)
+    plan_pps = n / min(plan_times)
+    ratio = plan_pps / batch_pps
+
+    record_gauge(f"bench.plan.{n}.plan_points_per_sec", plan_pps)
+    record_gauge(f"bench.plan.{n}.plan_speedup_ratio", ratio)
+
+    show(
+        f"plan @ {n:,} points: "
+        f"plan {plan_pps:,.0f} pts/s vs batch {batch_pps:,.0f} pts/s "
+        f"-> {ratio:.2f}x"
+    )
+
+    # The timed results must agree bitwise (the plan's core contract).
+    reference = batch_predict(batch, mode)
+    compiled = plan.evaluate(batch, mode)
+    for name in ("t_rc", "speedup", "util_comp", "util_comm"):
+        assert np.array_equal(
+            getattr(reference, name), getattr(compiled, name)
+        ), f"plan diverged from batch_predict on {name}"
+    assert plan.grows == 0, "pre-sized plan grew its buffers"
+
+    if n >= 1_000_000:
+        # The broadcast-scalar kernel cuts memory sweeps roughly in
+        # half on from_base spaces; measured 2.5-2.7x on this box in
+        # the common mode, ~1.35x when hugepage coalescing makes the
+        # uncompiled side's allocations nearly free (see module
+        # docstring).  The floor sits under both modes with margin.
+        assert ratio >= 1.2, (
+            f"plan only {ratio:.2f}x the uncompiled batch path at "
+            f"{n} points (floor 1.2x)"
         )
 
 

@@ -8,11 +8,14 @@ size where a design flips between communication- and computation-bound —
 the boundary at which double buffering stops paying.
 
 Both run on the vectorized batch engine
-(:mod:`repro.core.batch`): a sweep is one ``batch_predict`` call over
-every edited worksheet, and the crossover search evaluates a whole
-lattice of candidate block sizes per refinement round instead of one
-scalar probe per bisection step.  Public signatures and result types are
-unchanged — ``SweepResult`` still carries scalar
+(:mod:`repro.core.batch`): a sweep is one batch evaluation over every
+edited worksheet, and the crossover search evaluates a whole lattice of
+candidate block sizes per refinement round instead of one scalar probe
+per bisection step.  Evaluation goes through the process-wide
+:func:`~repro.core.plan.shared_plan`, so repeated sweeps reuse one
+compiled kernel's buffers (results are materialized into scalar rows
+before the plan can be re-entered).  Public signatures and result types
+are unchanged — ``SweepResult`` still carries scalar
 :class:`~repro.core.throughput.ThroughputPrediction` rows.
 """
 
@@ -23,8 +26,9 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..core.batch import BatchInput, batch_predict
+from ..core.batch import BatchInput
 from ..core.buffering import BufferingMode
+from ..core.plan import shared_plan
 from ..core.params import RATInput
 from ..core.throughput import ThroughputPrediction, predict
 from ..errors import ParameterError
@@ -97,15 +101,15 @@ def sweep(
 ) -> SweepResult:
     """Evaluate the throughput prediction across one edited parameter.
 
-    The whole family is evaluated in a single ``batch_predict`` call;
-    each returned row is numerically identical to a scalar
+    The whole family is evaluated in a single plan evaluation; each
+    returned row is numerically identical to a scalar
     ``predict(edit(rat, v), mode)``.
     """
     value_list = tuple(float(v) for v in values)
     if not value_list:
         raise ParameterError("sweep requires at least one value")
     inputs = [edit(rat, v) for v in value_list]
-    batch_result = batch_predict(BatchInput.from_inputs(inputs), mode)
+    batch_result = shared_plan().evaluate(BatchInput.from_inputs(inputs), mode)
     predictions = tuple(batch_result.rows(inputs))
     return SweepResult(parameter=parameter, values=value_list, predictions=predictions)
 
@@ -156,7 +160,7 @@ def crossover_block_size(
 
     The search runs on the batch engine: instead of one scalar probe per
     bisection step, each refinement round evaluates a whole lattice of
-    up to 64 candidate block sizes in a single ``batch_predict`` call,
+    up to 64 candidate block sizes in a single plan evaluation,
     shrinking the bracket ~65x per round (the default 2**26 range
     resolves in five batch calls).  The result is identical to the
     scalar bisection's because batch rows match ``predict`` bitwise.
@@ -169,7 +173,7 @@ def crossover_block_size(
 
     def bound_lattice(sizes: Sequence[int]) -> np.ndarray:
         inputs = [rat.with_block_size(int(e), n_iterations) for e in sizes]
-        prediction = batch_predict(BatchInput.from_inputs(inputs))
+        prediction = shared_plan().evaluate(BatchInput.from_inputs(inputs))
         return prediction.computation_bound
 
     at_edges = bound_lattice([min_elements, max_elements])

@@ -377,9 +377,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_report.add_argument(
         "--manifest",
-        required=True,
+        default="",
         metavar="FILE",
-        help="the current run's manifest (rat-run-manifest/v1)",
+        help="the current run's manifest (rat-run-manifest/v1); "
+        "required unless --history",
+    )
+    bench_report.add_argument(
+        "--history",
+        action="store_true",
+        help="render the whole committed BENCH_PR*.json trajectory as a "
+        "per-metric table instead of ratcheting one manifest",
     )
     bench_report.add_argument(
         "--baseline",
@@ -799,8 +806,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .obs.manifest import compare, load_manifest, load_trajectory
+    from .obs.manifest import (
+        compare,
+        load_manifest,
+        load_trajectory,
+        render_history,
+    )
 
+    if args.history:
+        print(render_history(args.root))
+        return 0
+    if not args.manifest:
+        print(
+            "error: --manifest is required (or pass --history for the "
+            "trajectory table)",
+            file=sys.stderr,
+        )
+        return 2
     current = load_manifest(args.manifest)
     if args.baseline:
         baseline = load_manifest(args.baseline)

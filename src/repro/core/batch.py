@@ -60,6 +60,7 @@ __all__ = [
     "BatchPrediction",
     "RowViolation",
     "batch_predict",
+    "mark_rows_valid",
     "row_violations",
     "valid_row_mask",
 ]
@@ -209,6 +210,15 @@ class BatchInput:
     ``checked`` attribute records which way an instance was built;
     :func:`batch_predict` re-validates unchecked batches so invalid rows
     can never silently flow into the equations.
+
+    ``broadcast`` names columns whose rows are all the identical value —
+    staging metadata that compiled plans exploit by reading such a
+    column once instead of streaming it per row.  It is a *trusted
+    invariant*, maintained automatically by :meth:`from_base` (the only
+    constructor that knows a column was broadcast from one scalar) and
+    preserved by slicing/``take``; callers constructing batches directly
+    must list a column only if every row truly holds one value, or
+    plan-evaluated results will silently diverge from ``batch_predict``.
     """
 
     elements_in: np.ndarray
@@ -223,6 +233,7 @@ class BatchInput:
     t_soft: np.ndarray
     n_iterations: np.ndarray
     names: tuple[str, ...] = ()
+    broadcast: frozenset[str] = frozenset()
     check: InitVar[bool] = True
     checked: bool = field(init=False, default=True)
 
@@ -236,6 +247,14 @@ class BatchInput:
             raise ParameterError(
                 f"names has {len(self.names)} entries, expected {n}"
             )
+        broadcast = frozenset(self.broadcast)
+        unknown = broadcast.difference(_COLUMNS)
+        if unknown:
+            raise ParameterError(
+                f"unknown broadcast column(s) {sorted(unknown)}; "
+                f"known: {sorted(_COLUMNS)}"
+            )
+        object.__setattr__(self, "broadcast", broadcast)
         object.__setattr__(self, "checked", bool(check))
         if check:
             self._validate()
@@ -316,6 +335,11 @@ class BatchInput:
         the exploration layer uses: no per-row ``RATInput`` objects are
         ever materialised.  ``check=False`` defers row validation (see
         the class docstring) for quarantine-style callers.
+
+        Columns left at the base worksheet's value (or overridden with a
+        scalar) are recorded in ``broadcast``, which lets a compiled
+        :class:`~repro.core.plan.PredictionPlan` read them as scalars
+        instead of streaming ``n`` identical values per evaluation.
         """
         if n < 1:
             raise ParameterError(f"batch size must be >= 1, got {n}")
@@ -332,17 +356,25 @@ class BatchInput:
             "t_soft": float(base.software.t_soft),
             "n_iterations": float(base.software.n_iterations),
         }
+        broadcast = set(_COLUMNS)
         for name, values in (overrides or {}).items():
             if name not in columns:
                 raise ParameterError(
                     f"unknown batch column {name!r}; known: {sorted(columns)}"
                 )
             columns[name] = values
+            if np.ndim(values) != 0:
+                broadcast.discard(name)  # per-row values: not a broadcast
         built = {
             name: _as_column(name, values, n)
             for name, values in columns.items()
         }
-        return cls(names=names, check=check, **built)
+        return cls(
+            names=names,
+            broadcast=frozenset(broadcast),
+            check=check,
+            **built,
+        )
 
     # ---- conversion --------------------------------------------------------
 
@@ -381,7 +413,14 @@ class BatchInput:
         return int(self.elements_in.shape[0])
 
     def __getitem__(self, key: slice) -> "BatchInput":
-        """Slice into a smaller batch (used by the chunked executor)."""
+        """Slice into a smaller batch (used by the chunked executor).
+
+        Validation rules are row-local, so any subset of an
+        already-validated batch is itself valid: slices of a checked
+        batch inherit ``checked=True`` *without* re-running the rules —
+        the chunked executor slices every chunk, and re-validating each
+        one made validation an O(chunks) cost instead of O(1).
+        """
         if not isinstance(key, slice):
             raise ParameterError(
                 "BatchInput supports slice indexing only; use row(i) for "
@@ -389,7 +428,12 @@ class BatchInput:
             )
         kwargs = {name: getattr(self, name)[key] for name in _COLUMNS}
         names = self.names[key] if self.names else ()
-        return BatchInput(names=names, check=self.checked, **kwargs)
+        sliced = BatchInput(
+            names=names, broadcast=self.broadcast, check=False, **kwargs
+        )
+        if self.checked:
+            object.__setattr__(sliced, "checked", True)
+        return sliced
 
     def take(self, indices: np.ndarray, *, check: bool | None = None) -> "BatchInput":
         """Select an arbitrary row subset (fancy indexing, copies).
@@ -404,7 +448,26 @@ class BatchInput:
             tuple(self.names[int(i)] for i in indices) if self.names else ()
         )
         effective = self.checked if check is None else check
-        return BatchInput(names=names, check=effective, **kwargs)
+        return BatchInput(
+            names=names, broadcast=self.broadcast, check=effective, **kwargs
+        )
+
+
+def mark_rows_valid(batch: BatchInput) -> BatchInput:
+    """Upgrade a deferred-validation batch to ``checked`` status, trusted.
+
+    For callers that have *already* established every row passes the
+    validation rules — typically by getting an empty
+    :func:`row_violations` list, or by selecting rows through
+    :func:`valid_row_mask` — re-running ``_validate`` at predict time is
+    pure duplicate work.  This marks the batch checked without another
+    rule pass (mutating only the monotone ``checked`` flag) and returns
+    it.  Never call it on a batch whose rows were not actually vetted:
+    invalid rows would then reach the equations as silent inf/NaN.
+    """
+    if not batch.checked:
+        object.__setattr__(batch, "checked", True)
+    return batch
 
 
 @dataclass(frozen=True, eq=False)

@@ -11,8 +11,9 @@ and ``rat bench report`` all speak this shape.
 The **ratchet** is that judgement: :func:`compare` diffs a current
 manifest against a baseline over a declared set of
 :class:`RatchetMetric` entries and flags any metric that moved more than
-``threshold`` in its *bad* direction.  Two kinds of metric exist because
-CI machines are not lab machines:
+``threshold`` in its *bad* direction (a metric may carry its own
+``tolerance`` when its honest value is multi-modal).  Two kinds of
+metric exist because CI machines are not lab machines:
 
 ``ratio``
     Dimensionless (speedup ratios, batched-vs-unbatched RPS ratio).
@@ -50,6 +51,7 @@ __all__ = [
     "load_manifest",
     "load_trajectory",
     "manifest_from_bench_record",
+    "render_history",
     "write_manifest",
 ]
 
@@ -191,6 +193,60 @@ def load_trajectory(
     return out
 
 
+def render_history(
+    root: str | pathlib.Path,
+    *,
+    metrics: Iterable["RatchetMetric"] | None = None,
+) -> str:
+    """The committed ``BENCH_PR*.json`` trajectory as a per-metric table.
+
+    One row per guarded metric (default: :data:`RATCHET_METRICS`), one
+    column per committed record, so the whole perf trend is inspectable
+    at a glance from ``rat bench report --history``.  Records that
+    predate a metric show ``-``; the trailing column annotates the net
+    change from the first record that carries the metric to the latest.
+    """
+    trajectory = load_trajectory(root)
+    if not trajectory:
+        return f"no BENCH_PR*.json records under {pathlib.Path(root)}"
+    guarded = tuple(metrics if metrics is not None else RATCHET_METRICS)
+    headers = [f"PR{pr}" for pr, _, _ in trajectory]
+    name_width = max(len(m.name) for m in guarded)
+    col_width = max(9, *(len(h) for h in headers))
+    lines = [
+        f"perf trajectory: {len(trajectory)} record(s) under "
+        f"{pathlib.Path(root)}",
+        "  ".join(
+            [f"{'metric':<{name_width}}"]
+            + [f"{h:>{col_width}}" for h in headers]
+            + ["trend"]
+        ),
+    ]
+    for metric in guarded:
+        values = [
+            manifest.get("metrics", {}).get(metric.name)
+            for _, _, manifest in trajectory
+        ]
+        cells = [
+            f"{v:>{col_width}.4g}" if v is not None else f"{'-':>{col_width}}"
+            for v in values
+        ]
+        present = [v for v in values if v is not None]
+        if len(present) >= 2 and present[0] != 0:
+            change = (present[-1] - present[0]) / abs(present[0])
+            if metric.direction == "lower":
+                change = -change
+            trend = f"{change:+.1%}"
+        elif present:
+            trend = "new"
+        else:
+            trend = "absent"
+        lines.append(
+            "  ".join([f"{metric.name:<{name_width}}"] + cells + [trend])
+        )
+    return "\n".join(lines)
+
+
 # --------------------------------------------------------------------------
 # The ratchet
 # --------------------------------------------------------------------------
@@ -198,25 +254,52 @@ def load_trajectory(
 
 @dataclass(frozen=True)
 class RatchetMetric:
-    """One guarded metric: where it lives and which way is worse."""
+    """One guarded metric: where it lives and which way is worse.
+
+    ``tolerance`` overrides the comparison-wide threshold for metrics
+    whose honest value is multi-modal (e.g. ratios that swing with
+    hugepage / allocator state of the machine): wide enough to span the
+    modes, tight enough that a real regression still trips.
+    """
 
     name: str
     direction: str = "higher"  # "higher" or "lower" is better
     kind: str = "ratio"  # "ratio" (portable) or "absolute" (machine-bound)
+    tolerance: float | None = None  # per-metric threshold override
 
     def __post_init__(self) -> None:
         if self.direction not in ("higher", "lower"):
             raise ValueError(f"bad direction {self.direction!r}")
         if self.kind not in ("ratio", "absolute"):
             raise ValueError(f"bad kind {self.kind!r}")
+        if self.tolerance is not None and not 0.0 < self.tolerance < 1.0:
+            raise ValueError(f"bad tolerance {self.tolerance!r}")
 
 
 #: The default guarded set: portable speedup ratios always, absolute
-#: throughput/latency only on a fingerprint-matched machine.
+#: throughput/latency only on a fingerprint-matched machine.  Metrics
+#: newer than a baseline report as "missing" there rather than failing,
+#: so extending this tuple is always safe.
 RATCHET_METRICS: tuple[RatchetMetric, ...] = (
-    RatchetMetric("serve.rps_ratio", "higher", "ratio"),
+    # Swings 4.2-5.2x run-to-run on a single-core box (and dropped
+    # legitimately when compiled plans made batch-size-1 serving
+    # faster); the tolerance absorbs that spread, the bench_serve 4x
+    # floor still catches a broken batcher.
+    RatchetMetric("serve.rps_ratio", "higher", "ratio", tolerance=0.3),
     RatchetMetric("bench.batch_predict.10000.speedup_ratio", "higher", "ratio"),
     RatchetMetric("bench.batch_predict.1000000.speedup_ratio", "higher", "ratio"),
+    # The plan-vs-batch ratio is bimodal on the same machine: ~2.5-2.7x
+    # normally, ~1.35x when the kernel coalesces the uncompiled path's
+    # big intermediates into hugepages and its allocation cost vanishes.
+    # The wide tolerance spans both honest modes (matching the 1.2x
+    # bench floor); a plan that regresses to parity with batch_predict
+    # (ratio ~1.0, a -66% change) still trips the gate.
+    RatchetMetric(
+        "bench.plan.1000000.plan_speedup_ratio", "higher", "ratio",
+        tolerance=0.6,
+    ),
+    RatchetMetric("bench.plan.1000000.plan_points_per_sec", "higher", "absolute"),
+    RatchetMetric("bench.explore.1000000.points_per_sec", "higher", "absolute"),
     RatchetMetric("serve.microbatched_rps", "higher", "absolute"),
     RatchetMetric("serve.http_c64_p99_us", "lower", "absolute"),
 )
@@ -253,11 +336,14 @@ class RatchetReport:
                     f"  ({row['note']})"
                 )
                 continue
+            extra = ""
+            if row.get("threshold", self.threshold) != self.threshold:
+                extra = f"  (tolerance {row['threshold']:.0%})"
             lines.append(
                 f"  {row['metric']:<{width}}  {row['status']:>10}"
                 f"  baseline={row['baseline']:.4g}"
                 f"  current={row['current']:.4g}"
-                f"  change={row['change']:+.1%}"
+                f"  change={row['change']:+.1%}{extra}"
             )
         verdict = (
             f"FAIL: {len(self.regressions)} regression(s)"
@@ -325,11 +411,13 @@ def compare(
         change = (cur_v - base_v) / abs(base_v)
         if metric.direction == "lower":
             change = -change
+        limit = metric.tolerance if metric.tolerance is not None else threshold
         row.update(
             baseline=float(base_v),
             current=float(cur_v),
             change=change,
-            status="regression" if change < -threshold else "ok",
+            threshold=limit,
+            status="regression" if change < -limit else "ok",
         )
         report.rows.append(row)
     return report

@@ -10,13 +10,21 @@ struct-of-arrays batches bounded by a ``max_batch_size`` /
 ``max_wait_us`` window, so N concurrent callers pay ~one batch's worth
 of numpy dispatch and validation instead of N.
 
+Each batcher compiles one :class:`~repro.core.plan.PredictionPlan` at
+construction, pre-sized to ``max_batch_size``, and evaluates every
+coalesced batch through it: the steady-state request path performs no
+result-buffer allocation and no duplicate row validation (rows are
+triaged once by ``row_violations`` and the surviving batch is marked
+valid), and the ``plan.compiles`` counter stays flat under load.
+
 Correctness contracts:
 
 * **Bitwise parity.**  A prediction served through a coalesced batch is
   IEEE-754-identical to what scalar ``predict()`` returns for the same
-  worksheet — inherited from :func:`repro.core.batch.batch_predict`'s
-  operation-order guarantee, preserved here by staging worksheet fields
-  with exactly the conversions :meth:`RATInput.from_dict` applies.
+  worksheet — inherited from the plan kernel's operation-order guarantee
+  (itself bitwise-equal to :func:`repro.core.batch.batch_predict`),
+  preserved here by staging worksheet fields with exactly the
+  conversions :meth:`RATInput.from_dict` applies.
 * **Row-level quarantine.**  One invalid worksheet in a coalesced batch
   fails only that request: rows are staged unvalidated, triaged with
   :func:`repro.core.batch.valid_row_mask` (PR 3's quarantine machinery),
@@ -48,8 +56,9 @@ from typing import Mapping
 
 import numpy as np
 
-from ..core.batch import BatchInput, batch_predict, row_violations
+from ..core.batch import BatchInput, mark_rows_valid, row_violations
 from ..core.buffering import BufferingMode
+from ..core.plan import compile_plan
 from ..core.params import RATInput
 from ..errors import AdmissionError, DeadlineError, ParameterError, ServeError
 from ..obs import get_metrics, get_tracer
@@ -256,6 +265,10 @@ class MicroBatcher:
         self._batch_seconds_ewma = 1e-3
         self.batches = 0
         self.served = 0
+        # One compiled plan per batcher, pre-sized to the batch window:
+        # every coalesced batch reuses its buffers, so the steady-state
+        # request path allocates nothing and plan.compiles stays flat.
+        self._plan = compile_plan(capacity=max_batch_size)
         # Hot-path instruments, resolved once: registry lookups are
         # cheap but run per request, and instruments are stable.
         metrics = get_metrics()
@@ -485,8 +498,13 @@ class MicroBatcher:
                 live = [live[i] for i in keep]
                 if not live:
                     return
-                staged = staged.take(np.asarray(keep, dtype=np.intp),
-                                     check=True)
+                # The kept rows were just vetted by row_violations, so
+                # mark them valid instead of paying a second rule pass.
+                staged = mark_rows_valid(
+                    staged.take(np.asarray(keep, dtype=np.intp), check=False)
+                )
+            else:
+                staged = mark_rows_valid(staged)
             needed = set()
             for pending in live:
                 needed.update(pending.modes)
@@ -495,7 +513,9 @@ class MicroBatcher:
             # cost here is what the micro-batching win is made of.
             mode_rows: dict[BufferingMode, list[dict[str, float]]] = {}
             for mode in sorted(needed, key=lambda m: m.value):
-                prediction = batch_predict(staged, mode)
+                # Plan results are views into plan buffers; the .tolist()
+                # below materializes them before the next evaluate.
+                prediction = self._plan.evaluate(staged, mode)
                 columns = [
                     getattr(prediction, name).tolist()
                     for name in _RESULT_FIELDS

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.core.batch import BatchInput, batch_predict
+from repro.core.batch import BatchInput, batch_predict, mark_rows_valid
 from repro.core.buffering import BufferingMode
 from repro.core.throughput import predict
 from repro.errors import ParameterError
@@ -172,3 +172,96 @@ class TestBatchMetrics:
         before = histogram.count
         batch_predict(BatchInput.from_base(simple_rat, 23))
         assert histogram.count == before + 23
+
+
+class TestBroadcastMetadata:
+    """The trusted constant-column metadata compiled plans exploit."""
+
+    def test_from_base_marks_everything_broadcast(self, simple_rat):
+        batch = BatchInput.from_base(simple_rat, 10)
+        assert len(batch.broadcast) == 11
+
+    def test_array_override_clears_broadcast(self, simple_rat):
+        batch = BatchInput.from_base(
+            simple_rat, 10,
+            {"clock_hz": np.linspace(5e7, 3e8, 10), "alpha_write": 0.5},
+        )
+        assert "clock_hz" not in batch.broadcast
+        assert "alpha_write" in batch.broadcast  # scalar override: constant
+        assert "t_soft" in batch.broadcast
+
+    def test_from_inputs_has_no_broadcast(self, simple_rat):
+        assert BatchInput.from_inputs([simple_rat]).broadcast == frozenset()
+
+    def test_slicing_preserves_broadcast_and_checked(self, simple_rat):
+        batch = BatchInput.from_base(
+            simple_rat, 20, {"clock_hz": np.linspace(5e7, 3e8, 20)}
+        )
+        sliced = batch[3:9]
+        assert sliced.broadcast == batch.broadcast
+        assert sliced.checked  # rules are row-local: subsets stay valid
+
+    def test_take_preserves_broadcast(self, simple_rat):
+        batch = BatchInput.from_base(simple_rat, 20)
+        taken = batch.take(np.array([1, 5, 7], dtype=np.intp))
+        assert taken.broadcast == batch.broadcast
+
+    def test_unknown_broadcast_name_rejected(self, simple_rat):
+        batch = BatchInput.from_base(simple_rat, 4)
+        columns = {
+            name: getattr(batch, name)
+            for name in (
+                "elements_in", "elements_out", "bytes_per_element",
+                "ideal_bandwidth", "alpha_write", "alpha_read",
+                "ops_per_element", "throughput_proc", "clock_hz",
+                "t_soft", "n_iterations",
+            )
+        }
+        with pytest.raises(ParameterError, match="unknown broadcast"):
+            BatchInput(**columns, broadcast=frozenset({"warp_drive"}))
+
+    def test_broadcast_batch_predict_parity(self, simple_rat):
+        # batch_predict ignores the metadata entirely; a broadcast-rich
+        # batch and a plain batch with identical columns agree bitwise.
+        rich = BatchInput.from_base(
+            simple_rat, 50, {"clock_hz": np.linspace(5e7, 3e8, 50)}
+        )
+        plain = BatchInput(*(
+            getattr(rich, name).copy()
+            for name in (
+                "elements_in", "elements_out", "bytes_per_element",
+                "ideal_bandwidth", "alpha_write", "alpha_read",
+                "ops_per_element", "throughput_proc", "clock_hz",
+                "t_soft", "n_iterations",
+            )
+        ))
+        assert plain.broadcast == frozenset()
+        a = batch_predict(rich)
+        b = batch_predict(plain)
+        assert np.array_equal(a.speedup, b.speedup)
+        assert np.array_equal(a.t_rc, b.t_rc)
+
+
+class TestMarkRowsValid:
+    def test_upgrades_unchecked_batch(self, simple_rat):
+        batch = BatchInput.from_base(simple_rat, 5, check=False)
+        assert not batch.checked
+        upgraded = mark_rows_valid(batch)
+        assert upgraded is batch
+        assert batch.checked
+
+    def test_checked_batch_is_untouched(self, simple_rat):
+        batch = BatchInput.from_base(simple_rat, 5)
+        assert mark_rows_valid(batch) is batch
+        assert batch.checked
+
+    def test_marked_batch_skips_validation_in_predict(self, simple_rat):
+        # An (incorrectly) trusted invalid batch flows straight through:
+        # mark_rows_valid is an explicit caller assertion, not a check.
+        batch = BatchInput.from_base(
+            simple_rat, 3, {"alpha_write": np.array([0.5, 7.0, 0.5])},
+            check=False,
+        )
+        mark_rows_valid(batch)
+        result = batch_predict(batch)  # no ParameterError raised
+        assert len(result) == 3

@@ -279,3 +279,40 @@ class TestMapDesignsFaults:
                 space, faults.raise_on_slow_clock_eval, chunk_size=2,
                 retry=RetryPolicy(max_retries=0, backoff_s=0.0),
             )
+
+
+class TestPlanReuse:
+    def test_serial_explore_compiles_once_per_worksheet(self, pdf1d_rat):
+        from repro.core.plan import shared_plan
+
+        space = DesignSpace.grid(
+            pdf1d_rat, clock_hz=tuple(np.linspace(5e7, 3e8, 64))
+        )
+        # Prime the process-wide cache, then repeated explores (each
+        # evaluating many chunks) must never compile another plan.
+        shared_plan(space.base)
+        compiles = get_metrics().counter("plan.compiles")
+        before = compiles.value
+        for _ in range(3):
+            explore(space, chunk_size=8)
+        assert compiles.value == before
+
+    def test_plan_path_matches_scalar_rows(self, pdf1d_rat):
+        clocks = tuple(np.linspace(5e7, 3e8, 17))
+        space = DesignSpace.grid(pdf1d_rat, clock_hz=clocks)
+        result = explore(space, chunk_size=5)
+        for i, clock in enumerate(clocks):
+            expected = predict(pdf1d_rat.with_clock_hz(float(clock)))
+            assert float(result.prediction.speedup[i]) == expected.speedup
+
+    def test_chunk_columns_survive_across_chunks(self, pdf1d_rat):
+        # Plan results are copied out of the plan's buffers per chunk;
+        # a later chunk must not clobber an earlier chunk's rows.
+        space = DesignSpace.grid(
+            pdf1d_rat, clock_hz=tuple(np.linspace(5e7, 3e8, 40))
+        )
+        chunked = explore(space, chunk_size=4)   # 10 sequential chunks
+        whole = explore(space, chunk_size=1000)  # single chunk
+        assert np.array_equal(
+            chunked.prediction.speedup, whole.prediction.speedup
+        )

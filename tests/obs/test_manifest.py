@@ -14,6 +14,7 @@ from repro.obs.manifest import (
     load_manifest,
     load_trajectory,
     manifest_from_bench_record,
+    render_history,
     write_manifest,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -98,6 +99,13 @@ class TestRatchetMetric:
         with pytest.raises(ValueError):
             RatchetMetric("x", kind="vibes")
 
+    def test_validates_tolerance_range(self):
+        with pytest.raises(ValueError):
+            RatchetMetric("x", tolerance=0.0)
+        with pytest.raises(ValueError):
+            RatchetMetric("x", tolerance=1.0)
+        assert RatchetMetric("x", tolerance=0.55).tolerance == 0.55
+
 
 GUARD = (
     RatchetMetric("speedup", "higher", "ratio"),
@@ -168,8 +176,83 @@ class TestCompare:
         bad = compare(base, base, metrics=GUARD[:1], inject=0.5)
         assert "FAIL: 1 regression(s)" in bad.render()
 
+    def test_per_metric_tolerance_overrides_threshold(self):
+        # A multi-modal metric (e.g. the plan speedup ratio) carries a
+        # wide tolerance: a -50% swing stays ok, but a regression past
+        # its own tolerance still trips even at a loose global threshold.
+        wide = (RatchetMetric("bimodal", "higher", "ratio", tolerance=0.55),)
+        base = make_manifest({"bimodal": 2.7})
+        swing = make_manifest({"bimodal": 1.35})  # -50%: within tolerance
+        report = compare(swing, base, metrics=wide, threshold=0.15)
+        assert not report.failed
+        [row] = report.rows
+        assert row["threshold"] == 0.55
+        assert "tolerance 55%" in report.render()
+        parity = make_manifest({"bimodal": 1.0})  # -63%: a real regression
+        assert compare(parity, base, metrics=wide, threshold=0.15).failed
+
     def test_default_guard_against_committed_trajectory(self):
         # The shipped RATCHET_METRICS must compare cleanly when a record
         # is diffed against itself (the degenerate no-change case).
         _, _, latest = load_trajectory(".")[-1]
         assert not compare(latest, latest).failed
+
+
+class TestRenderHistory:
+    def _record(self, tmp_path, pr, metrics):
+        (tmp_path / f"BENCH_PR{pr}.json").write_text(json.dumps({
+            "schema": "rat-bench-record/v1",
+            "python": "3.11.0",
+            "platform": "Linux-x",
+            "metrics": {
+                name: {"type": "gauge", "value": value}
+                for name, value in metrics.items()
+            },
+        }))
+
+    def test_renders_one_column_per_record(self, tmp_path):
+        self._record(tmp_path, 1, {"serve.rps_ratio": 4.0})
+        self._record(tmp_path, 2, {"serve.rps_ratio": 6.0})
+        table = render_history(tmp_path)
+        assert "PR1" in table and "PR2" in table
+        assert "serve.rps_ratio" in table
+        assert "+50.0%" in table  # 4.0 -> 6.0 in the good direction
+
+    def test_missing_metric_shows_dash_and_new(self, tmp_path):
+        self._record(tmp_path, 1, {})
+        self._record(
+            tmp_path, 2, {"bench.plan.1000000.plan_speedup_ratio": 2.5}
+        )
+        lines = render_history(tmp_path).splitlines()
+        (plan_row,) = [
+            line for line in lines
+            if line.startswith("bench.plan.1000000.plan_speedup_ratio")
+        ]
+        assert "-" in plan_row
+        assert plan_row.rstrip().endswith("new")
+
+    def test_lower_is_better_trend_sign(self, tmp_path):
+        self._record(tmp_path, 1, {"serve.http_c64_p99_us": 10000.0})
+        self._record(tmp_path, 2, {"serve.http_c64_p99_us": 8000.0})
+        lines = render_history(tmp_path).splitlines()
+        (p99_row,) = [
+            line for line in lines
+            if line.startswith("serve.http_c64_p99_us")
+        ]
+        assert "+20.0%" in p99_row  # latency dropped = improvement
+
+    def test_empty_directory(self, tmp_path):
+        assert "no BENCH_PR*.json records" in render_history(tmp_path)
+
+    def test_custom_metric_set(self, tmp_path):
+        self._record(tmp_path, 1, {"custom.metric": 1.0})
+        table = render_history(
+            tmp_path, metrics=[RatchetMetric("custom.metric")]
+        )
+        assert "custom.metric" in table
+        assert "serve.rps_ratio" not in table
+
+    def test_real_committed_trajectory_renders(self):
+        table = render_history(".")
+        assert "perf trajectory" in table
+        assert "bench.batch_predict.1000000.speedup_ratio" in table

@@ -355,3 +355,48 @@ class TestLifecycle:
         batches, served = run(_with_batcher(body, max_wait_us=5000.0))
         assert served == 6
         assert 1 <= batches <= 6
+
+
+class TestPlanReuse:
+    def test_plan_compiles_stay_flat_under_repeated_requests(self):
+        from repro.obs import get_metrics
+
+        compiles = get_metrics().counter("plan.compiles")
+
+        async def body(batcher):
+            # Compilation happened in MicroBatcher.__init__ (before this
+            # coroutine ran); every submit must reuse that one plan.
+            before = compiles.value
+            for _ in range(5):
+                await asyncio.gather(
+                    *[batcher.submit(WORKSHEET) for _ in range(4)]
+                )
+            return compiles.value - before
+
+        compiled_during_serving = run(_with_batcher(body, max_wait_us=500.0))
+        assert compiled_during_serving == 0
+
+    def test_parity_survives_plan_path_with_quarantine(self):
+        # A mixed batch: one poisoned row quarantined, survivors served
+        # through the plan still byte-match scalar predict.
+        async def body(batcher):
+            good = batcher.submit(WORKSHEET)
+            bad = batcher.submit({**WORKSHEET, "alpha_write": 1.7})
+            good2 = batcher.submit({**WORKSHEET, "clock_mhz": 100.0})
+            results = await asyncio.gather(
+                good, bad, good2, return_exceptions=True
+            )
+            return results
+
+        first, poisoned, second = run(
+            _with_batcher(body, max_wait_us=5000.0)
+        )
+        assert isinstance(poisoned, ParameterError)
+        rat = RATInput.from_dict(WORKSHEET)
+        assert first[0]["single"]["speedup"] == predict(
+            rat, BufferingMode.SINGLE
+        ).speedup
+        rat2 = RATInput.from_dict({**WORKSHEET, "clock_mhz": 100.0})
+        assert second[0]["single"]["speedup"] == predict(
+            rat2, BufferingMode.SINGLE
+        ).speedup
