@@ -30,11 +30,17 @@ Subcommands
     for a machine-readable catalog).
 ``rat serve [--host H] [--port P] [--max-batch N] [--max-wait-us U]``
     Run the micro-batching HTTP prediction service (``POST /v1/predict``,
-    ``/v1/batch``, ``/v1/explore``; ``GET /healthz``, ``/metrics`` in
-    Prometheus exposition format).  Concurrent single predictions are
-    coalesced onto the vectorized batch engine; drains gracefully on
-    SIGTERM.  ``--access-log [FILE]`` streams structured JSONL access
-    and lifecycle events (stderr when no file is given).
+    ``/v1/batch``, ``/v1/explore``; ``GET /healthz``, ``/healthz/live``,
+    ``/healthz/ready``, ``/metrics`` in Prometheus exposition format).
+    Concurrent single predictions are coalesced onto the vectorized
+    batch engine; drains gracefully on SIGTERM/SIGINT.  ``--access-log
+    [FILE]`` streams structured JSONL access and lifecycle events
+    (stderr when no file is given).  ``--shards N`` runs the
+    self-healing multi-process cluster instead: N shard processes share
+    the port, a supervisor restarts crashes with backoff (benching
+    crash-loopers behind a ``--restart-budget`` circuit breaker), kills
+    hung shards, rolls restarts on SIGHUP, and keeps ``/healthz/ready``
+    honest against the ``--min-shards`` readiness floor.
 ``rat bench report --manifest FILE [--baseline FILE] [--threshold PCT]``
     The perf-regression ratchet: diff a run manifest against a baseline
     (default: the newest committed ``BENCH_PR*.json`` record) over the
@@ -366,6 +372,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="emit one structured JSONL event per request (plus batcher "
         "lifecycle events) to FILE, or stderr when no file is given",
+    )
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N shard processes behind a self-healing supervisor "
+        "(0 = classic single-process mode, the default)",
+    )
+    srv.add_argument(
+        "--min-shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="readiness floor: /healthz/ready answers 503 while fewer "
+        "than N shards are ready (default 1)",
+    )
+    srv.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.1,
+        metavar="S",
+        help="initial crash-restart backoff in seconds, doubling per "
+        "consecutive restart (default 0.1)",
+    )
+    srv.add_argument(
+        "--restart-budget",
+        type=int,
+        default=5,
+        metavar="N",
+        help="circuit breaker: bench a shard after N restarts within "
+        "the restart window (default 5)",
+    )
+    srv.add_argument(
+        "--restart-window",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="sliding window for the restart budget (default 30)",
+    )
+    srv.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=3.0,
+        metavar="S",
+        help="liveness deadline: a shard silent this long is killed "
+        "and restarted (default 3)",
     )
 
     bench = sub.add_parser("bench", help="benchmark/perf tooling")
@@ -786,6 +839,31 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+
+    if args.shards > 0:
+        from .serve.supervisor import RestartPolicy, run_cluster
+
+        return run_cluster(
+            shards=args.shards,
+            min_shards=min(args.min_shards, args.shards),
+            host=args.host,
+            port=args.port,
+            policy=RestartPolicy(
+                backoff_initial_s=args.restart_backoff,
+                budget=args.restart_budget,
+                window_s=args.restart_window,
+            ),
+            liveness_timeout_s=args.heartbeat_timeout,
+            drain_timeout_s=args.drain_timeout,
+            access_log=args.access_log,
+            max_batch_size=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            default_deadline_s=(
+                args.deadline_ms * 1e-3 if args.deadline_ms > 0 else None
+            ),
+        )
 
     from .serve import serve
 

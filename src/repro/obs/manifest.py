@@ -302,6 +302,12 @@ RATCHET_METRICS: tuple[RatchetMetric, ...] = (
     RatchetMetric("bench.explore.1000000.points_per_sec", "higher", "absolute"),
     RatchetMetric("serve.microbatched_rps", "higher", "absolute"),
     RatchetMetric("serve.http_c64_p99_us", "lower", "absolute"),
+    # Cluster scale-out: 2-shard RPS over single-shard RPS.  Honest
+    # values are CPU-bound — ~1.0 on a single-core box (the committed
+    # baseline), ~1.5-2x on multi-core CI — so the tolerance must span
+    # a core-count change of the machine; bench_serve's conditional
+    # >=1.5x floor is the real multi-core gate.
+    RatchetMetric("serve.shard_scaling_2x", "higher", "ratio", tolerance=0.5),
 )
 
 

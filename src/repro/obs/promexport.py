@@ -29,12 +29,20 @@ accuracy contract the registry's percentiles already carry.
 Metric names are sanitised (``[^a-zA-Z0-9_:]`` -> ``_``) and prefixed
 with a namespace (default ``rat``), so ``serve.request_seconds`` is
 exposed as ``rat_serve_request_seconds``.
+
+``render_prometheus`` optionally stamps **constant labels** on every
+sample — the cluster mode uses ``labels={"shard": "3"}`` so a scraper
+hitting the shared ``SO_REUSEPORT`` port can tell which shard process
+answered, and series from different shards never collide when a
+federation layer merges them.  Constant labels precede the histogram
+``le`` label, per the exposition format's canonical ordering.
 """
 
 from __future__ import annotations
 
 import math
 import re
+from typing import Mapping
 
 from .metrics import Histogram, MetricsRegistry
 
@@ -62,6 +70,22 @@ def prometheus_name(name: str, namespace: str = "rat") -> str:
     return flat
 
 
+def _label_str(labels: Mapping[str, str] | None) -> str:
+    """Render constant labels as ``key="value"`` pairs (escaped)."""
+    if not labels:
+        return ""
+    pairs = []
+    for key, value in labels.items():
+        escaped = (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        pairs.append(f'{_INVALID.sub("_", str(key))}="{escaped}"')
+    return ",".join(pairs)
+
+
 def _fmt(value: float) -> str:
     """One sample value in exposition syntax (NaN / +Inf / -Inf aware)."""
     if math.isnan(value):
@@ -71,12 +95,16 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
-def _histogram_lines(name: str, histogram: Histogram) -> list[str]:
+def _histogram_lines(
+    name: str, histogram: Histogram, label_str: str = ""
+) -> list[str]:
     lines = [f"# TYPE {name} histogram"]
     samples = sorted(histogram._samples)
     retained = len(samples)
     count = histogram.count
     position = 0
+    prefix = f"{label_str}," if label_str else ""
+    suffix = f"{{{label_str}}}" if label_str else ""
     for bound in DEFAULT_BUCKETS:
         while position < retained and samples[position] <= bound:
             position += 1
@@ -84,18 +112,27 @@ def _histogram_lines(name: str, histogram: Histogram) -> list[str]:
             round(position * count / retained) if retained else 0
         )
         lines.append(
-            f'{name}_bucket{{le="{bound:g}"}} {min(cumulative, count)}'
+            f'{name}_bucket{{{prefix}le="{bound:g}"}} {min(cumulative, count)}'
         )
-    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
-    lines.append(f"{name}_sum {_fmt(histogram.sum)}")
-    lines.append(f"{name}_count {count}")
+    lines.append(f'{name}_bucket{{{prefix}le="+Inf"}} {count}')
+    lines.append(f"{name}_sum{suffix} {_fmt(histogram.sum)}")
+    lines.append(f"{name}_count{suffix} {count}")
     return lines
 
 
 def render_prometheus(
-    registry: MetricsRegistry, namespace: str = "rat"
+    registry: MetricsRegistry,
+    namespace: str = "rat",
+    labels: Mapping[str, str] | None = None,
 ) -> str:
-    """The whole registry in text exposition format (sorted by name)."""
+    """The whole registry in text exposition format (sorted by name).
+
+    ``labels`` are constant labels stamped on every sample (the cluster
+    mode passes ``{"shard": "<id>"}``); histogram buckets carry them
+    ahead of ``le``.
+    """
+    label_str = _label_str(labels)
+    suffix = f"{{{label_str}}}" if label_str else ""
     blocks: list[tuple[str, list[str]]] = []
     for raw, counter in registry._counters.items():
         name = prometheus_name(raw, namespace) + "_total"
@@ -104,7 +141,7 @@ def render_prometheus(
             [
                 f"# HELP {name} counter {raw}",
                 f"# TYPE {name} counter",
-                f"{name} {_fmt(counter.value)}",
+                f"{name}{suffix} {_fmt(counter.value)}",
             ],
         ))
     for raw, gauge in registry._gauges.items():
@@ -114,13 +151,13 @@ def render_prometheus(
             [
                 f"# HELP {name} gauge {raw}",
                 f"# TYPE {name} gauge",
-                f"{name} {_fmt(gauge.value)}",
+                f"{name}{suffix} {_fmt(gauge.value)}",
             ],
         ))
     for raw, histogram in registry._histograms.items():
         name = prometheus_name(raw, namespace)
         lines = [f"# HELP {name} histogram {raw}"]
-        lines.extend(_histogram_lines(name, histogram))
+        lines.extend(_histogram_lines(name, histogram, label_str))
         blocks.append((name, lines))
     blocks.sort(key=lambda block: block[0])
     out: list[str] = []

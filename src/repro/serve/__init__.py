@@ -21,9 +21,20 @@ This subsystem serves that traffic shape on the stdlib only:
 ``server``
     :class:`RATServer` / :func:`serve` — the asyncio TCP transport with
     keep-alive connections and graceful SIGTERM drain.
+``supervisor`` / ``cluster``
+    :class:`Supervisor` / :func:`run_cluster` — the self-healing
+    multi-process cluster mode (``rat serve --shards N``): N shard
+    processes share the port via ``SO_REUSEPORT`` (or an inherited
+    parent-bound fd), each heartbeating to a parent supervisor that
+    restarts crashes with backoff, benches crash-loopers behind a
+    circuit breaker, SIGKILLs hung shards, rolls restarts on SIGHUP
+    without dropping below the readiness floor, and drains the whole
+    cluster on SIGTERM/SIGINT.
 
-The ``rat serve`` CLI subcommand wraps :func:`serve`;
-``benchmarks/bench_serve.py`` load-tests the stack in-process.
+The ``rat serve`` CLI subcommand wraps :func:`serve` (or
+:func:`run_cluster` with ``--shards``);
+``benchmarks/bench_serve.py`` load-tests the stack in-process and
+records the shard scale curve.
 """
 
 from .app import RATApp
@@ -43,7 +54,9 @@ from .protocol import (
     json_response,
     parse_head,
 )
+from .cluster import ShardConfig, create_listen_socket, reuse_port_supported
 from .server import RATServer, serve
+from .supervisor import RestartPolicy, Supervisor, run_cluster
 
 __all__ = [
     "MAX_HEAD_BYTES",
@@ -53,11 +66,17 @@ __all__ = [
     "RATServer",
     "Request",
     "Response",
+    "RestartPolicy",
+    "ShardConfig",
+    "Supervisor",
+    "create_listen_socket",
     "error_body",
     "format_response",
     "json_response",
     "parse_head",
     "resolve_modes",
+    "reuse_port_supported",
+    "run_cluster",
     "scalar_diagnostic",
     "serve",
     "worksheet_row",

@@ -23,11 +23,22 @@ Endpoints:
     a registered case study or an inline worksheet.
 ``GET /healthz``
     Liveness plus queue/served counters; reports ``draining`` during
-    graceful shutdown.
+    graceful shutdown.  Kept as a back-compat alias for the split
+    probes below (always 200 while the process is up).
+``GET /healthz/live``
+    Pure liveness: 200 whenever the process can answer at all — even
+    while draining.  A restart-deciding probe (kubelet, supervisor)
+    should watch this, never readiness.
+``GET /healthz/ready``
+    Load-acceptance: 200 only when the process is not draining *and*
+    (in cluster mode) the supervisor reports the cluster at or above
+    its ``min_shards`` readiness floor; 503 otherwise, so an edge LB
+    can shed load on status code alone, without JSON parsing.
 ``GET /metrics``
     The process-global :mod:`repro.obs` metrics registry in Prometheus
     text exposition format (``?format=text`` serves the legacy
-    human-readable table).
+    human-readable table).  In cluster mode every sample carries a
+    ``shard`` label.
 
 Failure mapping is uniform: :class:`AdmissionError` -> 429 with a
 ``Retry-After`` header, :class:`DeadlineError` -> 504,
@@ -140,6 +151,7 @@ class RATApp:
         max_batch_rows: int = 4096,
         max_explore_points: int = 200_000,
         default_deadline_s: float | None = None,
+        shard_id: int | None = None,
     ) -> None:
         self.batcher = MicroBatcher(
             max_batch_size=max_batch_size,
@@ -151,6 +163,11 @@ class RATApp:
         self.max_batch_rows = int(max_batch_rows)
         self.max_explore_points = int(max_explore_points)
         self.default_deadline_s = default_deadline_s
+        self.shard_id = shard_id
+        #: Cluster view pushed by the shard supervisor over the control
+        #: pipe (``{"ready": bool, "live": int, "shards": int}``); None
+        #: in single-process mode, where readiness is purely local.
+        self.cluster_state: dict[str, object] | None = None
         self.draining = False
         self.inflight = 0
         self.requests = 0
@@ -277,6 +294,10 @@ class RATApp:
         path = request.path
         if path == "/healthz":
             return self._healthz(request)
+        if path == "/healthz/live":
+            return self._live(request)
+        if path == "/healthz/ready":
+            return self._ready(request)
         if path == "/metrics":
             return self._metrics(request)
         if self.draining:
@@ -301,17 +322,54 @@ class RATApp:
 
     # ---- endpoints ---------------------------------------------------------
 
+    def readiness(self) -> tuple[bool, str]:
+        """(ready, reason): whether this process should accept load.
+
+        Not ready while draining, and — in cluster mode — while the
+        supervisor reports the cluster below its ``min_shards``
+        readiness floor (a shard that is itself healthy still sheds
+        load then, so the edge LB backs off before the queue does).
+        """
+        if self.draining:
+            return False, "draining"
+        state = self.cluster_state
+        if state is not None and not state.get("ready", True):
+            return False, "cluster below min-shards readiness floor"
+        return True, "ok"
+
     def _healthz(self, request: Request) -> Response:
         if request.method != "GET":
             raise ProtocolError("/healthz requires GET", 405)
-        return json_response({
+        ready, _ = self.readiness()
+        payload: dict[str, object] = {
             "status": "draining" if self.draining else "ok",
+            "ready": ready,
             "queue_depth": self.batcher.depth,
             "inflight": self.inflight,
             "requests": self.requests,
             "batches": self.batcher.batches,
             "predictions_served": self.batcher.served,
-        })
+        }
+        if self.shard_id is not None:
+            payload["shard"] = self.shard_id
+        return json_response(payload)
+
+    def _live(self, request: Request) -> Response:
+        if request.method != "GET":
+            raise ProtocolError("/healthz/live requires GET", 405)
+        payload: dict[str, object] = {"live": True}
+        if self.shard_id is not None:
+            payload["shard"] = self.shard_id
+        return json_response(payload)
+
+    def _ready(self, request: Request) -> Response:
+        if request.method != "GET":
+            raise ProtocolError("/healthz/ready requires GET", 405)
+        ready, reason = self.readiness()
+        payload: dict[str, object] = {"ready": ready, "reason": reason}
+        if self.shard_id is not None:
+            payload["shard"] = self.shard_id
+        return json_response(payload, status=200 if ready else 503)
 
     def _metrics(self, request: Request) -> Response:
         if request.method != "GET":
@@ -327,8 +385,15 @@ class RATApp:
                 body=metrics_summary(get_metrics()).encode("utf-8"),
                 content_type="text/plain; charset=utf-8",
             )
+        labels = (
+            {"shard": str(self.shard_id)}
+            if self.shard_id is not None
+            else None
+        )
         return Response(
-            body=render_prometheus(get_metrics()).encode("utf-8"),
+            body=render_prometheus(get_metrics(), labels=labels).encode(
+                "utf-8"
+            ),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 

@@ -48,11 +48,16 @@ class RATServer:
         host: str = "127.0.0.1",
         port: int = 8321,
         drain_timeout_s: float = 10.0,
+        sock=None,
     ) -> None:
         self.app = app
         self.host = host
         self.port = int(port)
         self.drain_timeout_s = float(drain_timeout_s)
+        #: A pre-created listening socket (cluster mode: each shard's
+        #: ``SO_REUSEPORT`` socket, or a parent-bound fd shared across
+        #: shards).  When set, ``host``/``port`` are informational.
+        self.sock = sock
         self._server: asyncio.Server | None = None
         self._connections = 0
         self._draining = asyncio.Event()
@@ -65,9 +70,14 @@ class RATServer:
             raise ParameterError("server is already running")
         await self.app.startup()
         self._draining = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self.port
-        )
+        if self.sock is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=self.sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port
+            )
         # With port 0 the kernel picks; expose the bound port so callers
         # (CLI banner, CI smoke job, tests) can discover it.
         sockets = self._server.sockets or ()
@@ -77,6 +87,11 @@ class RATServer:
     @property
     def running(self) -> bool:
         return self._server is not None
+
+    @property
+    def draining(self) -> bool:
+        """True once graceful shutdown has begun."""
+        return self._draining.is_set()
 
     def drain(self) -> None:
         """Begin graceful shutdown; :meth:`run` then unblocks."""

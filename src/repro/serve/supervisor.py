@@ -1,0 +1,886 @@
+"""Self-healing shard supervisor for the prediction cluster.
+
+``rat serve --shards N`` runs this parent process: it owns the port,
+forks N :mod:`repro.serve.cluster` shard children, and enforces the
+cluster's robustness contract —
+
+* **Crash recovery.**  A shard that exits unexpectedly is restarted
+  with exponential backoff.  Restarts are budgeted per shard over a
+  sliding window; a crash-looping shard trips the **circuit breaker**
+  and is *benched* — the cluster degrades to fewer shards instead of
+  flapping, and keeps serving on the survivors.
+* **Hang detection.**  Every shard heartbeats over a pipe; silence past
+  the liveness deadline gets the shard SIGKILLed and restarted (a hang
+  spends restart budget exactly like a crash).
+* **Readiness floor.**  The supervisor pushes its cluster view to every
+  shard; ``/healthz/ready`` answers 503 whenever fewer than
+  ``min_shards`` shards are ready, so an edge LB sheds load before the
+  shards' queues do.
+* **Rolling restart** (SIGHUP).  Surge-style, one shard at a time:
+  spawn a replacement, wait until it heartbeats ready, *then* drain the
+  old shard — live capacity never dips below the configured shard
+  count, and every in-flight request finishes (PR 5's per-shard drain).
+* **Graceful drain** (SIGTERM/SIGINT).  Every shard gets the drain
+  command, finishes its queue, and exits; stragglers past the deadline
+  are killed so the parent always terminates.
+
+Shard lifecycle (``shard.spawn`` / ``shard.exit`` / ``shard.restart`` /
+``shard.benched`` / ``shard.hung`` / ``cluster.ready`` /
+``cluster.degraded`` / ``cluster.drained``) is reported through the
+structured JSONL event log with trace correlation, and the supervisor
+aggregates per-shard heartbeat stats into ``cluster.*`` gauges.
+
+The supervisor is deliberately not an asyncio program: it is a small
+``selectors``-based loop over heartbeat pipes, a self-pipe for
+thread/signal-safe commands, and monotonic deadlines — trivially
+testable by driving the loop from a thread, with stub shard commands
+standing in for real children.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import selectors
+import signal
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ParameterError
+from ..obs import get_metrics
+from ..obs.log import event, get_logger
+from ..obs.propagation import activate, deactivate, new_context
+from .cluster import ShardConfig, create_listen_socket, reuse_port_supported
+
+__all__ = ["RestartPolicy", "Shard", "Supervisor", "run_cluster"]
+
+_log = get_logger("serve.supervisor")
+
+# Shard lifecycle states.
+STARTING = "starting"
+READY = "ready"
+DRAINING = "draining"
+BENCHED = "benched"
+STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Backoff and circuit-breaker budget for shard restarts.
+
+    A shard gets at most ``budget`` restarts within any sliding
+    ``window_s``; exceeding it benches the shard.  Backoff doubles per
+    consecutive restart (``backoff_initial_s`` -> ``backoff_max_s``)
+    and resets once a shard stays up past ``window_s``.
+    """
+
+    backoff_initial_s: float = 0.1
+    backoff_max_s: float = 5.0
+    backoff_factor: float = 2.0
+    budget: int = 5
+    window_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.backoff_initial_s <= 0 or self.backoff_max_s <= 0:
+            raise ParameterError("backoff bounds must be > 0")
+        if self.backoff_factor < 1.0:
+            raise ParameterError("backoff_factor must be >= 1")
+        if self.budget < 1:
+            raise ParameterError("restart budget must be >= 1")
+        if self.window_s <= 0:
+            raise ParameterError("restart window must be > 0")
+
+    def next_backoff(self, current_s: float) -> float:
+        if current_s <= 0:
+            return self.backoff_initial_s
+        return min(current_s * self.backoff_factor, self.backoff_max_s)
+
+
+@dataclass
+class Shard:
+    """One shard slot: stable identity across process incarnations."""
+
+    shard_id: int
+    state: str = STARTING
+    proc: subprocess.Popen | None = None
+    heartbeat_fd: int = -1
+    control_fd: int = -1
+    spawned_at: float = 0.0
+    last_beat: float = 0.0
+    stats: dict = field(default_factory=dict)
+    restart_times: deque = field(default_factory=deque)
+    backoff_s: float = 0.0
+    restart_at: float | None = None  # pending respawn deadline
+    expected_exit: bool = False  # drained on purpose (stop / rolling)
+    hung: bool = False
+    chaos: list[str] = field(default_factory=list)
+    buffer: bytearray = field(default_factory=bytearray)
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if self.proc is not None else None
+
+
+class Supervisor:
+    """Parent process of the shard cluster (see module docstring)."""
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        min_shards: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        policy: RestartPolicy | None = None,
+        heartbeat_interval_s: float = 0.25,
+        liveness_timeout_s: float = 3.0,
+        boot_timeout_s: float = 20.0,
+        drain_timeout_s: float = 10.0,
+        reuse_port: bool | None = None,
+        quiet: bool = True,
+        access_log: str | None = None,
+        shard_command: list[str] | None = None,
+        chaos: dict[int, list[str]] | None = None,
+        **serve_kwargs,
+    ) -> None:
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        if not 1 <= min_shards <= shards:
+            raise ParameterError(
+                f"min_shards must be in [1, {shards}], got {min_shards}"
+            )
+        self.n_shards = int(shards)
+        self.min_shards = int(min_shards)
+        self.host = host
+        self.port = int(port)
+        self.policy = policy or RestartPolicy()
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.liveness_timeout_s = float(liveness_timeout_s)
+        self.boot_timeout_s = float(boot_timeout_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.reuse_port = (
+            reuse_port_supported() if reuse_port is None else bool(reuse_port)
+        )
+        self.quiet = quiet
+        self.access_log = access_log
+        #: Override the shard argv prefix (tests inject a stub child
+        #: that speaks the heartbeat/control protocol without numpy).
+        self.shard_command = shard_command
+        #: Test-only fault injection: shard slot -> queue of chaos
+        #: directives, one consumed per (re)spawn.
+        self.chaos = {k: list(v) for k, v in (chaos or {}).items()}
+        self.serve_kwargs = serve_kwargs
+        self.restarts = 0
+        self.active: list[Shard] = []
+        self.benched: list[Shard] = []
+        self._next_id = 0
+        self._holder = None  # SO_REUSEPORT port reservation socket
+        self._listen_sock = None  # fallback shared listening socket
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
+        self._commands: deque[str] = deque()
+        self._stopping = False
+        self._stop_deadline: float | None = None
+        self._finished = False
+        self._started = False
+        self._cluster_ready: bool | None = None
+        self._ready_count = -1
+        self._rolling: deque[int] = deque()  # shard ids left to recycle
+        self._rolling_step: dict | None = None
+        self._status: dict = {"running": False}
+        self._trace_context = None
+        #: Requests served by shard incarnations that have exited, so
+        #: cumulative totals survive restarts and the final drain.
+        self._done_totals = {"requests": 0, "predictions": 0, "batches": 0}
+        self._totals = dict(self._done_totals)
+        metrics = get_metrics()
+        self._g_live = metrics.gauge("cluster.shards_live")
+        self._g_ready = metrics.gauge("cluster.shards_ready")
+        self._g_benched = metrics.gauge("cluster.shards_benched")
+        self._c_restarts = metrics.counter("cluster.restarts")
+        self._c_benched = metrics.counter("cluster.benched")
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Resolve the port, spawn the initial shard set."""
+        if self._started:
+            raise ParameterError("supervisor is already running")
+        self._started = True
+        # One trace identity for the whole cluster lifetime, so every
+        # lifecycle event correlates in the JSONL log.  The context is
+        # (re)activated per thread — contextvars don't cross threads, and
+        # ``run()`` may execute on a different one than ``start()``.
+        self._trace_context = new_context()
+        token = activate(self._trace_context)
+        try:
+            self._start_locked()
+        finally:
+            deactivate(token)
+
+    def _start_locked(self) -> None:
+        if self.reuse_port:
+            # Bound (not listening) placeholder: resolves --port 0 to a
+            # concrete port and reserves it while shards come and go.
+            self._holder = create_listen_socket(
+                self.host, self.port, reuse_port=True, listen=False
+            )
+            self.port = self._holder.getsockname()[1]
+        else:
+            self._listen_sock = create_listen_socket(
+                self.host, self.port, reuse_port=False
+            )
+            self.port = self._listen_sock.getsockname()[1]
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        event(
+            _log, "cluster.starting",
+            host=self.host, port=self.port, shards=self.n_shards,
+            min_shards=self.min_shards, reuse_port=self.reuse_port,
+        )
+        for _ in range(self.n_shards):
+            self._spawn_slot()
+        self._refresh_cluster_state()
+        self._publish_status()
+
+    def run(self) -> None:
+        """The supervision loop; returns once the cluster is drained."""
+        if not self._started:
+            self.start()
+        token = activate(self._trace_context)
+        try:
+            while not self._finished:
+                for key, _ in self._selector.select(timeout=0.05):
+                    if key.fd == self._wake_r:
+                        self._drain_wake_pipe()
+                    else:
+                        self._read_heartbeats(key.data)
+                self._run_commands()
+                self._reap_exits()
+                self._check_liveness()
+                self._run_restarts()
+                self._advance_rolling()
+                self._advance_stop()
+                self._refresh_cluster_state()
+                self._publish_status()
+        finally:
+            try:
+                self._cleanup()
+            finally:
+                deactivate(token)
+
+    # ---- thread/signal-safe external API -----------------------------------
+
+    def stop(self) -> None:
+        """Begin graceful cluster drain (callable from any thread)."""
+        self._post("stop")
+
+    def rolling_restart(self) -> None:
+        """Recycle every shard, one at a time (callable from any thread)."""
+        self._post("rolling")
+
+    def status(self) -> dict:
+        """A point-in-time cluster snapshot (safe from any thread)."""
+        return self._status
+
+    def wait_ready(
+        self, count: int | None = None, timeout_s: float = 30.0
+    ) -> bool:
+        """Block until ``count`` shards are ready (default: all)."""
+        want = self.n_shards if count is None else count
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            snapshot = self.status()
+            if snapshot.get("ready_shards", 0) >= want:
+                return True
+            if snapshot.get("finished"):
+                return False
+            time.sleep(0.02)
+        return False
+
+    def wait_finished(self, timeout_s: float = 30.0) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.status().get("finished"):
+                return True
+            time.sleep(0.02)
+        return False
+
+    def shard_pids(self) -> dict[int, int]:
+        """Live shard id -> pid (for the chaos harness to aim at)."""
+        return {
+            s["id"]: s["pid"]
+            for s in self.status().get("shards", [])
+            if s.get("pid")
+        }
+
+    def _post(self, command: str) -> None:
+        self._commands.append(command)
+        with contextlib.suppress(OSError):
+            os.write(self._wake_w, b"x")
+
+    # ---- spawning ----------------------------------------------------------
+
+    def _spawn_slot(self) -> Shard:
+        shard = Shard(shard_id=self._next_id)
+        self._next_id += 1
+        self.active.append(shard)
+        self._spawn(shard)
+        return shard
+
+    def _shard_argv(self, config: ShardConfig) -> list[str]:
+        if self.shard_command is not None:
+            return [*self.shard_command, config.to_json()]
+        # `-c` rather than `-m repro.serve.cluster`: the package
+        # __init__ already imports the module, and runpy would execute
+        # it a second time (with a RuntimeWarning to match).
+        return [
+            sys.executable,
+            "-c",
+            "import sys; from repro.serve.cluster import main;"
+            " sys.exit(main(sys.argv[1:]))",
+            config.to_json(),
+        ]
+
+    def _child_env(self) -> dict[str, str]:
+        # The child must import `repro` exactly as the parent did, even
+        # when the parent runs from a source tree without installation.
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__
+        )))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        if src_dir not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                f"{src_dir}{os.pathsep}{existing}" if existing else src_dir
+            )
+        return env
+
+    def _spawn(self, shard: Shard) -> None:
+        heartbeat_r, heartbeat_w = os.pipe()
+        control_r, control_w = os.pipe()
+        chaos_queue = self.chaos.get(shard.shard_id, [])
+        chaos = chaos_queue.pop(0) if chaos_queue else ""
+        config = ShardConfig(
+            shard_id=shard.shard_id,
+            host=self.host,
+            port=self.port,
+            heartbeat_fd=heartbeat_w,
+            control_fd=control_r,
+            listen_fd=(
+                None
+                if self.reuse_port
+                else self._listen_sock.fileno()
+            ),
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            cluster_ready=bool(self._cluster_ready),
+            chaos=chaos,
+            access_log=self.access_log,
+            drain_timeout_s=self.drain_timeout_s,
+            **self.serve_kwargs,
+        )
+        pass_fds = [heartbeat_w, control_r]
+        if config.listen_fd is not None:
+            pass_fds.append(config.listen_fd)
+        try:
+            shard.proc = subprocess.Popen(
+                self._shard_argv(config),
+                pass_fds=tuple(pass_fds),
+                env=self._child_env(),
+            )
+        finally:
+            os.close(heartbeat_w)
+            os.close(control_r)
+        os.set_blocking(heartbeat_r, False)
+        os.set_blocking(control_w, False)
+        shard.heartbeat_fd = heartbeat_r
+        shard.control_fd = control_w
+        shard.state = STARTING
+        shard.spawned_at = time.monotonic()
+        shard.last_beat = shard.spawned_at
+        shard.hung = False
+        shard.expected_exit = False
+        shard.buffer.clear()
+        shard.restart_at = None
+        self._selector.register(heartbeat_r, selectors.EVENT_READ, shard)
+        event(
+            _log, "shard.spawn",
+            shard=shard.shard_id, pid=shard.proc.pid, chaos=chaos or None,
+        )
+        if not self.quiet:
+            print(
+                f"rat serve: shard {shard.shard_id} spawned "
+                f"(pid {shard.proc.pid})",
+                flush=True,
+            )
+
+    def _close_shard_fds(self, shard: Shard) -> None:
+        if shard.heartbeat_fd >= 0:
+            with contextlib.suppress(KeyError, ValueError):
+                self._selector.unregister(shard.heartbeat_fd)
+            with contextlib.suppress(OSError):
+                os.close(shard.heartbeat_fd)
+            shard.heartbeat_fd = -1
+        if shard.control_fd >= 0:
+            with contextlib.suppress(OSError):
+                os.close(shard.control_fd)
+            shard.control_fd = -1
+
+    # ---- control plane -----------------------------------------------------
+
+    def _send(self, shard: Shard, message: dict) -> bool:
+        if shard.control_fd < 0:
+            return False
+        data = json.dumps(message, separators=(",", ":")).encode() + b"\n"
+        try:
+            os.write(shard.control_fd, data)
+            return True
+        except (BrokenPipeError, BlockingIOError, OSError):
+            return False
+
+    def _broadcast(self, message: dict) -> None:
+        for shard in self.active:
+            if shard.proc is not None and shard.proc.poll() is None:
+                self._send(shard, message)
+
+    def _drain_shard(self, shard: Shard) -> None:
+        shard.expected_exit = True
+        shard.state = DRAINING
+        sent = self._send(shard, {"op": "drain"})
+        if not sent and shard.proc is not None:
+            # Control pipe already broken: fall back to the signal the
+            # shard wires to the same drain path.
+            with contextlib.suppress(OSError):
+                shard.proc.send_signal(signal.SIGTERM)
+
+    # ---- loop steps --------------------------------------------------------
+
+    def _drain_wake_pipe(self) -> None:
+        with contextlib.suppress(OSError):
+            while os.read(self._wake_r, 4096):
+                pass
+
+    def _run_commands(self) -> None:
+        while self._commands:
+            command = self._commands.popleft()
+            if command == "stop":
+                self._begin_stop()
+            elif command == "rolling":
+                self._begin_rolling()
+
+    def _read_heartbeats(self, shard: Shard) -> None:
+        try:
+            data = os.read(shard.heartbeat_fd, 65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            data = b""
+        if not data:
+            # EOF: the shard closed its end (exit path); the reaper
+            # handles the process itself.
+            with contextlib.suppress(KeyError, ValueError):
+                self._selector.unregister(shard.heartbeat_fd)
+            return
+        shard.buffer.extend(data)
+        while b"\n" in shard.buffer:
+            line, _, rest = bytes(shard.buffer).partition(b"\n")
+            shard.buffer[:] = rest
+            try:
+                beat = json.loads(line)
+            except ValueError:
+                continue  # torn heartbeat line; the next one completes
+            shard.last_beat = time.monotonic()
+            shard.stats = beat
+            state = beat.get("state")
+            if state == "ready" and shard.state == STARTING:
+                shard.state = READY
+                shard.backoff_s = 0.0
+                event(
+                    _log, "shard.ready",
+                    shard=shard.shard_id, pid=shard.pid,
+                )
+                if not self.quiet:
+                    print(
+                        f"rat serve: shard {shard.shard_id} ready "
+                        f"(pid {shard.pid})",
+                        flush=True,
+                    )
+            elif state == "draining" and shard.state in (STARTING, READY):
+                shard.state = DRAINING
+
+    def _reap_exits(self) -> None:
+        for shard in list(self.active):
+            if shard.proc is None:
+                continue
+            returncode = shard.proc.poll()
+            if returncode is None:
+                continue
+            self._close_shard_fds(shard)
+            shard.proc = None
+            for key in self._done_totals:
+                value = shard.stats.get(key)
+                if isinstance(value, (int, float)):
+                    self._done_totals[key] += value
+            shard.stats = {}
+            event(
+                _log, "shard.exit",
+                shard=shard.shard_id, returncode=returncode,
+                expected=shard.expected_exit, hung=shard.hung,
+            )
+            if shard.expected_exit or self._stopping:
+                shard.state = STOPPED
+                self.active.remove(shard)
+                continue
+            self._schedule_restart(shard)
+
+    def _schedule_restart(self, shard: Shard) -> None:
+        now = time.monotonic()
+        shard.restart_times.append(now)
+        while (
+            shard.restart_times
+            and now - shard.restart_times[0] > self.policy.window_s
+        ):
+            shard.restart_times.popleft()
+        if len(shard.restart_times) > self.policy.budget:
+            shard.state = BENCHED
+            self.active.remove(shard)
+            self.benched.append(shard)
+            self._c_benched.inc()
+            event(
+                _log, "shard.benched",
+                shard=shard.shard_id,
+                restarts_in_window=len(shard.restart_times),
+                window_s=self.policy.window_s,
+            )
+            if not self.quiet:
+                print(
+                    f"rat serve: shard {shard.shard_id} benched after "
+                    f"{len(shard.restart_times)} restarts in "
+                    f"{self.policy.window_s:g}s (circuit breaker)",
+                    flush=True,
+                )
+            return
+        shard.backoff_s = self.policy.next_backoff(shard.backoff_s)
+        shard.restart_at = now + shard.backoff_s
+        shard.state = STARTING
+        self.restarts += 1
+        self._c_restarts.inc()
+        event(
+            _log, "shard.restart",
+            shard=shard.shard_id, backoff_s=shard.backoff_s,
+            restarts_in_window=len(shard.restart_times),
+        )
+
+    def _check_liveness(self) -> None:
+        if self._stopping:
+            return
+        now = time.monotonic()
+        for shard in self.active:
+            if shard.proc is None or shard.expected_exit:
+                continue
+            if shard.state == STARTING and shard.restart_at is not None:
+                continue  # not respawned yet
+            deadline = (
+                shard.spawned_at + self.boot_timeout_s
+                if shard.state == STARTING
+                else shard.last_beat + self.liveness_timeout_s
+            )
+            if now < deadline:
+                continue
+            shard.hung = True
+            event(
+                _log, "shard.hung",
+                shard=shard.shard_id, pid=shard.pid,
+                silent_s=now - shard.last_beat,
+            )
+            with contextlib.suppress(OSError):
+                shard.proc.kill()
+
+    def _run_restarts(self) -> None:
+        if self._stopping:
+            return
+        now = time.monotonic()
+        for shard in self.active:
+            if (
+                shard.proc is None
+                and shard.restart_at is not None
+                and now >= shard.restart_at
+            ):
+                self._spawn(shard)
+
+    # ---- rolling restart ---------------------------------------------------
+
+    def _begin_rolling(self) -> None:
+        if self._stopping or self._rolling or self._rolling_step:
+            return
+        ids = [s.shard_id for s in self.active if s.proc is not None]
+        if not ids:
+            return
+        self._rolling.extend(ids)
+        event(_log, "cluster.rolling_restart", shards=ids)
+        if not self.quiet:
+            print(
+                f"rat serve: rolling restart of shards {ids}", flush=True
+            )
+
+    def _advance_rolling(self) -> None:
+        if self._stopping:
+            self._rolling.clear()
+            self._rolling_step = None
+            return
+        step = self._rolling_step
+        now = time.monotonic()
+        if step is None:
+            if not self._rolling:
+                return
+            old_id = self._rolling.popleft()
+            old = next(
+                (s for s in self.active if s.shard_id == old_id), None
+            )
+            if old is None or old.proc is None:
+                return  # crashed/benched since enqueue; nothing to recycle
+            # Surge: bring the replacement up before draining the old
+            # shard, so live capacity never dips below the floor.
+            replacement = self._spawn_slot()
+            self._rolling_step = {
+                "old": old,
+                "new": replacement,
+                "phase": "wait_ready",
+                "deadline": now + self.boot_timeout_s,
+            }
+            return
+        old, new = step["old"], step["new"]
+        if step["phase"] == "wait_ready":
+            if new.state == READY:
+                self._drain_shard(old)
+                step["phase"] = "wait_exit"
+                step["deadline"] = now + self.drain_timeout_s + 5.0
+            elif new not in self.active or now >= step["deadline"]:
+                # Replacement failed to come up: keep the old shard,
+                # abort the rest of the rolling restart.
+                event(
+                    _log, "cluster.rolling_aborted",
+                    shard=new.shard_id,
+                )
+                if new in self.active and new.proc is not None:
+                    new.expected_exit = True
+                    with contextlib.suppress(OSError):
+                        new.proc.kill()
+                self._rolling.clear()
+                self._rolling_step = None
+        elif step["phase"] == "wait_exit":
+            if old not in self.active:
+                self._rolling_step = None  # recycled; next shard
+            elif now >= step["deadline"] and old.proc is not None:
+                with contextlib.suppress(OSError):
+                    old.proc.kill()
+
+    # ---- cluster drain -----------------------------------------------------
+
+    def _begin_stop(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        self._stop_deadline = (
+            time.monotonic() + self.drain_timeout_s + 5.0
+        )
+        event(_log, "cluster.draining", shards=len(self.active))
+        for shard in list(self.active):
+            if shard.proc is None:
+                shard.state = STOPPED
+                self.active.remove(shard)
+                continue
+            self._drain_shard(shard)
+
+    def _advance_stop(self) -> None:
+        if not self._stopping:
+            return
+        if not self.active:
+            self._finished = True
+            return
+        if (
+            self._stop_deadline is not None
+            and time.monotonic() >= self._stop_deadline
+        ):
+            for shard in self.active:
+                if shard.proc is not None:
+                    with contextlib.suppress(OSError):
+                        shard.proc.kill()
+            self._stop_deadline = time.monotonic() + 5.0
+
+    # ---- cluster state / status --------------------------------------------
+
+    def _refresh_cluster_state(self) -> None:
+        ready_count = sum(1 for s in self.active if s.state == READY)
+        live_count = sum(1 for s in self.active if s.proc is not None)
+        cluster_ready = (
+            not self._stopping and ready_count >= self.min_shards
+        )
+        self._g_live.set(live_count)
+        self._g_ready.set(ready_count)
+        self._g_benched.set(len(self.benched))
+        totals = dict(self._done_totals)
+        for shard in self.active:
+            for key in totals:
+                value = shard.stats.get(key)
+                if isinstance(value, (int, float)):
+                    totals[key] += value
+        self._totals = totals
+        metrics = get_metrics()
+        for key, value in totals.items():
+            metrics.gauge(f"cluster.{key}").set(value)
+        if (
+            cluster_ready == self._cluster_ready
+            and ready_count == self._ready_count
+        ):
+            return
+        previous = self._cluster_ready
+        transition = cluster_ready != previous
+        self._cluster_ready = cluster_ready
+        self._ready_count = ready_count
+        self._broadcast({
+            "op": "cluster",
+            "ready": cluster_ready,
+            "live": live_count,
+            "shards": self.n_shards,
+        })
+        # A "degraded" event at boot (before any shard is ready) is
+        # noise; announce only real transitions and the first ready.
+        if transition and not self._stopping and (
+            cluster_ready or previous is not None
+        ):
+            event(
+                _log,
+                "cluster.ready" if cluster_ready else "cluster.degraded",
+                ready_shards=ready_count,
+                live_shards=live_count,
+                min_shards=self.min_shards,
+            )
+
+    def _publish_status(self) -> None:
+        self._status = {
+            "running": True,
+            "finished": self._finished,
+            "stopping": self._stopping,
+            "host": self.host,
+            "port": self.port,
+            "shards": [
+                {
+                    "id": s.shard_id,
+                    "state": s.state,
+                    "pid": s.pid,
+                    "stats": s.stats,
+                }
+                for s in self.active
+            ],
+            "benched": [s.shard_id for s in self.benched],
+            "ready_shards": self._ready_count,
+            "cluster_ready": bool(self._cluster_ready),
+            "restarts": self.restarts,
+            "rolling": bool(self._rolling or self._rolling_step),
+            "requests": self._totals["requests"],
+        }
+
+    def _cleanup(self) -> None:
+        for shard in [*self.active, *self.benched]:
+            if shard.proc is not None:
+                with contextlib.suppress(OSError):
+                    shard.proc.kill()
+                with contextlib.suppress(OSError):
+                    shard.proc.wait(timeout=5.0)
+                shard.proc = None
+            self._close_shard_fds(shard)
+        self.active.clear()
+        with contextlib.suppress(KeyError, ValueError):
+            self._selector.unregister(self._wake_r)
+        self._selector.close()
+        for fd in (self._wake_r, self._wake_w):
+            with contextlib.suppress(OSError):
+                os.close(fd)
+        if self._holder is not None:
+            self._holder.close()
+            self._holder = None
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+            self._listen_sock = None
+        self._finished = True
+        self._publish_status()
+        event(_log, "cluster.drained", restarts=self.restarts)
+
+
+def run_cluster(
+    *,
+    shards: int,
+    min_shards: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    policy: RestartPolicy | None = None,
+    drain_timeout_s: float = 10.0,
+    quiet: bool = False,
+    access_log: str | None = None,
+    **serve_kwargs,
+) -> int:
+    """The ``rat serve --shards N`` entry point (blocking, returns 0).
+
+    SIGTERM and SIGINT both begin a graceful cluster drain; SIGHUP
+    begins a rolling restart.  The startup banner mirrors the
+    single-process one (``rat serve: cluster listening on http://H:P``)
+    so scripts using ``--port 0`` can parse the bound port either way.
+    """
+    supervisor = Supervisor(
+        shards=shards,
+        min_shards=min_shards,
+        host=host,
+        port=port,
+        policy=policy,
+        drain_timeout_s=drain_timeout_s,
+        quiet=quiet,
+        access_log=access_log,
+        **serve_kwargs,
+    )
+    if access_log is not None:
+        from ..obs.log import configure_logging
+
+        configure_logging(access_log)
+    supervisor.start()
+    previous = {}
+    for signame, action in (
+        (signal.SIGTERM, supervisor.stop),
+        (signal.SIGINT, supervisor.stop),
+        (signal.SIGHUP, supervisor.rolling_restart),
+    ):
+        try:
+            previous[signame] = signal.signal(
+                signame, lambda _s, _f, action=action: action()
+            )
+        except (ValueError, OSError, AttributeError):
+            pass  # non-main thread or platform without the signal
+    if not quiet:
+        print(
+            f"rat serve: cluster listening on "
+            f"http://{supervisor.host}:{supervisor.port} "
+            f"(shards={shards}, min_shards={min_shards})",
+            flush=True,
+        )
+    try:
+        supervisor.run()
+    finally:
+        for signame, handler in previous.items():
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(signame, handler)
+    if not quiet:
+        status = supervisor.status()
+        print(
+            f"rat serve: cluster drained cleanly after "
+            f"{status.get('requests', 0)} requests "
+            f"({supervisor.restarts} restarts, "
+            f"{len(supervisor.benched)} benched)",
+            flush=True,
+        )
+    return 0

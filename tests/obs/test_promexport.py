@@ -147,3 +147,43 @@ class TestHistograms:
         assert counts == sorted(counts)
         assert counts[-1] <= 10000
         assert samples[("rat_busy_s_bucket", 'le="+Inf"')] == 10000
+
+
+class TestConstantLabels:
+    """Cluster mode stamps {"shard": N} onto every exposed sample."""
+
+    def test_counters_and_gauges_labelled(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(3)
+        registry.gauge("serve.queue_depth").set(7)
+        text = render_prometheus(registry, labels={"shard": "3"})
+        assert 'rat_serve_requests_total{shard="3"} 3.0' in text
+        assert 'rat_serve_queue_depth{shard="3"} 7.0' in text
+
+    def test_histogram_buckets_carry_label_before_le(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("busy_s")
+        for value in (0.001, 0.01, 0.1):
+            histogram.observe(value)
+        text = render_prometheus(registry, labels={"shard": "1"})
+        assert 'rat_busy_s_bucket{shard="1",le="+Inf"} 3' in text
+        assert 'rat_busy_s_sum{shard="1"} ' in text
+        assert 'rat_busy_s_count{shard="1"} 3' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        text = render_prometheus(
+            registry, labels={"weird key": 'a"b\\c\nd'}
+        )
+        assert 'weird_key="a\\"b\\\\c\\nd"' in text
+
+    def test_no_labels_renders_identically(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert render_prometheus(registry, labels=None) == render_prometheus(
+            registry
+        )
+        assert render_prometheus(registry, labels={}) == render_prometheus(
+            registry
+        )

@@ -91,6 +91,63 @@ class TestHealthz:
         assert predict_response.status == 503
 
 
+class TestLivenessReadinessSplit:
+    def test_live_and_ready_ok_by_default(self):
+        (live, ready) = run_app(get("/healthz/live"), get("/healthz/ready"))
+        assert live[0] == 200
+        assert live[1]["live"] is True
+        assert ready[0] == 200
+        assert ready[1] == {"ready": True, "reason": "ok"}
+
+    def test_legacy_healthz_alias_still_answers(self):
+        [(status, payload, _)] = run_app(get("/healthz"))
+        assert status == 200
+        assert payload["ready"] is True
+
+    def test_shard_identity_stamped_when_set(self):
+        (health, live, ready) = run_app(
+            get("/healthz"), get("/healthz/live"), get("/healthz/ready"),
+            shard_id=3,
+        )
+        assert health[1]["shard"] == 3
+        assert live[1]["shard"] == 3
+        assert ready[1]["shard"] == 3
+
+    def test_draining_not_ready_but_still_live(self):
+        async def body():
+            app = RATApp()
+            await app.startup()
+            app.draining = True
+            live = await app.handle(get("/healthz/live"))
+            ready = await app.handle(get("/healthz/ready"))
+            await app.shutdown()
+            return live, ready
+
+        live, ready = asyncio.run(body())
+        assert live.status == 200
+        assert ready.status == 503
+        assert json.loads(ready.body)["reason"] == "draining"
+
+    def test_cluster_floor_breaks_readiness_not_liveness(self):
+        async def body():
+            app = RATApp(shard_id=1)
+            await app.startup()
+            app.cluster_state = {"ready": False, "live": 1, "shards": 4}
+            live = await app.handle(get("/healthz/live"))
+            ready = await app.handle(get("/healthz/ready"))
+            predicted = await app.handle(post("/v1/predict", WORKSHEET))
+            await app.shutdown()
+            return live, ready, predicted
+
+        live, ready, predicted = asyncio.run(body())
+        assert live.status == 200
+        assert ready.status == 503
+        assert "floor" in json.loads(ready.body)["reason"]
+        # Readiness is a routing hint, not a request gate: work that
+        # still arrives on this shard is served.
+        assert predicted.status == 200
+
+
 class TestPredict:
     def test_bare_worksheet_body(self):
         [(status, payload, _)] = run_app(post("/v1/predict", WORKSHEET))

@@ -1,0 +1,173 @@
+"""Chaos harness: fault injection against a live cluster under load.
+
+These kill, crash-loop and hang *real* shard processes while an HTTP
+load loop is running, and assert the supervisor's whole-system
+contract: bounded client-visible damage, readiness that dips and
+recovers, a circuit breaker that benches repeat offenders without
+taking the cluster down, and hang detection that turns silence into a
+restart.  Marked ``faults`` like the rest of the fault-injection suite.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.serve.supervisor import RestartPolicy, Supervisor
+
+from .test_cluster import WORKSHEET, cluster, http
+
+pytestmark = pytest.mark.faults
+
+
+class Load(threading.Thread):
+    """Sequential request loop over fresh connections; counts outcomes."""
+
+    def __init__(self, port):
+        super().__init__(daemon=True)
+        self.port = port
+        self.ok = 0
+        self.failed = 0
+        self._halt = threading.Event()
+
+    def run(self):
+        while not self._halt.is_set():
+            try:
+                status, body = http(self.port, "POST", "/v1/predict", WORKSHEET)
+                blob = json.loads(body)
+                if status == 200 and blob["predictions"]["single"]["speedup"]:
+                    self.ok += 1
+                else:
+                    self.failed += 1
+            except Exception:
+                self.failed += 1
+
+    def stop(self):
+        self._halt.set()
+        self.join(timeout=30.0)
+
+    @property
+    def total(self):
+        return self.ok + self.failed
+
+
+def wait_for(predicate, timeout_s, message):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestKillUnderLoad:
+    def test_sigkill_one_shard_bounded_damage_fast_recovery(self):
+        """ISSUE 8 acceptance: 4 shards under load, SIGKILL one ->
+        failed requests within budget, full readiness back within 5 s."""
+        with cluster(shards=4, min_shards=4) as supervisor:
+            assert supervisor.wait_ready(4, timeout_s=120.0)
+            port = supervisor.status()["port"]
+            load = Load(port)
+            load.start()
+            try:
+                wait_for(lambda: load.ok >= 20, 60.0, "warm-up traffic")
+
+                victim = supervisor.shard_pids()[0]
+                os.kill(victim, signal.SIGKILL)
+                killed_at = time.monotonic()
+
+                # Readiness must dip below the floor...
+                wait_for(
+                    lambda: not supervisor.status()["cluster_ready"],
+                    5.0,
+                    "readiness dip after SIGKILL",
+                )
+                # ...and fully recover within the 5 s deadline.
+                wait_for(
+                    lambda: supervisor.status()["cluster_ready"],
+                    5.0 - (time.monotonic() - killed_at),
+                    "readiness recovery within 5s",
+                )
+
+                # Keep traffic flowing briefly after recovery.
+                settled = load.ok
+                wait_for(
+                    lambda: load.ok >= settled + 20, 60.0, "post-kill traffic"
+                )
+            finally:
+                load.stop()
+
+            # Client-visible damage bounded: at most the in-flight
+            # casualties of one process death (<=1% of the run).
+            budget = max(2, load.total // 100)
+            assert load.failed <= budget, (
+                f"{load.failed} failures out of {load.total} "
+                f"(budget {budget})"
+            )
+            assert supervisor.status()["restarts"] >= 1
+
+
+class TestCrashLoopUnderLoad:
+    def test_breaker_benches_crash_looper_cluster_keeps_serving(self):
+        policy = RestartPolicy(
+            backoff_initial_s=0.05, backoff_max_s=0.2, budget=3, window_s=30.0
+        )
+        with cluster(
+            shards=2,
+            min_shards=1,
+            policy=policy,
+            chaos={0: ["exit-after:0.2"] * 10},
+        ) as supervisor:
+            assert supervisor.wait_ready(1, timeout_s=120.0)
+            port = supervisor.status()["port"]
+            load = Load(port)
+            load.start()
+            try:
+                wait_for(
+                    lambda: supervisor.status()["benched"] == [0],
+                    120.0,
+                    "circuit breaker benching the crash-looper",
+                )
+                # The survivor carries the cluster: traffic still lands.
+                before = load.ok
+                wait_for(
+                    lambda: load.ok >= before + 10, 60.0, "degraded traffic"
+                )
+            finally:
+                load.stop()
+            status = supervisor.status()
+            assert status["cluster_ready"] is True
+            assert status["restarts"] == policy.budget
+            assert load.ok > 0
+
+
+class TestHangUnderLoad:
+    def test_hung_shard_is_killed_and_replaced(self):
+        with cluster(
+            shards=2,
+            min_shards=1,
+            liveness_timeout_s=2.0,
+            chaos={0: ["no-heartbeat"]},
+        ) as supervisor:
+            assert supervisor.wait_ready(1, timeout_s=120.0)
+            port = supervisor.status()["port"]
+            load = Load(port)
+            load.start()
+            try:
+                # The silent shard serves HTTP but never heartbeats: the
+                # supervisor must SIGKILL and replace it.
+                wait_for(
+                    lambda: supervisor.status()["restarts"] >= 1,
+                    60.0,
+                    "hang detection restart",
+                )
+                assert supervisor.wait_ready(2, timeout_s=120.0)
+                before = load.ok
+                wait_for(
+                    lambda: load.ok >= before + 10, 60.0, "post-hang traffic"
+                )
+            finally:
+                load.stop()

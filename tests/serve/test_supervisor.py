@@ -1,0 +1,262 @@
+"""Supervisor loop tests against stub shard processes.
+
+The stub child speaks the full heartbeat/control protocol (and honours
+the chaos directives) without importing numpy or binding a socket, so
+these tests exercise crash recovery, the circuit breaker, hang
+detection, rolling restart, and the readiness floor in well under a
+second per spawn — the real-shard integration lives in
+``test_cluster.py`` and the ``faults``-marked chaos harness.
+"""
+
+import contextlib
+import os
+import signal
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serve.supervisor import RestartPolicy, Supervisor
+
+# A minimal shard: heartbeats on the inherited fd, drains on command or
+# control-pipe EOF, honours the chaos directives the supervisor injects.
+STUB = r"""
+import json, os, select, sys, time
+cfg = json.loads(sys.argv[1])
+if cfg["chaos"] == "exit-on-start":
+    sys.exit(13)
+hb = os.fdopen(cfg["heartbeat_fd"], "w", buffering=1)
+ctrl = cfg["control_fd"]
+os.set_blocking(ctrl, False)
+state = "ready"
+buf = b""
+exit_at = None
+if cfg["chaos"].startswith("exit-after:"):
+    exit_at = time.monotonic() + float(cfg["chaos"].partition(":")[2])
+while True:
+    if cfg["chaos"] != "no-heartbeat":
+        try:
+            hb.write(json.dumps({
+                "shard": cfg["shard_id"], "state": state, "requests": 7,
+                "predictions": 7, "batches": 3,
+            }) + "\n")
+        except OSError:
+            sys.exit(0)
+    if exit_at is not None and time.monotonic() >= exit_at:
+        os._exit(13)
+    readable, _, _ = select.select([ctrl], [], [], cfg["heartbeat_interval_s"])
+    if readable:
+        try:
+            data = os.read(ctrl, 65536)
+        except OSError:
+            data = b""
+        if not data:
+            sys.exit(0)
+        buf += data
+        while b"\n" in buf:
+            line, _, buf = buf.partition(b"\n")
+            msg = json.loads(line)
+            if msg.get("op") == "drain":
+                state = "draining"
+                hb.write(json.dumps({
+                    "shard": cfg["shard_id"], "state": state, "requests": 7,
+                }) + "\n")
+                sys.exit(0)
+"""
+
+FAST = dict(
+    heartbeat_interval_s=0.05,
+    liveness_timeout_s=0.6,
+    boot_timeout_s=10.0,
+    drain_timeout_s=2.0,
+    shard_command=[sys.executable, "-c", STUB],
+    quiet=True,
+)
+
+FAST_POLICY = RestartPolicy(
+    backoff_initial_s=0.05, backoff_max_s=0.2, budget=3, window_s=10.0
+)
+
+
+@contextlib.contextmanager
+def running(**kwargs):
+    """A Supervisor with its loop on a daemon thread, cleaned up after."""
+    options = {**FAST, "policy": FAST_POLICY, **kwargs}
+    supervisor = Supervisor(**options)
+    supervisor.start()
+    thread = threading.Thread(target=supervisor.run, daemon=True)
+    thread.start()
+    try:
+        yield supervisor
+    finally:
+        supervisor.stop()
+        supervisor.wait_finished(timeout_s=15.0)
+        thread.join(timeout=15.0)
+
+
+def wait_for(predicate, timeout_s=10.0, message="condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestRestartPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RestartPolicy(
+            backoff_initial_s=0.1, backoff_max_s=1.0, backoff_factor=2.0
+        )
+        assert policy.next_backoff(0.0) == pytest.approx(0.1)
+        assert policy.next_backoff(0.1) == pytest.approx(0.2)
+        assert policy.next_backoff(0.8) == pytest.approx(1.0)
+        assert policy.next_backoff(5.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RestartPolicy(backoff_initial_s=0.0)
+        with pytest.raises(ParameterError):
+            RestartPolicy(budget=0)
+        with pytest.raises(ParameterError):
+            RestartPolicy(window_s=-1.0)
+        with pytest.raises(ParameterError):
+            RestartPolicy(backoff_factor=0.5)
+
+    def test_supervisor_rejects_bad_shape(self):
+        with pytest.raises(ParameterError):
+            Supervisor(shards=0)
+        with pytest.raises(ParameterError):
+            Supervisor(shards=2, min_shards=3)
+        with pytest.raises(ParameterError):
+            Supervisor(shards=2, min_shards=0)
+
+
+class TestLifecycle:
+    def test_boot_ready_then_graceful_stop(self):
+        with running(shards=3, min_shards=2, port=0) as supervisor:
+            assert supervisor.wait_ready(3, timeout_s=10.0)
+            status = supervisor.status()
+            assert status["ready_shards"] == 3
+            assert status["cluster_ready"] is True
+            assert status["restarts"] == 0
+            assert len(status["shards"]) == 3
+            pids = supervisor.shard_pids()
+            assert len(pids) == 3
+        status = supervisor.status()
+        assert status["finished"] is True
+        # Stub shards drain on command and exit 0; none left running.
+        for pid in pids.values():
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+
+    def test_heartbeat_stats_aggregated(self):
+        with running(shards=2, min_shards=1, port=0) as supervisor:
+            assert supervisor.wait_ready(2, timeout_s=10.0)
+            wait_for(
+                lambda: supervisor.status()["requests"] == 14,
+                message="aggregated request total from both stubs",
+            )
+
+
+class TestCrashRecovery:
+    def test_crash_is_restarted_with_backoff(self):
+        with running(
+            shards=2,
+            min_shards=1,
+            port=0,
+            chaos={0: ["exit-on-start"]},
+        ) as supervisor:
+            wait_for(
+                lambda: supervisor.status()["restarts"] >= 1,
+                message="crash restart",
+            )
+            assert supervisor.wait_ready(2, timeout_s=10.0)
+            status = supervisor.status()
+            assert status["benched"] == []
+            assert {s["id"] for s in status["shards"]} == {0, 1}
+
+    def test_crash_loop_trips_circuit_breaker(self):
+        with running(
+            shards=3,
+            min_shards=1,
+            port=0,
+            chaos={0: ["exit-on-start"] * 10},
+        ) as supervisor:
+            wait_for(
+                lambda: supervisor.status()["benched"] == [0],
+                message="circuit breaker benching shard 0",
+            )
+            # The cluster degrades but keeps serving on the survivors.
+            assert supervisor.wait_ready(2, timeout_s=10.0)
+            status = supervisor.status()
+            assert status["cluster_ready"] is True
+            assert {s["id"] for s in status["shards"]} == {1, 2}
+            # The breaker respected the budget: restarts stop at it.
+            assert status["restarts"] == FAST_POLICY.budget
+
+    def test_unexpected_sigkill_is_a_crash(self):
+        with running(shards=2, min_shards=2, port=0) as supervisor:
+            assert supervisor.wait_ready(2, timeout_s=10.0)
+            victim = supervisor.shard_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            # Readiness floor: the cluster degrades below min_shards...
+            wait_for(
+                lambda: supervisor.status()["cluster_ready"] is False,
+                message="readiness dip after SIGKILL",
+            )
+            # ...and recovers once the replacement incarnation is up.
+            wait_for(
+                lambda: supervisor.status()["cluster_ready"] is True,
+                message="readiness recovery",
+            )
+            assert supervisor.status()["restarts"] >= 1
+
+
+class TestHangDetection:
+    def test_silent_shard_killed_and_restarted(self):
+        with running(
+            shards=2,
+            min_shards=1,
+            port=0,
+            chaos={0: ["no-heartbeat"]},
+        ) as supervisor:
+            wait_for(
+                lambda: supervisor.status()["restarts"] >= 1,
+                timeout_s=15.0,
+                message="hang detection restart",
+            )
+            assert supervisor.wait_ready(2, timeout_s=10.0)
+
+
+class TestRollingRestart:
+    def test_every_shard_recycled_without_dipping(self):
+        with running(shards=2, min_shards=2, port=0) as supervisor:
+            assert supervisor.wait_ready(2, timeout_s=10.0)
+            before = supervisor.shard_pids()
+            dipped = []
+            supervisor.rolling_restart()
+
+            def recycled():
+                status = supervisor.status()
+                if status["ready_shards"] < 2:
+                    dipped.append(status["ready_shards"])
+                current = {
+                    s["id"]: s["pid"] for s in status["shards"]
+                }
+                return (
+                    not status["rolling"]
+                    and len(current) == 2
+                    and not (set(current) & set(before))
+                )
+
+            wait_for(recycled, timeout_s=20.0, message="rolling restart")
+            # Surge semantics: ready capacity never dropped below the
+            # original shard count while recycling.
+            assert dipped == []
+            status = supervisor.status()
+            assert status["cluster_ready"] is True
+            # Replacements are new identities (fresh shard ids).
+            assert all(i >= 2 for i in supervisor.shard_pids())

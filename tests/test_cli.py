@@ -425,6 +425,26 @@ class TestServeCommand:
         assert args.max_wait_us == 200.0
         assert args.workers == 1
         assert args.max_pending == 1024
+        # Cluster mode is opt-in: 0 shards means single-process.
+        assert args.shards == 0
+        assert args.min_shards == 1
+        assert args.restart_backoff == 0.1
+        assert args.restart_budget == 5
+        assert args.restart_window == 30.0
+        assert args.heartbeat_timeout == 3.0
+
+    def test_parser_cluster_overrides(self):
+        args = build_parser().parse_args([
+            "serve", "--shards", "4", "--min-shards", "3",
+            "--restart-backoff", "0.5", "--restart-budget", "2",
+            "--restart-window", "60", "--heartbeat-timeout", "10",
+        ])
+        assert args.shards == 4
+        assert args.min_shards == 3
+        assert args.restart_backoff == 0.5
+        assert args.restart_budget == 2
+        assert args.restart_window == 60.0
+        assert args.heartbeat_timeout == 10.0
 
     def test_parser_overrides(self):
         args = build_parser().parse_args([
