@@ -32,7 +32,7 @@ from repro.obs import MetricsRegistry
 
 #: Schema/file name for this PR's perf record.  Future PRs bump the
 #: suffix (BENCH_PR3.json, ...) so the trajectory accumulates in-tree.
-BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+BENCH_RECORD = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
 
 #: Per-run manifests land here (gitignored; CI uploads them as artifacts).
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"

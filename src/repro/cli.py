@@ -41,6 +41,12 @@ Subcommands
     crash-loopers behind a ``--restart-budget`` circuit breaker), kills
     hung shards, rolls restarts on SIGHUP, and keeps ``/healthz/ready``
     honest against the ``--min-shards`` readiness floor.
+    ``--metrics-port P`` adds a supervisor-side listener serving the
+    cluster-merged Prometheus ``/metrics`` (restart-monotone counters)
+    and JSON ``/status``; ``--max-shards N`` enables queue-depth
+    autoscaling between the ``--min-shards`` floor and N
+    (``--scale-up-depth`` / ``--scale-down-depth`` hysteresis,
+    ``--scale-cooldown`` between actions).
 ``rat bench report --manifest FILE [--baseline FILE] [--threshold PCT]``
     The perf-regression ratchet: diff a run manifest against a baseline
     (default: the newest committed ``BENCH_PR*.json`` record) over the
@@ -419,6 +425,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="liveness deadline: a shard silent this long is killed "
         "and restarted (default 3)",
+    )
+    srv.add_argument(
+        "--max-shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="autoscaling ceiling: spawn shards under queue pressure "
+        "up to N, retire idle ones back to --min-shards "
+        "(0 disables autoscaling, the default)",
+    )
+    srv.add_argument(
+        "--scale-up-depth",
+        type=float,
+        default=8.0,
+        metavar="D",
+        help="spawn a shard when smoothed queue depth per ready shard "
+        "exceeds D (default 8)",
+    )
+    srv.add_argument(
+        "--scale-down-depth",
+        type=float,
+        default=1.0,
+        metavar="D",
+        help="retire the newest idle shard when smoothed queue depth "
+        "per ready shard falls below D (default 1)",
+    )
+    srv.add_argument(
+        "--scale-cooldown",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="minimum seconds between autoscaling actions (default 5)",
+    )
+    srv.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the aggregated cluster /metrics (and JSON /status) "
+        "from the supervisor on this port (0 picks an ephemeral "
+        "port, printed at startup; omit to disable)",
     )
 
     bench = sub.add_parser("bench", help="benchmark/perf tooling")
@@ -856,6 +903,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             liveness_timeout_s=args.heartbeat_timeout,
             drain_timeout_s=args.drain_timeout,
             access_log=args.access_log,
+            metrics_port=args.metrics_port,
+            max_shards=(
+                max(args.max_shards, args.shards)
+                if args.max_shards > 0
+                else None
+            ),
+            scale_up_depth=args.scale_up_depth,
+            scale_down_depth=args.scale_down_depth,
+            scale_cooldown_s=args.scale_cooldown,
             max_batch_size=args.max_batch,
             max_wait_us=args.max_wait_us,
             workers=args.workers,

@@ -61,7 +61,12 @@ from .manifest import (
     write_manifest,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .promexport import render_prometheus
+from .promexport import (
+    merge_snapshots,
+    render_cluster_metrics,
+    render_prometheus,
+    snapshot_metrics,
+)
 from .propagation import (
     TraceContext,
     current_context,
@@ -109,11 +114,14 @@ __all__ = [
     "get_tracer",
     "load_manifest",
     "load_trajectory",
+    "merge_snapshots",
     "metrics_summary",
     "new_context",
     "parse_traceparent",
     "record_system_run",
+    "render_cluster_metrics",
     "render_prometheus",
+    "snapshot_metrics",
     "reset",
     "reset_logging",
     "spans_to_chrome",

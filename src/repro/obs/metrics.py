@@ -35,7 +35,7 @@ decimation contract.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..errors import ObservabilityError
 
@@ -186,6 +186,29 @@ class Histogram:
         upper = min(lower + 1, len(ordered) - 1)
         fraction = position - lower
         return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+    def cumulative_buckets(self, bounds: Sequence[float]) -> list[int]:
+        """Cumulative observation counts at each upper ``bound``.
+
+        Bucket counts are synthesized from the decimated reservoir and
+        scaled to the exact total ``count`` (the same derivation the
+        Prometheus exposition uses), so the returned series is
+        non-decreasing and every entry is <= ``count``.  The caller owns
+        the ``+Inf`` bucket — it is exactly ``count``.
+        """
+        samples = sorted(self._samples)
+        retained = len(samples)
+        count = self.count
+        position = 0
+        out: list[int] = []
+        for bound in bounds:
+            while position < retained and samples[position] <= bound:
+                position += 1
+            cumulative = (
+                round(position * count / retained) if retained else 0
+            )
+            out.append(min(cumulative, count))
+        return out
 
     def summary(self) -> dict[str, float]:
         """The flat record exporters serialise."""

@@ -36,17 +36,34 @@ hitting the shared ``SO_REUSEPORT`` port can tell which shard process
 answered, and series from different shards never collide when a
 federation layer merges them.  Constant labels precede the histogram
 ``le`` label, per the exposition format's canonical ordering.
+
+**Cluster aggregation.**  The shard supervisor serves one merged
+exposition for the whole cluster.  Shards ship compact snapshots
+(:func:`snapshot_metrics`) over the heartbeat pipe; the supervisor sums
+them (:func:`merge_snapshots`) and renders the result
+(:func:`render_cluster_metrics`).  Snapshots carry histogram buckets as
+cumulative counts over :data:`DEFAULT_BUCKETS` — the same fixed bound
+set every process uses — so merging is element-wise addition and the
+monotone / ``+Inf == count`` invariants survive by construction
+(clipped defensively against torn snapshots on render).
 """
 
 from __future__ import annotations
 
 import math
 import re
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from .metrics import Histogram, MetricsRegistry
 
-__all__ = ["DEFAULT_BUCKETS", "prometheus_name", "render_prometheus"]
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "merge_snapshots",
+    "prometheus_name",
+    "render_cluster_metrics",
+    "render_prometheus",
+    "snapshot_metrics",
+]
 
 #: Log-spaced default bucket upper bounds (1-2.5-5 per decade) spanning
 #: microseconds-scale latencies through million-point batch sizes.  One
@@ -98,24 +115,37 @@ def _fmt(value: float) -> str:
 def _histogram_lines(
     name: str, histogram: Histogram, label_str: str = ""
 ) -> list[str]:
+    buckets = histogram.cumulative_buckets(DEFAULT_BUCKETS)
+    return _bucket_lines(
+        name, histogram.count, histogram.sum, buckets, label_str
+    )
+
+
+def _bucket_lines(
+    name: str,
+    count: int,
+    total: float,
+    buckets: Iterable[int],
+    label_str: str = "",
+) -> list[str]:
+    """Exposition lines for one histogram given pre-computed cumulative
+    bucket counts over :data:`DEFAULT_BUCKETS`.
+
+    A running max plus a clip to ``count`` re-establish the monotone /
+    ``<= count`` invariants even if the incoming series was perturbed
+    (e.g. summed from snapshots taken at slightly different instants).
+    """
     lines = [f"# TYPE {name} histogram"]
-    samples = sorted(histogram._samples)
-    retained = len(samples)
-    count = histogram.count
-    position = 0
     prefix = f"{label_str}," if label_str else ""
     suffix = f"{{{label_str}}}" if label_str else ""
-    for bound in DEFAULT_BUCKETS:
-        while position < retained and samples[position] <= bound:
-            position += 1
-        cumulative = (
-            round(position * count / retained) if retained else 0
-        )
+    running = 0
+    for bound, cumulative in zip(DEFAULT_BUCKETS, buckets):
+        running = max(running, min(int(cumulative), count))
         lines.append(
-            f'{name}_bucket{{{prefix}le="{bound:g}"}} {min(cumulative, count)}'
+            f'{name}_bucket{{{prefix}le="{bound:g}"}} {running}'
         )
     lines.append(f'{name}_bucket{{{prefix}le="+Inf"}} {count}')
-    lines.append(f"{name}_sum{suffix} {_fmt(histogram.sum)}")
+    lines.append(f"{name}_sum{suffix} {_fmt(total)}")
     lines.append(f"{name}_count{suffix} {count}")
     return lines
 
@@ -158,6 +188,125 @@ def render_prometheus(
         name = prometheus_name(raw, namespace)
         lines = [f"# HELP {name} histogram {raw}"]
         lines.extend(_histogram_lines(name, histogram, label_str))
+        blocks.append((name, lines))
+    blocks.sort(key=lambda block: block[0])
+    out: list[str] = []
+    for _, lines in blocks:
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ---- cluster aggregation ----------------------------------------------------
+
+def snapshot_metrics(registry: MetricsRegistry) -> dict:
+    """A compact JSON-ready snapshot of ``registry`` for pipe transport.
+
+    Shape: ``{"c": {name: value}, "g": {name: value},
+    "h": {name: [count, sum, b0, b1, ...]}}`` where the ``b`` entries
+    are cumulative observation counts at :data:`DEFAULT_BUCKETS` (the
+    ``+Inf`` bucket is implied — it equals ``count``).  Serialises to a
+    few KB for the serving registry, small enough to ride every
+    heartbeat without approaching the pipe's atomic-write limit.
+    """
+    return {
+        "c": {
+            name: counter.value
+            for name, counter in registry._counters.items()
+        },
+        "g": {
+            name: gauge.value
+            for name, gauge in registry._gauges.items()
+            if not math.isnan(gauge.value)
+        },
+        "h": {
+            name: [
+                histogram.count,
+                histogram.sum,
+                *histogram.cumulative_buckets(DEFAULT_BUCKETS),
+            ]
+            for name, histogram in registry._histograms.items()
+        },
+    }
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Sum counters and histograms across shard snapshots.
+
+    Gauges are deliberately *not* merged — an instantaneous level summed
+    across shards is rarely meaningful (and never for utilisations);
+    :func:`render_cluster_metrics` keeps them per-shard with a
+    ``shard="N"`` label instead.  Histogram entries of mismatched length
+    (a shard running older code mid-rolling-restart) contribute their
+    count/sum but only the bucket prefix both sides share.
+    """
+    counters: dict[str, float] = {}
+    histograms: dict[str, list[float]] = {}
+    for snapshot in snapshots:
+        for name, value in (snapshot.get("c") or {}).items():
+            if isinstance(value, (int, float)):
+                counters[name] = counters.get(name, 0.0) + value
+        for name, series in (snapshot.get("h") or {}).items():
+            if not isinstance(series, (list, tuple)) or len(series) < 2:
+                continue
+            if name not in histograms:
+                histograms[name] = [0.0] * (2 + len(DEFAULT_BUCKETS))
+            acc = histograms[name]
+            for i, value in enumerate(series[: len(acc)]):
+                if isinstance(value, (int, float)):
+                    acc[i] += value
+    return {"c": counters, "h": histograms}
+
+
+def render_cluster_metrics(
+    merged: Mapping,
+    shard_gauges: Mapping[str, Mapping[str, float]] | None = None,
+    namespace: str = "rat",
+) -> str:
+    """Text exposition of a merged cluster snapshot.
+
+    ``merged`` is :func:`merge_snapshots` output (counters and
+    histograms already summed across shard incarnations).
+    ``shard_gauges`` maps shard-id strings to their latest gauge
+    snapshot; each sample is emitted with a ``shard="N"`` label so
+    per-shard levels stay distinguishable and retired shards' series
+    simply stop appearing.
+    """
+    blocks: list[tuple[str, list[str]]] = []
+    for raw, value in (merged.get("c") or {}).items():
+        name = prometheus_name(raw, namespace) + "_total"
+        blocks.append((
+            name,
+            [
+                f"# HELP {name} counter {raw} (cluster sum)",
+                f"# TYPE {name} counter",
+                f"{name} {_fmt(value)}",
+            ],
+        ))
+    for raw, series in (merged.get("h") or {}).items():
+        name = prometheus_name(raw, namespace)
+        count = int(round(series[0]))
+        total = float(series[1])
+        lines = [f"# HELP {name} histogram {raw} (cluster sum)"]
+        lines.extend(
+            _bucket_lines(name, count, total, series[2:])
+        )
+        blocks.append((name, lines))
+    per_shard: dict[str, list[tuple[str, float]]] = {}
+    for shard_id, gauges in (shard_gauges or {}).items():
+        for raw, value in gauges.items():
+            if isinstance(value, (int, float)):
+                per_shard.setdefault(raw, []).append(
+                    (str(shard_id), float(value))
+                )
+    for raw, samples in per_shard.items():
+        name = prometheus_name(raw, namespace)
+        lines = [
+            f"# HELP {name} gauge {raw} (per shard)",
+            f"# TYPE {name} gauge",
+        ]
+        for shard_id, value in sorted(samples):
+            label = _label_str({"shard": shard_id})
+            lines.append(f"{name}{{{label}}} {_fmt(value)}")
         blocks.append((name, lines))
     blocks.sort(key=lambda block: block[0])
     out: list[str] = []

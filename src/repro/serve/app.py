@@ -349,6 +349,7 @@ class RATApp:
             "requests": self.requests,
             "batches": self.batcher.batches,
             "predictions_served": self.batcher.served,
+            "batch_seconds_ewma": self.batcher.batch_seconds_ewma,
         }
         if self.shard_id is not None:
             payload["shard"] = self.shard_id

@@ -321,6 +321,16 @@ class MicroBatcher:
         """Whether consumer tasks are active."""
         return bool(self._tasks) and not self._closed
 
+    @property
+    def batch_seconds_ewma(self) -> float:
+        """Smoothed recent batch latency (seconds).
+
+        The figure behind ``Retry-After`` estimates; shards also ship it
+        in heartbeats so the supervisor's autoscaler can weigh queue
+        depth against how fast this shard is clearing it.
+        """
+        return self._batch_seconds_ewma
+
     # ---- submission --------------------------------------------------------
 
     def retry_after_s(self) -> float:

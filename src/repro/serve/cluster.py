@@ -133,7 +133,9 @@ async def run_shard(config: ShardConfig) -> None:
     # Imported here so the module header stays importable for the
     # config dataclass without dragging numpy in (the supervisor only
     # needs ShardConfig / create_listen_socket).
+    from ..obs import get_metrics
     from ..obs.log import event, get_logger
+    from ..obs.promexport import snapshot_metrics
     from .app import RATApp
     from .server import RATServer
 
@@ -191,6 +193,11 @@ async def run_shard(config: ShardConfig) -> None:
             "queue_depth": app.batcher.depth,
             "predictions": app.batcher.served,
             "batches": app.batcher.batches,
+            "batch_seconds_ewma": app.batcher.batch_seconds_ewma,
+            # Full registry snapshot for the supervisor's aggregated
+            # /metrics (counters + histograms summed cluster-wide,
+            # gauges kept per shard).
+            "metrics": snapshot_metrics(get_metrics()),
         }
         try:
             heartbeat.write(json.dumps(payload, separators=(",", ":")) + "\n")
@@ -215,9 +222,13 @@ async def run_shard(config: ShardConfig) -> None:
             begin_drain()
             return
         control_buffer.extend(data)
-        while b"\n" in control_buffer:
-            line, _, rest = bytes(control_buffer).partition(b"\n")
-            control_buffer[:] = rest
+        if b"\n" not in data:
+            return
+        # One split per read (not per line): linear in the buffered
+        # bytes even when a burst of control messages lands at once.
+        *lines, tail = control_buffer.split(b"\n")
+        control_buffer[:] = tail
+        for line in lines:
             try:
                 message = json.loads(line)
             except ValueError:
@@ -262,6 +273,10 @@ async def run_shard(config: ShardConfig) -> None:
                         "requests": app.requests,
                         "predictions": app.batcher.served,
                         "batches": app.batcher.batches,
+                        # Final registry state, so the supervisor folds
+                        # this incarnation's exact totals into the
+                        # cluster aggregate before the process goes.
+                        "metrics": snapshot_metrics(get_metrics()),
                     },
                     separators=(",", ":"),
                 )

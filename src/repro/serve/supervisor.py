@@ -23,6 +23,19 @@ cluster's robustness contract —
 * **Graceful drain** (SIGTERM/SIGINT).  Every shard gets the drain
   command, finishes its queue, and exits; stragglers past the deadline
   are killed so the parent always terminates.
+* **Aggregated metrics** (``metrics_port``).  Shards ship a metrics
+  snapshot in every heartbeat; the supervisor serves one merged
+  Prometheus exposition — counters and histograms summed across every
+  incarnation that ever reported (monotone across restarts), gauges
+  kept per live shard with ``shard="N"`` labels — plus a JSON
+  ``/status``, from a tiny listener inside the supervision loop.
+* **Queue-depth autoscaling** (``max_shards``).  A time-aware EWMA of
+  pending-queue depth per ready shard drives spawn (above
+  ``scale_up_depth``) and retire-the-newest-idle-shard (below
+  ``scale_down_depth``, through the ordinary drain path), bounded by
+  ``min_shards``/``max_shards`` with cooldown hysteresis; benched
+  slots keep counting against the ceiling so the circuit breaker's
+  verdict stands.
 
 Shard lifecycle (``shard.spawn`` / ``shard.exit`` / ``shard.restart`` /
 ``shard.benched`` / ``shard.hung`` / ``cluster.ready`` /
@@ -40,7 +53,10 @@ standing in for real children.
 from __future__ import annotations
 
 import contextlib
+import copy
 import json
+import logging
+import math
 import os
 import selectors
 import signal
@@ -53,12 +69,33 @@ from dataclasses import dataclass, field
 from ..errors import ParameterError
 from ..obs import get_metrics
 from ..obs.log import event, get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.promexport import (
+    merge_snapshots,
+    render_cluster_metrics,
+    render_prometheus,
+)
 from ..obs.propagation import activate, deactivate, new_context
 from .cluster import ShardConfig, create_listen_socket, reuse_port_supported
 
 __all__ = ["RestartPolicy", "Shard", "Supervisor", "run_cluster"]
 
 _log = get_logger("serve.supervisor")
+
+#: Heartbeat stat keys the supervisor accepts from shards.  Everything
+#: else is dropped (with a one-time warning per key): a misbehaving or
+#: chaos-injected shard must not grow supervisor state or the metrics
+#: registry without bound through made-up beat fields.
+_BEAT_KEYS = frozenset({
+    "shard",
+    "state",
+    "requests",
+    "inflight",
+    "queue_depth",
+    "predictions",
+    "batches",
+    "batch_seconds_ewma",
+})
 
 # Shard lifecycle states.
 STARTING = "starting"
@@ -119,10 +156,25 @@ class Shard:
     hung: bool = False
     chaos: list[str] = field(default_factory=list)
     buffer: bytearray = field(default_factory=bytearray)
+    #: Latest metrics snapshot from the *current* incarnation.
+    metrics_live: dict = field(default_factory=dict)
+    #: Summed snapshots of this slot's *dead* incarnations, so cluster
+    #: counters never go backwards when a shard restarts.
+    metrics_acc: dict = field(default_factory=dict)
 
     @property
     def pid(self) -> int | None:
         return self.proc.pid if self.proc is not None else None
+
+
+class _Scrape:
+    """One in-flight connection on the supervisor metrics listener."""
+
+    __slots__ = ("sock", "buffer")
+
+    def __init__(self, sock) -> None:
+        self.sock = sock
+        self.buffer = bytearray()
 
 
 class Supervisor:
@@ -145,6 +197,12 @@ class Supervisor:
         access_log: str | None = None,
         shard_command: list[str] | None = None,
         chaos: dict[int, list[str]] | None = None,
+        metrics_port: int | None = None,
+        max_shards: int | None = None,
+        scale_up_depth: float = 8.0,
+        scale_down_depth: float = 1.0,
+        scale_cooldown_s: float = 5.0,
+        scale_smoothing_s: float = 1.0,
         **serve_kwargs,
     ) -> None:
         if shards < 1:
@@ -153,6 +211,19 @@ class Supervisor:
             raise ParameterError(
                 f"min_shards must be in [1, {shards}], got {min_shards}"
             )
+        if max_shards is not None and max_shards < shards:
+            raise ParameterError(
+                f"max_shards must be >= shards ({shards}), got {max_shards}"
+            )
+        if scale_down_depth < 0 or scale_up_depth <= scale_down_depth:
+            raise ParameterError(
+                "need scale_up_depth > scale_down_depth >= 0, got "
+                f"{scale_up_depth} / {scale_down_depth}"
+            )
+        if scale_cooldown_s < 0:
+            raise ParameterError("scale_cooldown_s must be >= 0")
+        if scale_smoothing_s <= 0:
+            raise ParameterError("scale_smoothing_s must be > 0")
         self.n_shards = int(shards)
         self.min_shards = int(min_shards)
         self.host = host
@@ -198,12 +269,35 @@ class Supervisor:
         #: cumulative totals survive restarts and the final drain.
         self._done_totals = {"requests": 0, "predictions": 0, "batches": 0}
         self._totals = dict(self._done_totals)
+        #: Aggregated /metrics listener (None disables; 0 = ephemeral).
+        self.metrics_port = metrics_port
+        self._metrics_sock = None
+        #: Summed metrics snapshots of slots that left the cluster
+        #: (drained, stopped, benched) — the base every merged counter
+        #: stands on, so retirement never drops history.
+        self._metrics_retired: dict = {"c": {}, "h": {}}
+        #: Heartbeat keys already warned about (one event per key).
+        self._unknown_stat_keys: set[str] = set()
+        #: Autoscaler bounds + hysteresis (max_shards None = disabled).
+        self.max_shards = None if max_shards is None else int(max_shards)
+        self.scale_up_depth = float(scale_up_depth)
+        self.scale_down_depth = float(scale_down_depth)
+        self.scale_cooldown_s = float(scale_cooldown_s)
+        self.scale_smoothing_s = float(scale_smoothing_s)
+        self._depth_ewma = 0.0
+        self._ewma_at: float | None = None
+        self._last_scale_at = -math.inf
+        self.scale_ups = 0
+        self.scale_downs = 0
         metrics = get_metrics()
         self._g_live = metrics.gauge("cluster.shards_live")
         self._g_ready = metrics.gauge("cluster.shards_ready")
         self._g_benched = metrics.gauge("cluster.shards_benched")
+        self._g_depth_ewma = metrics.gauge("cluster.queue_depth_ewma")
         self._c_restarts = metrics.counter("cluster.restarts")
         self._c_benched = metrics.counter("cluster.benched")
+        self._c_scale_up = metrics.counter("cluster.scale_up")
+        self._c_scale_down = metrics.counter("cluster.scale_down")
 
     # ---- lifecycle ---------------------------------------------------------
 
@@ -237,10 +331,22 @@ class Supervisor:
             )
             self.port = self._listen_sock.getsockname()[1]
         self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        if self.metrics_port is not None:
+            # Supervisor-side scrape endpoint: merged cluster /metrics
+            # plus /status, served from the supervision loop itself (no
+            # thread, no asyncio — a scrape is one read + one write).
+            self._metrics_sock = create_listen_socket(
+                self.host, self.metrics_port, reuse_port=False
+            )
+            self.metrics_port = self._metrics_sock.getsockname()[1]
+            self._selector.register(
+                self._metrics_sock, selectors.EVENT_READ, "metrics"
+            )
         event(
             _log, "cluster.starting",
             host=self.host, port=self.port, shards=self.n_shards,
             min_shards=self.min_shards, reuse_port=self.reuse_port,
+            metrics_port=self.metrics_port, max_shards=self.max_shards,
         )
         for _ in range(self.n_shards):
             self._spawn_slot()
@@ -257,6 +363,10 @@ class Supervisor:
                 for key, _ in self._selector.select(timeout=0.05):
                     if key.fd == self._wake_r:
                         self._drain_wake_pipe()
+                    elif key.data == "metrics":
+                        self._accept_scrapes()
+                    elif isinstance(key.data, _Scrape):
+                        self._read_scrape(key.data)
                     else:
                         self._read_heartbeats(key.data)
                 self._run_commands()
@@ -264,6 +374,7 @@ class Supervisor:
                 self._check_liveness()
                 self._run_restarts()
                 self._advance_rolling()
+                self._advance_autoscale()
                 self._advance_stop()
                 self._refresh_cluster_state()
                 self._publish_status()
@@ -284,8 +395,13 @@ class Supervisor:
         self._post("rolling")
 
     def status(self) -> dict:
-        """A point-in-time cluster snapshot (safe from any thread)."""
-        return self._status
+        """A point-in-time cluster snapshot (safe from any thread).
+
+        A deep copy: the supervision loop rebinds nested ``stats``
+        dicts concurrently, and callers may freely mutate what they get
+        back without corrupting supervisor state.
+        """
+        return copy.deepcopy(self._status)
 
     def wait_ready(
         self, count: int | None = None, timeout_s: float = 30.0
@@ -407,6 +523,7 @@ class Supervisor:
         shard.hung = False
         shard.expected_exit = False
         shard.buffer.clear()
+        shard.metrics_live = {}
         shard.restart_at = None
         self._selector.register(heartbeat_r, selectors.EVENT_READ, shard)
         event(
@@ -488,14 +605,38 @@ class Supervisor:
                 self._selector.unregister(shard.heartbeat_fd)
             return
         shard.buffer.extend(data)
-        while b"\n" in shard.buffer:
-            line, _, rest = bytes(shard.buffer).partition(b"\n")
-            shard.buffer[:] = rest
+        if b"\n" not in data:
+            return
+        # One split per read (not per line): a burst of queued beats
+        # after a stall costs O(bytes), not O(lines * bytes).  Only the
+        # trailing partial line survives in the buffer.
+        *lines, tail = shard.buffer.split(b"\n")
+        shard.buffer[:] = tail
+        for line in lines:
             try:
                 beat = json.loads(line)
             except ValueError:
                 continue  # torn heartbeat line; the next one completes
+            if not isinstance(beat, dict):
+                continue
             shard.last_beat = time.monotonic()
+            snapshot = beat.pop("metrics", None)
+            if isinstance(snapshot, dict):
+                self._absorb_snapshot(shard, snapshot)
+            unknown = set(beat) - _BEAT_KEYS
+            if unknown:
+                # Drop keys the contract doesn't know: shard-supplied
+                # names must never mint supervisor state.  Warn once
+                # per key, not once per beat.
+                beat = {k: v for k, v in beat.items() if k in _BEAT_KEYS}
+                fresh = unknown - self._unknown_stat_keys
+                if fresh:
+                    self._unknown_stat_keys.update(fresh)
+                    event(
+                        _log, "heartbeat.unknown_keys",
+                        shard=shard.shard_id, keys=sorted(fresh),
+                        level=logging.WARNING,
+                    )
             shard.stats = beat
             state = beat.get("state")
             if state == "ready" and shard.state == STARTING:
@@ -514,6 +655,52 @@ class Supervisor:
             elif state == "draining" and shard.state in (STARTING, READY):
                 shard.state = DRAINING
 
+    def _absorb_snapshot(self, shard: Shard, snapshot: dict) -> None:
+        """Take a shard's latest metrics snapshot, reset-safe.
+
+        Within one incarnation counters only grow; a counter that went
+        *down* means the previous snapshot belonged to a process we
+        never saw exit (or a torn/confused shard), so the old snapshot
+        is banked into the slot's accumulator first — summed cluster
+        counters can then never go backwards.
+        """
+        live = shard.metrics_live
+        if live:
+            previous = live.get("c") or {}
+            current = snapshot.get("c") or {}
+            for name, value in previous.items():
+                new = current.get(name)
+                if not isinstance(new, (int, float)) or new < value:
+                    shard.metrics_acc = merge_snapshots(
+                        [shard.metrics_acc, live]
+                    )
+                    break
+        shard.metrics_live = snapshot
+
+    def _fold_incarnation_metrics(self, shard: Shard) -> None:
+        """Bank the dead incarnation's snapshot into the slot total."""
+        if shard.metrics_live:
+            shard.metrics_acc = merge_snapshots(
+                [shard.metrics_acc, shard.metrics_live]
+            )
+            shard.metrics_live = {}
+
+    def _retire_metrics(self, shard: Shard) -> None:
+        """Fold a departing slot's history into the cluster base.
+
+        Called when a slot leaves ``active`` for good (drained, stopped
+        or benched): its counters/histograms keep counting in the
+        aggregate forever, while its per-shard *gauges* — which only
+        ever come from the live snapshot — disappear from the
+        exposition.
+        """
+        self._fold_incarnation_metrics(shard)
+        if shard.metrics_acc:
+            self._metrics_retired = merge_snapshots(
+                [self._metrics_retired, shard.metrics_acc]
+            )
+            shard.metrics_acc = {}
+
     def _reap_exits(self) -> None:
         for shard in list(self.active):
             if shard.proc is None:
@@ -528,6 +715,7 @@ class Supervisor:
                 if isinstance(value, (int, float)):
                     self._done_totals[key] += value
             shard.stats = {}
+            self._fold_incarnation_metrics(shard)
             event(
                 _log, "shard.exit",
                 shard=shard.shard_id, returncode=returncode,
@@ -536,6 +724,7 @@ class Supervisor:
             if shard.expected_exit or self._stopping:
                 shard.state = STOPPED
                 self.active.remove(shard)
+                self._retire_metrics(shard)
                 continue
             self._schedule_restart(shard)
 
@@ -551,6 +740,7 @@ class Supervisor:
             shard.state = BENCHED
             self.active.remove(shard)
             self.benched.append(shard)
+            self._retire_metrics(shard)
             self._c_benched.inc()
             event(
                 _log, "shard.benched",
@@ -681,6 +871,203 @@ class Supervisor:
                 with contextlib.suppress(OSError):
                     old.proc.kill()
 
+    # ---- autoscaling -------------------------------------------------------
+
+    def _advance_autoscale(self) -> None:
+        """Spawn/retire shards from smoothed queue-depth heartbeats.
+
+        Disabled unless ``max_shards`` is set.  The signal is the
+        cluster's total pending-queue depth per *ready* shard, smoothed
+        by a time-aware EWMA (irregular loop ticks weigh by elapsed
+        time, not tick count).  Hysteresis comes from the
+        ``scale_up_depth > scale_down_depth`` gap plus a cooldown after
+        every action; scale-up also waits for any starting shard to
+        become ready first, so one load step spawns one shard at a
+        time.  Scale-down retires the *newest* idle ready shard through
+        the ordinary drain path — in-flight and queued requests finish,
+        and the expected exit spends no restart budget.  Benched slots
+        count against ``max_shards``: the breaker's verdict stands.
+        """
+        if self.max_shards is None or self._stopping:
+            return
+        if self._rolling or self._rolling_step:
+            return
+        ready = [s for s in self.active if s.state == READY]
+        if not ready:
+            return
+        depth = 0.0
+        for shard in ready:
+            value = shard.stats.get("queue_depth")
+            if isinstance(value, (int, float)):
+                depth += value
+        per_ready = depth / len(ready)
+        now = time.monotonic()
+        if self._ewma_at is None:
+            self._depth_ewma = per_ready
+        else:
+            dt = max(now - self._ewma_at, 0.0)
+            alpha = 1.0 - math.exp(-dt / self.scale_smoothing_s)
+            self._depth_ewma += alpha * (per_ready - self._depth_ewma)
+        self._ewma_at = now
+        self._g_depth_ewma.set(self._depth_ewma)
+        if now - self._last_scale_at < self.scale_cooldown_s:
+            return
+        slots = len(self.active) + len(self.benched)
+        if (
+            self._depth_ewma > self.scale_up_depth
+            and slots < self.max_shards
+            and not any(s.state == STARTING for s in self.active)
+        ):
+            shard = self._spawn_slot()
+            self.scale_ups += 1
+            self._c_scale_up.inc()
+            self._last_scale_at = now
+            event(
+                _log, "cluster.scale_up",
+                shard=shard.shard_id, depth_ewma=self._depth_ewma,
+                ready_shards=len(ready),
+            )
+            if not self.quiet:
+                print(
+                    f"rat serve: scale-up -> shard {shard.shard_id} "
+                    f"(queue depth {self._depth_ewma:.1f}/ready-shard)",
+                    flush=True,
+                )
+            return
+        if (
+            self._depth_ewma < self.scale_down_depth
+            and len(ready) > self.min_shards
+        ):
+            idle = [
+                s for s in ready
+                if not s.stats.get("queue_depth")
+                and not s.stats.get("inflight")
+            ]
+            if not idle:
+                return
+            victim = max(idle, key=lambda s: s.shard_id)
+            self._drain_shard(victim)
+            self.scale_downs += 1
+            self._c_scale_down.inc()
+            self._last_scale_at = now
+            event(
+                _log, "cluster.scale_down",
+                shard=victim.shard_id, depth_ewma=self._depth_ewma,
+                ready_shards=len(ready),
+            )
+            if not self.quiet:
+                print(
+                    f"rat serve: scale-down -> draining shard "
+                    f"{victim.shard_id} (idle, queue depth "
+                    f"{self._depth_ewma:.2f}/ready-shard)",
+                    flush=True,
+                )
+
+    # ---- aggregated metrics endpoint ---------------------------------------
+
+    def cluster_metrics_text(self) -> str:
+        """The merged cluster exposition (plus supervisor-own series).
+
+        Counters and histograms are summed over every incarnation that
+        ever reported (retired base + per-slot accumulators + live
+        snapshots) — monotone across restarts by construction.  Gauges
+        come only from live shards, labeled ``shard="N"``; a retired
+        shard's gauge series simply stops appearing.
+        """
+        parts = [self._metrics_retired]
+        gauges: dict[str, dict] = {}
+        for shard in self.active:
+            if shard.metrics_acc:
+                parts.append(shard.metrics_acc)
+            if shard.metrics_live:
+                parts.append(shard.metrics_live)
+                live_gauges = shard.metrics_live.get("g")
+                if shard.proc is not None and isinstance(live_gauges, dict):
+                    gauges[str(shard.shard_id)] = live_gauges
+        merged = merge_snapshots(parts)
+        # The supervisor's own cluster.* instruments, filtered out of
+        # the process registry so a co-resident app (tests, benches)
+        # can't collide with the shard-summed series.
+        registry = get_metrics()
+        own = MetricsRegistry()
+        for table in ("_counters", "_gauges", "_histograms"):
+            setattr(own, table, {
+                name: instrument
+                for name, instrument in getattr(registry, table).items()
+                if name.startswith("cluster.")
+            })
+        return render_prometheus(own) + render_cluster_metrics(
+            merged, gauges
+        )
+
+    def _accept_scrapes(self) -> None:
+        while True:
+            try:
+                conn, _ = self._metrics_sock.accept()
+            except (BlockingIOError, OSError):
+                return
+            conn.setblocking(False)
+            try:
+                self._selector.register(
+                    conn, selectors.EVENT_READ, _Scrape(conn)
+                )
+            except (KeyError, ValueError):  # pragma: no cover
+                conn.close()
+
+    def _read_scrape(self, scrape: _Scrape) -> None:
+        try:
+            data = scrape.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            data = b""
+        if data:
+            scrape.buffer.extend(data)
+            if (
+                b"\r\n\r\n" not in scrape.buffer
+                and len(scrape.buffer) < 8192
+            ):
+                return  # head incomplete; wait for more
+        self._finish_scrape(scrape)
+
+    def _finish_scrape(self, scrape: _Scrape) -> None:
+        with contextlib.suppress(KeyError, ValueError):
+            self._selector.unregister(scrape.sock)
+        try:
+            head = bytes(scrape.buffer).split(b"\r\n", 1)[0]
+            parts = head.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = (parts[1] if len(parts) > 1 else "").partition("?")[0]
+            ctype = "text/plain; charset=utf-8"
+            if method != "GET":
+                status, body = "405 Method Not Allowed", b"GET only\n"
+            elif path == "/metrics":
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+                body = self.cluster_metrics_text().encode()
+            elif path == "/status":
+                status = "200 OK"
+                ctype = "application/json"
+                body = json.dumps(self.status()).encode()
+            else:
+                status, body = "404 Not Found", b"not found\n"
+            response = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode() + body
+            # A scrape response is small and the peer is a scraper on
+            # localhost: a short blocking send keeps the loop simple.
+            scrape.sock.setblocking(True)
+            scrape.sock.settimeout(2.0)
+            scrape.sock.sendall(response)
+        except OSError:
+            pass
+        finally:
+            with contextlib.suppress(OSError):
+                scrape.sock.close()
+
     # ---- cluster drain -----------------------------------------------------
 
     def _begin_stop(self) -> None:
@@ -695,6 +1082,7 @@ class Supervisor:
             if shard.proc is None:
                 shard.state = STOPPED
                 self.active.remove(shard)
+                self._retire_metrics(shard)
                 continue
             self._drain_shard(shard)
 
@@ -785,6 +1173,11 @@ class Supervisor:
             "restarts": self.restarts,
             "rolling": bool(self._rolling or self._rolling_step),
             "requests": self._totals["requests"],
+            "metrics_port": self.metrics_port,
+            "max_shards": self.max_shards,
+            "queue_depth_ewma": self._depth_ewma,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
         }
 
     def _cleanup(self) -> None:
@@ -797,6 +1190,16 @@ class Supervisor:
                 shard.proc = None
             self._close_shard_fds(shard)
         self.active.clear()
+        with contextlib.suppress(RuntimeError, KeyError):
+            for key in list(self._selector.get_map().values()):
+                if isinstance(key.data, _Scrape):
+                    with contextlib.suppress(OSError):
+                        key.data.sock.close()
+        if self._metrics_sock is not None:
+            with contextlib.suppress(KeyError, ValueError):
+                self._selector.unregister(self._metrics_sock)
+            self._metrics_sock.close()
+            self._metrics_sock = None
         with contextlib.suppress(KeyError, ValueError):
             self._selector.unregister(self._wake_r)
         self._selector.close()
@@ -824,6 +1227,11 @@ def run_cluster(
     drain_timeout_s: float = 10.0,
     quiet: bool = False,
     access_log: str | None = None,
+    metrics_port: int | None = None,
+    max_shards: int | None = None,
+    scale_up_depth: float = 8.0,
+    scale_down_depth: float = 1.0,
+    scale_cooldown_s: float = 5.0,
     **serve_kwargs,
 ) -> int:
     """The ``rat serve --shards N`` entry point (blocking, returns 0).
@@ -831,7 +1239,9 @@ def run_cluster(
     SIGTERM and SIGINT both begin a graceful cluster drain; SIGHUP
     begins a rolling restart.  The startup banner mirrors the
     single-process one (``rat serve: cluster listening on http://H:P``)
-    so scripts using ``--port 0`` can parse the bound port either way.
+    so scripts using ``--port 0`` can parse the bound port either way;
+    with ``--metrics-port`` a second parseable banner names the
+    aggregated-metrics listener.
     """
     supervisor = Supervisor(
         shards=shards,
@@ -842,6 +1252,11 @@ def run_cluster(
         drain_timeout_s=drain_timeout_s,
         quiet=quiet,
         access_log=access_log,
+        metrics_port=metrics_port,
+        max_shards=max_shards,
+        scale_up_depth=scale_up_depth,
+        scale_down_depth=scale_down_depth,
+        scale_cooldown_s=scale_cooldown_s,
         **serve_kwargs,
     )
     if access_log is not None:
@@ -862,12 +1277,23 @@ def run_cluster(
         except (ValueError, OSError, AttributeError):
             pass  # non-main thread or platform without the signal
     if not quiet:
+        bounds = (
+            f"shards={shards}, min_shards={min_shards}"
+            + (f", max_shards={max_shards}" if max_shards else "")
+        )
         print(
             f"rat serve: cluster listening on "
             f"http://{supervisor.host}:{supervisor.port} "
-            f"(shards={shards}, min_shards={min_shards})",
+            f"({bounds})",
             flush=True,
         )
+        if supervisor.metrics_port is not None:
+            print(
+                f"rat serve: cluster metrics on "
+                f"http://{supervisor.host}:{supervisor.metrics_port}"
+                f"/metrics",
+                flush=True,
+            )
     try:
         supervisor.run()
     finally:

@@ -1,18 +1,22 @@
 """Prometheus text-exposition rendering: names, values, bucket laws."""
 
+import json
 import math
 import re
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.promexport import (
     DEFAULT_BUCKETS,
+    merge_snapshots,
     prometheus_name,
+    render_cluster_metrics,
     render_prometheus,
+    snapshot_metrics,
 )
 
 # One exposition sample line: name, optional {labels}, space, value.
 SAMPLE_LINE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? \S+$"
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$"
 )
 
 
@@ -187,3 +191,107 @@ class TestConstantLabels:
         assert render_prometheus(registry, labels={}) == render_prometheus(
             registry
         )
+
+
+def _shard_registry(requests, latencies, depth):
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc(requests)
+    registry.gauge("serve.queue_depth").set(depth)
+    histogram = registry.histogram("serve.batch_seconds")
+    for value in latencies:
+        histogram.observe(value)
+    return registry
+
+
+class TestClusterAggregation:
+    """snapshot -> merge -> render, the supervisor's /metrics pipeline."""
+
+    def test_snapshot_shape_and_json_round_trip(self):
+        registry = _shard_registry(5, [0.01, 0.02], 3)
+        snapshot = json.loads(json.dumps(snapshot_metrics(registry)))
+        assert snapshot["c"]["serve.requests"] == 5
+        assert snapshot["g"]["serve.queue_depth"] == 3
+        series = snapshot["h"]["serve.batch_seconds"]
+        assert series[0] == 2  # count
+        assert math.isclose(series[1], 0.03)  # sum
+        assert len(series) == 2 + len(DEFAULT_BUCKETS)
+        assert series[-1] == 2  # largest bound holds everything
+
+    def test_unset_gauges_not_snapshotted(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert snapshot_metrics(registry)["g"] == {}
+
+    def test_merge_sums_counters_and_buckets(self):
+        a = snapshot_metrics(_shard_registry(5, [0.01], 0))
+        b = snapshot_metrics(_shard_registry(7, [0.02, 10.0], 0))
+        merged = merge_snapshots([a, b])
+        assert merged["c"]["serve.requests"] == 12
+        series = merged["h"]["serve.batch_seconds"]
+        assert series[0] == 3
+        assert math.isclose(series[1], 10.03)
+        buckets = series[2:]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 3
+
+    def test_rendered_cluster_histogram_keeps_invariants(self):
+        snapshots = [
+            snapshot_metrics(_shard_registry(3, [0.001 * i], 0))
+            for i in range(1, 6)
+        ]
+        text = render_cluster_metrics(merge_snapshots(snapshots))
+        samples = parse_samples(text)
+        counts = [
+            samples[("rat_serve_batch_seconds_bucket", f'le="{bound:g}"')]
+            for bound in DEFAULT_BUCKETS
+        ]
+        assert counts == sorted(counts)
+        assert samples[
+            ("rat_serve_batch_seconds_bucket", 'le="+Inf"')
+        ] == 5
+        assert samples[("rat_serve_batch_seconds_count", None)] == 5
+        assert samples[("rat_serve_requests_total", None)] == 15
+
+    def test_gauges_kept_per_shard_with_labels(self):
+        a = snapshot_metrics(_shard_registry(1, [], 4))
+        b = snapshot_metrics(_shard_registry(1, [], 9))
+        text = render_cluster_metrics(
+            merge_snapshots([a, b]),
+            {"0": a["g"], "3": b["g"]},
+        )
+        samples = parse_samples(text)
+        assert samples[("rat_serve_queue_depth", 'shard="0"')] == 4.0
+        assert samples[("rat_serve_queue_depth", 'shard="3"')] == 9.0
+        # Gauges are never summed into an unlabeled cluster series.
+        assert ("rat_serve_queue_depth", None) not in samples
+
+    def test_merge_tolerates_garbage_snapshots(self):
+        good = snapshot_metrics(_shard_registry(2, [0.01], 0))
+        merged = merge_snapshots([
+            good,
+            {},
+            {"c": {"serve.requests": "NaN-string"}},
+            {"h": {"serve.batch_seconds": "not-a-list", "x": [1]}},
+        ])
+        assert merged["c"]["serve.requests"] == 2
+        assert merged["h"]["serve.batch_seconds"][0] == 1
+        assert "x" not in merged["h"]
+
+    def test_short_series_contributes_count_and_prefix(self):
+        # A shard on older code with fewer buckets: count/sum merge,
+        # the shared bucket prefix merges, and the render clips the
+        # tail back into the monotone / <= count envelope.
+        full = snapshot_metrics(_shard_registry(1, [0.01], 0))
+        short = {"c": {}, "h": {"serve.batch_seconds": [4, 0.1, 0, 4]}}
+        merged = merge_snapshots([full, short])
+        assert merged["h"]["serve.batch_seconds"][0] == 5
+        samples = parse_samples(render_cluster_metrics(merged))
+        counts = [
+            samples[("rat_serve_batch_seconds_bucket", f'le="{bound:g}"')]
+            for bound in DEFAULT_BUCKETS
+        ]
+        assert counts == sorted(counts)
+        assert all(value <= 5 for value in counts)
+        assert samples[
+            ("rat_serve_batch_seconds_bucket", 'le="+Inf"')
+        ] == 5

@@ -37,11 +37,15 @@ if cfg["chaos"].startswith("exit-after:"):
     exit_at = time.monotonic() + float(cfg["chaos"].partition(":")[2])
 while True:
     if cfg["chaos"] != "no-heartbeat":
+        beat = {
+            "shard": cfg["shard_id"], "state": state, "requests": 7,
+            "predictions": 7, "batches": 3,
+        }
+        if cfg["chaos"] == "bogus-keys":
+            beat["evil_injected"] = "boo"
+            beat["registry_bomb"] = 1e9
         try:
-            hb.write(json.dumps({
-                "shard": cfg["shard_id"], "state": state, "requests": 7,
-                "predictions": 7, "batches": 3,
-            }) + "\n")
+            hb.write(json.dumps(beat) + "\n")
         except OSError:
             sys.exit(0)
     if exit_at is not None and time.monotonic() >= exit_at:
@@ -229,6 +233,112 @@ class TestHangDetection:
                 message="hang detection restart",
             )
             assert supervisor.wait_ready(2, timeout_s=10.0)
+
+
+class TestStatusSnapshot:
+    def test_status_is_a_deep_copy(self):
+        """Mutating a status() snapshot must not corrupt supervisor
+        state — the docstring promises "safe from any thread"."""
+        with running(shards=1, min_shards=1, port=0) as supervisor:
+            assert supervisor.wait_ready(1, timeout_s=10.0)
+            wait_for(
+                lambda: supervisor.status()["requests"] == 7,
+                message="stub heartbeat stats",
+            )
+            snapshot = supervisor.status()
+            snapshot["shards"][0]["stats"]["requests"] = 10**9
+            snapshot["shards"][0]["state"] = "vandalised"
+            snapshot["benched"].append(999)
+            fresh = supervisor.status()
+            assert fresh["shards"][0]["stats"]["requests"] == 7
+            assert fresh["shards"][0]["state"] == "ready"
+            assert fresh["benched"] == []
+            # And two snapshots never share nested mutable objects.
+            assert (
+                snapshot["shards"][0] is not fresh["shards"][0]
+            )
+
+
+class TestHeartbeatHygiene:
+    def test_unknown_beat_keys_dropped(self):
+        """Shard-supplied beat keys outside the contract are dropped
+        (and must not mint metrics-registry instruments)."""
+        from repro.obs import get_metrics
+
+        with running(
+            shards=1, min_shards=1, port=0,
+            chaos={0: ["bogus-keys"]},
+        ) as supervisor:
+            assert supervisor.wait_ready(1, timeout_s=10.0)
+            wait_for(
+                lambda: supervisor.status()["shards"][0]["stats"].get(
+                    "requests"
+                ) == 7,
+                message="filtered heartbeat stats",
+            )
+            stats = supervisor.status()["shards"][0]["stats"]
+            assert "evil_injected" not in stats
+            assert "registry_bomb" not in stats
+            assert not any(
+                "evil" in name or "registry_bomb" in name
+                for name in get_metrics().names()
+            )
+
+    def test_heartbeat_burst_parsed_with_one_split(self):
+        """A burst of queued beats is parsed line-by-line from a single
+        buffer split, keeping only the trailing partial line."""
+        import json as json_mod
+
+        supervisor = Supervisor(
+            shards=1, port=0, shard_command=["unused"], quiet=True
+        )
+        try:
+            shard = supervisor.active.copy()  # none spawned yet
+            assert shard == []
+            from repro.serve.supervisor import Shard
+
+            shard = Shard(shard_id=0)
+            read_fd, write_fd = os.pipe()
+            os.set_blocking(read_fd, False)
+            shard.heartbeat_fd = read_fd
+            try:
+                burst = b"".join(
+                    json_mod.dumps({
+                        "shard": 0, "state": "ready", "requests": i,
+                    }).encode() + b"\n"
+                    for i in range(500)
+                )
+                os.write(write_fd, burst + b'{"shard": 0, "req')
+                supervisor._read_heartbeats(shard)
+                # Last complete line won; the torn tail is buffered.
+                assert shard.stats["requests"] == 499
+                assert shard.state == "ready"
+                assert bytes(shard.buffer) == b'{"shard": 0, "req'
+                # Completing the torn line parses it on the next read.
+                os.write(write_fd, b'uests": 1000, "state": "ready"}\n')
+                supervisor._read_heartbeats(shard)
+                assert shard.stats["requests"] == 1000
+                assert shard.buffer == b""
+            finally:
+                os.close(read_fd)
+                os.close(write_fd)
+        finally:
+            for fd in (supervisor._wake_r, supervisor._wake_w):
+                with contextlib.suppress(OSError):
+                    os.close(fd)
+            supervisor._selector.close()
+
+
+class TestAutoscaleValidation:
+    def test_bad_autoscale_shapes_rejected(self):
+        with pytest.raises(ParameterError):
+            Supervisor(shards=4, max_shards=2)
+        with pytest.raises(ParameterError):
+            Supervisor(shards=1, scale_up_depth=1.0, scale_down_depth=2.0)
+        with pytest.raises(ParameterError):
+            Supervisor(shards=1, scale_cooldown_s=-1.0)
+        with pytest.raises(ParameterError):
+            Supervisor(shards=1, scale_smoothing_s=0.0)
 
 
 class TestRollingRestart:
